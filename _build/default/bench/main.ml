@@ -1,0 +1,579 @@
+(* Benchmark harness: one generator per table/figure of the paper's
+   evaluation (§6). Each generator prints the same rows/series the paper
+   reports, measured on the simulated GPUs.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --only fig13 # one experiment
+     dune exec bench/main.exe -- --quick      # miniature sizes (CI)
+     dune exec bench/main.exe -- --list       # list experiments *)
+
+module B = Backends.Baselines
+module Policy = Backends.Policy
+module Runner = Runtime.Runner
+
+let quick = ref false
+
+let archs () = if !quick then [ Gpu.Arch.ampere ] else Gpu.Arch.all
+
+(* One plan cache for the whole harness: the end-to-end experiments revisit
+   the same (model, backend, arch) subprograms many times. *)
+let cache = Runtime.Plan_cache.create ()
+
+(* ------------------------------------------------------------------ *)
+(* Measurement helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_backend arch (b : Policy.t) name g =
+  let plan = b.compile arch ~name g in
+  let device = Gpu.Device.create () in
+  Runner.run_plan ~arch ~dispatch_us:b.dispatch_us device plan
+
+let time_backend arch b name g = (run_backend arch b name g).Runner.r_time
+
+let header title columns =
+  Printf.printf "\n### %s\n%s\n" title (String.concat "  " columns);
+  Printf.printf "%s\n" (String.make (String.length (String.concat "  " columns)) '-')
+
+let pct x = Printf.sprintf "%6.2fx" x
+
+(* ------------------------------------------------------------------ *)
+(* Fig 11a: fused MLP layers vs cuBLASLt                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig11a () =
+  header "Fig 11(a): Fused MLP — speedup over cuBLASLt (n=k=256)"
+    [ "arch"; "m"; "layers"; "cuBLASLt(us)"; "SpaceFusion(us)"; "speedup" ];
+  let layer_counts = if !quick then [ 2; 4 ] else [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ] in
+  let ms = if !quick then [ 256 ] else [ 128; 256; 512; 1024 ] in
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun m ->
+          List.iter
+            (fun layers ->
+              let g = Ir.Models.mlp ~layers ~m ~n:256 ~k:256 in
+              let t_lt = time_backend arch B.cublaslt "mlp" g in
+              let t_sf = time_backend arch B.spacefusion "mlp" g in
+              Printf.printf "%-7s m=%-5d L=%-3d %10.2f %10.2f  %s\n" arch.Gpu.Arch.name m layers
+                (t_lt *. 1e6) (t_sf *. 1e6)
+                (pct (t_lt /. t_sf)))
+            layer_counts)
+        ms)
+    (archs ())
+
+(* ------------------------------------------------------------------ *)
+(* Fig 11b: fused LSTM cell vs cuBLAS                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig11b () =
+  header "Fig 11(b): Fused LSTM cell — speedup over cuBLAS (m=256)"
+    [ "arch"; "hidden"; "cuBLAS(us)"; "cuBLASLt(us)"; "SpaceFusion(us)"; "su_blas"; "su_lt" ];
+  let hiddens = if !quick then [ 128 ] else [ 128; 256; 512; 1024 ] in
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun hidden ->
+          let g = Ir.Models.lstm_cell ~m:256 ~hidden ~input:hidden in
+          let t_blas = time_backend arch B.cublas "lstm" g in
+          let t_lt = time_backend arch B.cublaslt "lstm" g in
+          let t_sf = time_backend arch B.spacefusion "lstm" g in
+          Printf.printf "%-7s h=%-5d %10.2f %10.2f %10.2f  %s %s\n" arch.Gpu.Arch.name hidden
+            (t_blas *. 1e6) (t_lt *. 1e6) (t_sf *. 1e6)
+            (pct (t_blas /. t_sf))
+            (pct (t_lt /. t_sf)))
+        hiddens)
+    (archs ())
+
+(* ------------------------------------------------------------------ *)
+(* Fig 12: fused LayerNorm                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 () =
+  header "Fig 12: Fused LayerNorm — speedup over PyTorch (M=N)"
+    [ "arch"; "M"; "PyTorch"; "PyTorch-Op"; "Apex"; "LN-Triton"; "SpaceFusion"; "su(vs PyTorch)" ];
+  List.iter
+    (fun arch ->
+      let sizes =
+        if !quick then [ 1024 ]
+        else if arch.Gpu.Arch.name = "Volta" then [ 1024; 2048; 4096; 8192; 16384 ]
+        else [ 1024; 2048; 4096; 8192; 16384; 32768 ]
+      in
+      List.iter
+        (fun m ->
+          let g = Ir.Models.layernorm_graph ~m ~n:m in
+          let t b = time_backend arch b "ln" g in
+          let tp = t B.pytorch
+          and top = t B.torch_op_ln
+          and ta = t B.apex_ln
+          and tt = t B.ln_triton
+          and ts = t B.spacefusion in
+          Printf.printf "%-7s M=%-6d %9.1f %9.1f %9.1f %9.1f %9.1f  %s (op %s, apex %s, triton %s)\n"
+            arch.Gpu.Arch.name m (tp *. 1e6) (top *. 1e6) (ta *. 1e6) (tt *. 1e6) (ts *. 1e6)
+            (pct (tp /. ts)) (pct (top /. ts)) (pct (ta /. ts)) (pct (tt /. ts)))
+        sizes)
+    (archs ())
+
+(* ------------------------------------------------------------------ *)
+(* Fig 13: fused MHA                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  header "Fig 13: Fused MHA — speedup over PyTorch (12 heads, d=64)"
+    [ "arch"; "batch"; "seq"; "PyTorch(us)"; "FA"; "FA-Triton"; "FA2"; "SpaceFusion"; "su" ];
+  List.iter
+    (fun arch ->
+      let seqs =
+        if !quick then [ 128 ]
+        else if arch.Gpu.Arch.name = "Volta" then [ 64; 128; 256; 512; 1024 ]
+        else [ 64; 128; 256; 512; 1024; 2048; 8192 ]
+      in
+      List.iter
+        (fun batch ->
+          List.iter
+            (fun seq ->
+              let g = Ir.Models.mha ~batch_heads:(batch * 12) ~seq_q:seq ~seq_kv:seq ~head_dim:64 () in
+              let t b = time_backend arch b "mha" g in
+              let show b = if b.Policy.supports arch then Printf.sprintf "%9.1f" (t b *. 1e6) else "      n/a" in
+              let tp = t B.pytorch and ts = t B.spacefusion in
+              Printf.printf "%-7s b=%-3d seq=%-5d %10.1f %s %s %s %9.1f  %s\n" arch.Gpu.Arch.name
+                batch seq (tp *. 1e6) (show B.flash_attention) (show B.flash_attention_triton)
+                (show B.flash_attention2) (ts *. 1e6)
+                (pct (tp /. ts)))
+            seqs)
+        (if !quick then [ 32 ] else [ 1; 32 ]))
+    (archs ())
+
+(* ------------------------------------------------------------------ *)
+(* Fig 14: end-to-end models                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e2e_backends = [ B.pytorch; B.spacefusion; B.tensorrt; B.kernl; B.bladedisc; B.nnfusion ]
+
+let fig14 () =
+  header "Fig 14: End-to-end inference — speedup over PyTorch"
+    [ "arch"; "batch"; "model"; "backend"; "latency(ms)"; "kernels"; "speedup" ];
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun batch ->
+          let seq = if !quick then 128 else 512 in
+          let models =
+            if !quick then [ Ir.Models.bert ~batch ~seq ] else Ir.Models.all_models ~batch ~seq
+          in
+          List.iter
+            (fun (model : Ir.Models.model) ->
+              let base = ref None in
+              List.iter
+                (fun (b : Policy.t) ->
+                  if Runtime.Model_runner.supported ~arch b then begin
+                    let r = Runtime.Model_runner.run_model ~cache ~arch b model in
+                    let su =
+                      match !base with
+                      | None ->
+                          base := Some r.Runtime.Model_runner.m_latency;
+                          1.0
+                      | Some bt -> bt /. r.Runtime.Model_runner.m_latency
+                    in
+                    Printf.printf "%-7s b=%-3d %-10s %-12s %9.3f %6d  %s\n" arch.Gpu.Arch.name
+                      batch model.model_name b.be_name
+                      (r.Runtime.Model_runner.m_latency *. 1e3)
+                      r.Runtime.Model_runner.m_kernels (pct su)
+                  end)
+                e2e_backends)
+            models)
+        (if !quick then [ 1 ] else [ 1; 32 ]))
+    (archs ())
+
+(* ------------------------------------------------------------------ *)
+(* Fig 15: memory and cache analysis                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig15 () =
+  header "Fig 15: L1/L2 cache misses and DRAM traffic (normalized to SpaceFusion; lower is better)"
+    [ "workload"; "backend"; "L1 miss"; "L2 miss"; "DRAM bytes"; "norm(L1/L2/DRAM)" ];
+  let arch = Gpu.Arch.ampere in
+  let cases =
+    if !quick then [ ("LN(1K)", Ir.Models.layernorm_graph ~m:1024 ~n:1024, B.torch_op_ln) ]
+    else
+      [
+        ("MLP(4,1K)", Ir.Models.mlp ~layers:4 ~m:1024 ~n:256 ~k:256, B.cublaslt);
+        ("MLP(20,64)", Ir.Models.mlp ~layers:20 ~m:64 ~n:256 ~k:256, B.cublaslt);
+        ("LN(4K)", Ir.Models.layernorm_graph ~m:4096 ~n:4096, B.torch_op_ln);
+        ("LN(32K)", Ir.Models.layernorm_graph ~m:32768 ~n:32768, B.torch_op_ln);
+        ( "MHA(32,1K)",
+          Ir.Models.mha ~batch_heads:(32 * 12) ~seq_q:1024 ~seq_kv:1024 ~head_dim:64 (),
+          B.flash_attention );
+        ( "MHA(32,2K)",
+          Ir.Models.mha ~batch_heads:(32 * 12) ~seq_q:2048 ~seq_kv:2048 ~head_dim:64 (),
+          B.flash_attention );
+      ]
+  in
+  List.iter
+    (fun (label, g, fused_baseline) ->
+      let stats b = (run_backend arch b label g).Runner.r_timing in
+      let sf = stats B.spacefusion in
+      let show name (t : Gpu.Cost.timing) =
+        Printf.printf "%-11s %-13s %12.0f %12.0f %14.0f   %.2f / %.2f / %.2f\n" label name
+          t.Gpu.Cost.l1_miss t.Gpu.Cost.l2_miss
+          (t.Gpu.Cost.dram_read +. t.Gpu.Cost.dram_write)
+          (t.Gpu.Cost.l1_miss /. sf.Gpu.Cost.l1_miss)
+          (t.Gpu.Cost.l2_miss /. sf.Gpu.Cost.l2_miss)
+          ((t.Gpu.Cost.dram_read +. t.Gpu.Cost.dram_write)
+          /. (sf.Gpu.Cost.dram_read +. sf.Gpu.Cost.dram_write))
+      in
+      show "unfused" (stats B.pytorch);
+      show ("fused:" ^ fused_baseline.Policy.be_name) (stats fused_baseline);
+      show "SpaceFusion" sf)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Fig 16a: ablation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let variants =
+  [
+    ("Base(SS)", Core.Auto_scheduler.base_ss);
+    ("Base+AS", Core.Auto_scheduler.base_as);
+    ("Base+TS", Core.Auto_scheduler.base_ts);
+    ("SpaceFusion", Core.Auto_scheduler.full);
+  ]
+
+let fig16a () =
+  header "Fig 16(a): Ablation — performance normalized to full SpaceFusion"
+    [ "batch"; "model"; "Base(SS)"; "Base+AS"; "Base+TS"; "SpaceFusion" ];
+  let arch = Gpu.Arch.ampere in
+  List.iter
+    (fun batch ->
+      let seq = if !quick then 128 else 512 in
+      let models =
+        if !quick then [ Ir.Models.bert ~batch ~seq ] else Ir.Models.all_models ~batch ~seq
+      in
+      List.iter
+        (fun (model : Ir.Models.model) ->
+          let lat vname variant =
+            let b = B.spacefusion_variant ~name:vname variant in
+            (Runtime.Model_runner.run_model ~cache ~arch b model).Runtime.Model_runner.m_latency
+          in
+          let ls = List.map (fun (vn, v) -> lat vn v) variants in
+          let full = List.nth ls 3 in
+          Printf.printf "b=%-3d %-10s %s\n" batch model.model_name
+            (String.concat " " (List.map (fun l -> Printf.sprintf "%6.2f" (full /. l)) ls)))
+        models)
+    (if !quick then [ 1 ] else [ 1; 32 ])
+
+(* ------------------------------------------------------------------ *)
+(* Fig 16b: input-size sensitivity                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig16b () =
+  header "Fig 16(b): Input-size sensitivity — SpaceFusion speedup over PyTorch per input size"
+    [ "batch"; "model"; "small"; "medium"; "large" ];
+  let arch = Gpu.Arch.ampere in
+  let model_builders =
+    [
+      ("Bert", fun batch seq -> Ir.Models.bert ~batch ~seq);
+      ("Albert", fun batch seq -> Ir.Models.albert ~batch ~seq);
+      ("T5", fun batch seq -> Ir.Models.t5 ~batch ~seq);
+      ("ViT", fun batch seq -> Ir.Models.vit ~batch ~image:(seq / 2));
+      ("Llama2", fun batch seq -> Ir.Models.llama2_7b ~batch ~seq);
+    ]
+  in
+  let seqs = if !quick then [ 128 ] else [ 128; 512; 1024 ] in
+  List.iter
+    (fun batch ->
+      List.iter
+        (fun (name, build) ->
+          let sus =
+            List.map
+              (fun seq ->
+                let model = build batch seq in
+                let l b =
+                  (Runtime.Model_runner.run_model ~cache ~arch b model).Runtime.Model_runner.m_latency
+                in
+                l B.pytorch /. l B.spacefusion)
+              seqs
+          in
+          Printf.printf "b=%-3d %-10s %s\n" batch name
+            (String.concat " " (List.map (Printf.sprintf "%6.2fx") sus)))
+        (if !quick then [ List.hd model_builders ] else model_builders))
+    (if !quick then [ 1 ] else [ 1; 32 ])
+
+(* ------------------------------------------------------------------ *)
+(* Fig 16c: architecture sensitivity                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig16c () =
+  header "Fig 16(c): Architecture sensitivity (batch 32) — perf and speedup-vs-PyTorch, normalized to Volta"
+    [ "model"; "perfV:A:H"; "suV:A:H" ];
+  let batch = if !quick then 1 else 32 in
+  let seq = if !quick then 128 else 512 in
+  let models =
+    if !quick then [ Ir.Models.bert ~batch ~seq ] else Ir.Models.all_models ~batch ~seq
+  in
+  List.iter
+    (fun (model : Ir.Models.model) ->
+      let per_arch arch =
+        let l b = (Runtime.Model_runner.run_model ~cache ~arch b model).Runtime.Model_runner.m_latency in
+        let sf = l B.spacefusion in
+        (1.0 /. sf, l B.pytorch /. sf)
+      in
+      let stats = List.map per_arch (archs ()) in
+      let p0, s0 = List.hd stats in
+      Printf.printf "%-10s  perf %s   su %s\n" model.model_name
+        (String.concat ":" (List.map (fun (p, _) -> Printf.sprintf "%.2f" (p /. p0)) stats))
+        (String.concat ":" (List.map (fun (_, s) -> Printf.sprintf "%.2f" (s /. s0)) stats)))
+    models
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: compilation-time breakdown for MHA                         *)
+(* ------------------------------------------------------------------ *)
+
+let tab4 () =
+  header "Table 4: Compilation time breakdown (MHA)"
+    [ "workload"; "TS(ms)"; "enumCfg(ms)"; "SS(ms)"; "Tuning(ms)"; "Total(ms)"; "cfgs"; "early-quit" ];
+  let arch = Gpu.Arch.ampere in
+  let cases = if !quick then [ (32, 256) ] else [ (32, 1024); (32, 256) ] in
+  List.iter
+    (fun (batch, seq) ->
+      let g = Ir.Models.mha ~batch_heads:(batch * 12) ~seq_q:seq ~seq_kv:seq ~head_dim:64 () in
+      let c = Core.Spacefusion.compile ~arch ~name:"mha" g in
+      let s = c.Core.Spacefusion.c_stats in
+      Printf.printf "MHA(%d,%d) %10.3f %10.3f %10.3f %10.3f %10.3f %6d %6d\n" batch seq
+        (s.Core.Cstats.t_ts *. 1e3) (s.Core.Cstats.t_enum *. 1e3) (s.Core.Cstats.t_ss *. 1e3)
+        (s.Core.Cstats.t_tune *. 1e3) (s.Core.Cstats.t_total *. 1e3) s.Core.Cstats.n_cfgs
+        s.Core.Cstats.n_early_quit)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: model compilation time                                     *)
+(* ------------------------------------------------------------------ *)
+
+let tab5 () =
+  header "Table 5: Model compilation time (s)"
+    [ "model"; "BladeDISC"; "TensorRT"; "SpaceFusion" ];
+  let arch = Gpu.Arch.ampere in
+  let batch = if !quick then 1 else 32 in
+  let seq = if !quick then 128 else 512 in
+  let models =
+    if !quick then [ Ir.Models.bert ~batch ~seq ]
+    else [ Ir.Models.bert ~batch ~seq; Ir.Models.vit ~batch ~image:224; Ir.Models.t5 ~batch ~seq ]
+  in
+  List.iter
+    (fun (model : Ir.Models.model) ->
+      let compile_s b =
+        (* No cache here: this experiment measures compile wall-clock. *)
+        (Runtime.Model_runner.run_model ~arch b model).Runtime.Model_runner.m_compile_s
+      in
+      Printf.printf "%-10s %10.3f %10.3f %10.3f\n" model.model_name (compile_s B.bladedisc)
+        (compile_s B.tensorrt) (compile_s B.spacefusion))
+    models
+
+(* ------------------------------------------------------------------ *)
+(* Table 6: fusion-pattern census                                      *)
+(* ------------------------------------------------------------------ *)
+
+let tab6 () =
+  header "Table 6: Fusion patterns discovered (subgraphs with >= 2 All-to-Ones)"
+    [ "policy"; "total"; "CI-only"; "MI-only"; "CI+MI"; "instances-fused-whole" ];
+  let arch = Gpu.Arch.ampere in
+  let batch = if !quick then 1 else 8 in
+  let seq = if !quick then 64 else 256 in
+  (* The model zoo plus the standalone evaluated structures (§6.6's "9 types
+     of models and structures"). *)
+  let extra =
+    {
+      Ir.Models.model_name = "subgraphs";
+      subprograms =
+        [
+          { Ir.Models.sp_name = "mlp"; graph = Ir.Models.mlp ~layers:4 ~m:256 ~n:256 ~k:256; count = 1 };
+          { sp_name = "lstm"; graph = Ir.Models.lstm_cell ~m:256 ~hidden:512 ~input:512; count = 1 };
+          { sp_name = "ln"; graph = Ir.Models.layernorm_graph ~m:1024 ~n:1024; count = 1 };
+          { sp_name = "softmax_gemm"; graph = Ir.Models.softmax_gemm ~m:256 ~l:512 ~n:64; count = 1 };
+        ];
+    }
+  in
+  (* §6.6 counts distinct patterns across 14 compiled instances of 9 model/
+     structure types: sweep sizes so capability gaps (e.g. Welder at long
+     sequences) show up as missing patterns. *)
+  let models =
+    Ir.Models.all_models ~batch ~seq
+    @ (if !quick then [] else Ir.Models.all_models ~batch:1 ~seq:2048)
+    @ [ extra ]
+  in
+  List.iter
+    (fun (name, policy) ->
+      let c = Runtime.Patterns.census_of_models ~arch policy models in
+      Printf.printf "%-12s %6d %8d %8d %7d %10d\n" name c.Runtime.Patterns.total
+        c.Runtime.Patterns.ci_only c.Runtime.Patterns.mi_only c.Runtime.Patterns.ci_and_mi
+        c.Runtime.Patterns.whole)
+    [ ("SpaceFusion", B.spacefusion); ("Welder", B.welder); ("AStitch", B.astitch) ]
+
+(* ------------------------------------------------------------------ *)
+(* Design-choice ablations (DESIGN.md)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ablate () =
+  let arch = Gpu.Arch.ampere in
+  header "Ablation: early-quit α (§6.5) — emulated sequential tuning of the MHA search space"
+    [ "alpha"; "evaluated"; "aborted"; "best kept?" ];
+  let g =
+    if !quick then Ir.Models.mha ~batch_heads:24 ~seq_q:128 ~seq_kv:128 ~head_dim:64 ()
+    else Ir.Models.mha ~batch_heads:(32 * 12) ~seq_q:1024 ~seq_kv:1024 ~head_dim:64 ()
+  in
+  let smg = Core.Smg.build g in
+  let tensor_of = Core.Spacefusion.tensor_name ~name:"mha" g in
+  let device = Gpu.Device.create () in
+  List.iter
+    (fun (n : Ir.Graph.node) ->
+      match n.kind with
+      | Ir.Graph.Const _ -> ()
+      | _ -> Gpu.Device.declare device (tensor_of n.id) n.shape)
+    (Ir.Graph.nodes g);
+  let scheds = Core.Auto_scheduler.run arch smg ~name:"mha" ~tensor_of in
+  let costs =
+    List.concat_map
+      (fun { Core.Auto_scheduler.schedule; cfgs } ->
+        List.filter_map
+          (fun cfg ->
+            match Core.Lower.lower schedule cfg ~name:"mha" ~tensor_of with
+            | exception Core.Lower.Unlowerable _ -> None
+            | k -> Some (Core.Tuner.kernel_cost arch device k))
+          cfgs)
+      scheds
+  in
+  let true_best = List.fold_left Float.min infinity costs in
+  List.iter
+    (fun alpha ->
+      (* The paper aborts a configuration whose accumulated test time
+         exceeds α⁻¹ × the best total so far. *)
+      let best = ref infinity and aborted = ref 0 in
+      List.iter
+        (fun c ->
+          if c > !best /. alpha then incr aborted;
+          if c < !best then best := c)
+        costs;
+      Printf.printf "α=%-5.2f %9d %9d   %s\n" alpha (List.length costs) !aborted
+        (if !best = true_best then "yes" else "NO"))
+    [ 0.1; 0.25; 0.5; 1.0 ];
+  header "Ablation: buffer pooling — fused-MLP on-chip footprint with/without sharing"
+    [ "layers"; "pooled(KB)"; "unpooled(KB)"; "pooled feasible?"; "unpooled feasible?" ];
+  List.iter
+    (fun layers ->
+      let g = Ir.Models.mlp ~layers ~m:256 ~n:128 ~k:128 in
+      let smg = Core.Smg.build g in
+      let tensor_of = Core.Spacefusion.tensor_name ~name:"mlp" g in
+      let spatial = Core.Analysis.spatial_dims smg in
+      let schedule = Core.Schedule.make smg ~spatial ~temporal:None in
+      let cfg = { Core.Schedule.blocks = List.map (fun d -> (d, 32)) schedule.tiled_dims; tile = None } in
+      let footprint pool =
+        match Core.Lower.lower ~pool schedule cfg ~name:"mlp" ~tensor_of with
+        | exception Core.Lower.Unlowerable _ -> None
+        | k -> Some (Gpu.Kernel.smem_bytes k + Gpu.Kernel.reg_bytes k)
+      in
+      let show = function None -> "n/a" | Some b -> string_of_int (b / 1024) in
+      let fits = function
+        | Some b -> if b <= arch.Gpu.Arch.smem_per_block + (arch.Gpu.Arch.regs_per_block * 4) then "yes" else "no"
+        | None -> "n/a"
+      in
+      let p = footprint true and u = footprint false in
+      Printf.printf "L=%-4d %10s %12s %14s %16s\n" layers (show p) (show u) (fits p) (fits u))
+    (if !quick then [ 4 ] else [ 2; 4; 8; 16; 20 ])
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the compiler itself                    *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_compile () =
+  header "Bechamel: compiler micro-benchmarks (wall-clock per call)" [];
+  let open Bechamel in
+  let arch = Gpu.Arch.ampere in
+  let mha = Ir.Models.mha ~batch_heads:64 ~seq_q:256 ~seq_kv:256 ~head_dim:64 () in
+  let ln = Ir.Models.layernorm_graph ~m:2048 ~n:2048 in
+  let tests =
+    Test.make_grouped ~name:"compiler"
+      [
+        Test.make ~name:"smg-build(mha)" (Staged.stage (fun () -> ignore (Core.Smg.build mha)));
+        Test.make ~name:"update-fn(mha)"
+          (Staged.stage (fun () ->
+               let smg = Core.Smg.build mha in
+               let spatial = Core.Analysis.spatial_dims smg in
+               let d = List.hd (Core.Analysis.temporal_candidates smg ~spatial) in
+               ignore (Core.Update_fn.analyze smg ~dim:d)));
+        Test.make ~name:"compile(mha)"
+          (Staged.stage (fun () -> ignore (Core.Spacefusion.compile ~arch ~name:"m" mha)));
+        Test.make ~name:"compile(ln)"
+          (Staged.stage (fun () -> ignore (Core.Spacefusion.compile ~arch ~name:"l" ln)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second (if !quick then 0.2 else 1.0)) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-24s %12.1f ns/call\n" name est
+      | _ -> Printf.printf "%-24s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig11a", "Fused MLP layers (Fig 11a)", fig11a);
+    ("fig11b", "Fused LSTM cell (Fig 11b)", fig11b);
+    ("fig12", "Fused LayerNorm (Fig 12)", fig12);
+    ("fig13", "Fused MHA (Fig 13)", fig13);
+    ("fig14", "End-to-end models (Fig 14)", fig14);
+    ("fig15", "Memory & cache analysis (Fig 15)", fig15);
+    ("fig16a", "Ablation (Fig 16a)", fig16a);
+    ("fig16b", "Input-size sensitivity (Fig 16b)", fig16b);
+    ("fig16c", "Architecture sensitivity (Fig 16c)", fig16c);
+    ("tab4", "Compile-time breakdown (Table 4)", tab4);
+    ("tab5", "Model compile time (Table 5)", tab5);
+    ("tab6", "Fusion-pattern census (Table 6)", tab6);
+    ("ablate", "Design-choice ablations (early-quit α, buffer pooling)", ablate);
+    ("bechamel", "Compiler micro-benchmarks", bechamel_compile);
+  ]
+
+let () =
+  let only = ref [] in
+  let list_only = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--list" :: rest ->
+        list_only := true;
+        parse rest
+    | "--only" :: id :: rest ->
+        only := id :: !only;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %S\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list_only then
+    List.iter (fun (id, desc, _) -> Printf.printf "%-10s %s\n" id desc) experiments
+  else begin
+    let selected =
+      if !only = [] then experiments
+      else
+        List.filter (fun (id, _, _) -> List.mem id !only) experiments
+    in
+    if selected = [] then begin
+      Printf.eprintf "no matching experiment; use --list\n";
+      exit 2
+    end;
+    List.iter
+      (fun (id, desc, f) ->
+        Printf.printf "\n==================== %s: %s ====================\n" id desc;
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Printf.printf "[%s done in %.1f s]\n%!" id (Unix.gettimeofday () -. t0))
+      selected
+  end

@@ -1,0 +1,209 @@
+(* SpaceFusion command-line interface.
+
+     spacefusion compile --workload mha --seq 512    # show schedule & kernels
+     spacefusion run --workload layernorm --rows 2048 # verify + simulate
+     spacefusion bench --workload mha --arch hopper  # compare backends
+     spacefusion patterns                             # Table-6 style census *)
+
+open Cmdliner
+
+let arch_conv =
+  let parse s =
+    match Gpu.Arch.by_name s with
+    | a -> Ok a
+    | exception Not_found -> Error (`Msg (Printf.sprintf "unknown architecture %S" s))
+  in
+  Arg.conv (parse, fun fmt (a : Gpu.Arch.t) -> Format.pp_print_string fmt a.name)
+
+let arch_arg =
+  Arg.(value & opt arch_conv Gpu.Arch.ampere & info [ "arch" ] ~doc:"volta | ampere | hopper")
+
+(* Workload construction ------------------------------------------------ *)
+
+let workload_doc =
+  "mha | layernorm | rmsnorm | batchnorm | softmax | softmax_gemm | mlp | lstm | qkv | ffn, or \
+   file:PATH to load a graph in the textual format (see lib/ir/parse.mli)"
+
+let workload_arg = Arg.(value & opt string "mha" & info [ "workload"; "w" ] ~doc:workload_doc)
+let m_arg = Arg.(value & opt int 1024 & info [ "rows"; "m" ] ~doc:"rows (also -m)")
+let n_arg = Arg.(value & opt int 1024 & info [ "cols"; "n" ] ~doc:"columns / hidden width (also -n)")
+let seq_arg = Arg.(value & opt int 512 & info [ "seq" ] ~doc:"sequence length")
+let batch_arg = Arg.(value & opt int 8 & info [ "batch" ] ~doc:"batch size")
+let layers_arg = Arg.(value & opt int 4 & info [ "layers" ] ~doc:"MLP depth")
+
+let build_workload workload ~m ~n ~seq ~batch ~layers =
+  if String.length workload > 5 && String.sub workload 0 5 = "file:" then
+    let path = String.sub workload 5 (String.length workload - 5) in
+    match Ir.Parse.parse_file path with
+    | Ok g -> g
+    | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+  else
+  match String.lowercase_ascii workload with
+  | "mha" -> Ir.Models.mha ~batch_heads:(batch * 12) ~seq_q:seq ~seq_kv:seq ~head_dim:64 ()
+  | "layernorm" | "ln" -> Ir.Models.layernorm_graph ~m ~n
+  | "rmsnorm" -> Ir.Models.rmsnorm_graph ~m ~n
+  | "batchnorm" | "bn" -> Ir.Models.batchnorm_graph ~m ~n
+  | "softmax" -> Ir.Models.softmax_graph ~m ~n
+  | "softmax_gemm" -> Ir.Models.softmax_gemm ~m ~l:n ~n:64
+  | "mlp" -> Ir.Models.mlp ~layers ~m ~n:256 ~k:256
+  | "lstm" -> Ir.Models.lstm_cell ~m ~hidden:n ~input:n
+  | "qkv" -> Ir.Models.qkv_proj ~m ~hidden:n
+  | "ffn" -> Ir.Models.ffn_ln ~m ~hidden:n ~ffn:(4 * n) ~act:`Gelu ~norm:`Layernorm
+  | other -> failwith (Printf.sprintf "unknown workload %S (%s)" other workload_doc)
+
+(* explain ---------------------------------------------------------------- *)
+
+let explain_cmd =
+  let run workload m n seq batch layers =
+    let g = build_workload workload ~m ~n ~seq ~batch ~layers in
+    let smg = Core.Smg.build g in
+    let fs = Core.Smg.fused smg in
+    Format.printf "== SMG ==@.%a@." Core.Smg.pp smg;
+    Format.printf "consistent fused space: %b@." (Core.Smg.consistent smg);
+    Format.printf "@.== Table-3 classification per dimension ==@.";
+    Format.printf "%-6s %-8s %-10s %-10s %-6s %-10s %-9s %s@." "dim" "extent" "input-O2A"
+      "other-O2A" "A2O" "all-iters?" "spatial?" "A2O chain";
+    let spatial = Core.Analysis.spatial_dims smg in
+    for d = 0 to Core.Fusedspace.num_dims fs - 1 do
+      let info = Core.Analysis.dim_info smg d in
+      let chain =
+        match Core.Analysis.classify_a2o smg ~dim:d with
+        | Core.Analysis.No_a2o -> "-"
+        | Core.Analysis.Independent ns -> Printf.sprintf "independent (%d)" (List.length ns)
+        | Core.Analysis.Dependent ns -> Printf.sprintf "dependent (%d)" (List.length ns)
+      in
+      Format.printf "%-6s %-8d %-10d %-10d %-6d %-10b %-9b %s@."
+        (Core.Fusedspace.dim_name fs d) (Core.Fusedspace.dim_extent fs d)
+        (List.length info.Core.Analysis.input_o2a)
+        (List.length info.Core.Analysis.other_o2a)
+        (List.length info.Core.Analysis.a2o)
+        info.Core.Analysis.in_all_iters (List.mem d spatial) chain
+    done;
+    Format.printf "@.== Temporal slicing analysis ==@.";
+    List.iter
+      (fun d ->
+        match Core.Update_fn.analyze smg ~dim:d with
+        | None ->
+            Format.printf "dim %s: chain does not simplify (unsliceable)@."
+              (Core.Fusedspace.dim_name fs d)
+        | Some plan ->
+            Format.printf "dim %s:%s@." (Core.Fusedspace.dim_name fs d)
+              (if plan.Core.Update_fn.two_pass then " two-pass" else " single-pass");
+            List.iter
+              (fun (node, rp) ->
+                Format.printf "  reduction %%%d: %s@." node (Core.Update_fn.rplan_to_string rp))
+              plan.Core.Update_fn.reductions)
+      (Core.Analysis.temporal_candidates smg ~spatial)
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Dump the SMG, the Table-3 dimension classification and the slicing analysis")
+    Term.(const run $ workload_arg $ m_arg $ n_arg $ seq_arg $ batch_arg $ layers_arg)
+
+(* compile --------------------------------------------------------------- *)
+
+let compile_cmd =
+  let run arch workload m n seq batch layers verbose triton =
+    let g = build_workload workload ~m ~n ~seq ~batch ~layers in
+    let c = Core.Spacefusion.compile ~arch ~name:workload g in
+    Format.printf "== SMG ==@.%a@." Core.Smg.pp c.Core.Spacefusion.c_smg;
+    Format.printf "== schedule ==@.";
+    List.iteri
+      (fun i (ch : Core.Spacefusion.kernel_choice) ->
+        Format.printf "kernel %d: %s %s  (tuned cost %.2f us)@." i
+          (Core.Schedule.describe ch.kc_schedule)
+          (Core.Schedule.cfg_to_string ch.kc_cfg)
+          (ch.kc_cost *. 1e6);
+        (match ch.kc_schedule.Core.Schedule.temporal with
+        | Some plan ->
+            List.iter
+              (fun (node, rp) ->
+                Format.printf "  reduction %%%d: %s@." node (Core.Update_fn.rplan_to_string rp))
+              plan.Core.Update_fn.reductions
+        | None -> ());
+        if verbose then Format.printf "%a@." Gpu.Kernel.pp ch.kc_kernel)
+      c.Core.Spacefusion.c_choices;
+    Format.printf "== compile stats ==@.%a@." Core.Cstats.pp c.Core.Spacefusion.c_stats;
+    if triton then
+      Format.printf "@.== Triton-style source ==@.%s@."
+        (Core.Emit_triton.emit_plan c.Core.Spacefusion.c_plan)
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print lowered kernels") in
+  let triton = Arg.(value & flag & info [ "emit-triton" ] ~doc:"render pseudo-Triton source") in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a workload and print the schedule")
+    Term.(
+      const run $ arch_arg $ workload_arg $ m_arg $ n_arg $ seq_arg $ batch_arg $ layers_arg
+      $ verbose $ triton)
+
+(* run ------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run arch workload m n seq batch layers =
+    let g = build_workload workload ~m ~n ~seq ~batch ~layers in
+    let c = Core.Spacefusion.compile ~arch ~name:workload g in
+    (match Runtime.Verify.verify_plan ~arch ~name:workload g c.Core.Spacefusion.c_plan with
+    | Ok () -> print_endline "verification: OK (fused outputs match the reference interpreter)"
+    | Error msg ->
+        Printf.printf "verification: FAILED — %s\n" msg;
+        exit 1);
+    let device = Gpu.Device.create () in
+    let r = Runtime.Runner.run_plan ~arch ~dispatch_us:3.0 device c.Core.Spacefusion.c_plan in
+    Format.printf "simulated: %a@." Runtime.Runner.pp r
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile, verify against the reference, and simulate")
+    Term.(const run $ arch_arg $ workload_arg $ m_arg $ n_arg $ seq_arg $ batch_arg $ layers_arg)
+
+(* bench ----------------------------------------------------------------- *)
+
+let bench_cmd =
+  let run arch workload m n seq batch layers =
+    let g = build_workload workload ~m ~n ~seq ~batch ~layers in
+    let base = ref None in
+    List.iter
+      (fun (b : Backends.Policy.t) ->
+        if b.supports arch then
+          match b.compile arch ~name:workload g with
+          | exception _ -> Printf.printf "%-22s (compile failed)\n" b.be_name
+          | plan ->
+              let device = Gpu.Device.create () in
+              let r = Runtime.Runner.run_plan ~arch ~dispatch_us:b.dispatch_us device plan in
+              let su =
+                match !base with
+                | None ->
+                    base := Some r.Runtime.Runner.r_time;
+                    1.0
+                | Some t -> t /. r.Runtime.Runner.r_time
+              in
+              Printf.printf "%-22s %10.2f us  %3d kernels  %6.2fx\n" b.be_name
+                (r.Runtime.Runner.r_time *. 1e6) r.Runtime.Runner.r_kernels su)
+      Backends.Baselines.all
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Compare all backends on one workload")
+    Term.(const run $ arch_arg $ workload_arg $ m_arg $ n_arg $ seq_arg $ batch_arg $ layers_arg)
+
+(* patterns --------------------------------------------------------------- *)
+
+let patterns_cmd =
+  let run arch =
+    let models = Ir.Models.all_models ~batch:8 ~seq:256 in
+    List.iter
+      (fun (name, p) ->
+        let c = Runtime.Patterns.census_of_models ~arch p models in
+        Format.printf "%-12s %a@." name Runtime.Patterns.pp c)
+      [
+        ("SpaceFusion", Backends.Baselines.spacefusion);
+        ("Welder", Backends.Baselines.welder);
+        ("AStitch", Backends.Baselines.astitch);
+      ]
+  in
+  Cmd.v (Cmd.info "patterns" ~doc:"Fusion-pattern census across the model zoo") Term.(const run $ arch_arg)
+
+let () =
+  if Sys.getenv_opt "SPACEFUSION_DEBUG" <> None then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level Core.Log.src (Some Logs.Debug)
+  end;
+  let info = Cmd.info "spacefusion" ~doc:"SpaceFusion operator-fusion scheduler (simulated GPUs)" in
+  exit (Cmd.eval (Cmd.group info [ explain_cmd; compile_cmd; run_cmd; bench_cmd; patterns_cmd ]))

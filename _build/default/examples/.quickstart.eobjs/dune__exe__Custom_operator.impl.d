@@ -1,0 +1,1 @@
+examples/custom_operator.ml: Backends Core Gpu Ir List Printf Runtime

@@ -1,0 +1,1 @@
+examples/fused_attention.ml: Backends Core Format Gpu Ir List Printf Runtime String

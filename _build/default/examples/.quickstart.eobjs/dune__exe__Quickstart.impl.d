@@ -1,0 +1,1 @@
+examples/quickstart.ml: Backends Core Format Gpu Ir List Printf Runtime

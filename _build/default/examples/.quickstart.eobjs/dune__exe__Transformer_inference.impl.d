@@ -1,0 +1,1 @@
+examples/transformer_inference.ml: Backends Format Gpu Ir List Printf Runtime

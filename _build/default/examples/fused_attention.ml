@@ -1,0 +1,71 @@
+(* Deep dive into the paper's flagship workload: multi-head attention.
+
+   Shows the Space-Mapping Graph, the slicing decisions the auto-scheduler
+   takes (spatial over batch×heads and query rows, temporal over key rows),
+   the automatically generated Update Functions (Fig 8's updateSum /
+   updateOut, i.e. online softmax discovered from first principles), and a
+   comparison with the FlashAttention baselines across sequence lengths.
+
+     dune exec examples/fused_attention.exe *)
+
+let arch = Gpu.Arch.ampere
+
+let () =
+  let g = Ir.Models.mha ~batch_heads:16 ~seq_q:256 ~seq_kv:256 ~head_dim:64 () in
+  let smg = Core.Smg.build g in
+
+  print_endline "== Space-Mapping Graph for MHA ==";
+  Format.printf "%a@." Core.Smg.pp smg;
+
+  (* Slicing analysis (§4.2 / §4.3). *)
+  let fs = Core.Smg.fused smg in
+  let spatial = Core.Analysis.spatial_dims smg in
+  Printf.printf "spatially sliceable dims : %s\n"
+    (String.concat ", " (List.map (Core.Fusedspace.dim_name fs) spatial));
+  let candidates = Core.Analysis.temporal_candidates smg ~spatial in
+  let tdim = List.hd candidates in
+  Printf.printf "temporal priority dim    : %s (extent %d)\n"
+    (Core.Fusedspace.dim_name fs tdim)
+    (Core.Fusedspace.dim_extent fs tdim);
+
+  (match Core.Analysis.classify_a2o smg ~dim:tdim with
+  | Core.Analysis.Dependent reducers ->
+      Printf.printf "All-to-Ones along it     : dependent chain of %d reductions\n"
+        (List.length reducers)
+  | _ -> assert false);
+
+  (* Update-function generation: the paper's Fig 8 output. *)
+  print_endline "\n== Generated Update Functions (broadcast postposition + monomial extraction) ==";
+  (match Core.Update_fn.analyze smg ~dim:tdim with
+  | None -> assert false
+  | Some plan ->
+      List.iter
+        (fun (node, rp) ->
+          Printf.printf "  reduction %%%d: %s\n" node (Core.Update_fn.rplan_to_string rp))
+        plan.Core.Update_fn.reductions);
+
+  (* Correctness: the generated streaming schedule is exact, not an
+     approximation. *)
+  let compiled = Core.Spacefusion.compile ~arch ~name:"mha" g in
+  (match Runtime.Verify.verify_plan ~arch ~name:"mha" g compiled.Core.Spacefusion.c_plan with
+  | Ok () -> print_endline "\nfused attention == exact softmax(QKᵀ/√d)·V on random inputs"
+  | Error m -> failwith m);
+
+  (* Performance vs the hand-tuned FlashAttention family. *)
+  print_endline "\n== Simulated performance (batch 32 x 12 heads, d=64, Ampere) ==";
+  Printf.printf "%-8s %12s %12s %12s %12s\n" "seq" "PyTorch" "FlashAttn" "FlashAttn2" "SpaceFusion";
+  List.iter
+    (fun seq ->
+      let g = Ir.Models.mha ~batch_heads:(32 * 12) ~seq_q:seq ~seq_kv:seq ~head_dim:64 () in
+      let t (b : Backends.Policy.t) =
+        let plan = b.compile arch ~name:"mha" g in
+        let device = Gpu.Device.create () in
+        (Runtime.Runner.run_plan ~arch ~dispatch_us:b.dispatch_us device plan).Runtime.Runner.r_time
+        *. 1e6
+      in
+      Printf.printf "%-8d %10.1fus %10.1fus %10.1fus %10.1fus\n" seq
+        (t Backends.Baselines.pytorch)
+        (t Backends.Baselines.flash_attention)
+        (t Backends.Baselines.flash_attention2)
+        (t Backends.Baselines.spacefusion))
+    [ 128; 512; 2048 ]

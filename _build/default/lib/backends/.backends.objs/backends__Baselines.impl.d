@@ -1,0 +1,1 @@
+lib/backends/baselines.ml: Core Gpu List Policy String

@@ -1,0 +1,1 @@
+lib/backends/baselines.mli: Core Policy

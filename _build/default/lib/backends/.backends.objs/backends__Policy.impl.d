@@ -1,0 +1,1 @@
+lib/backends/policy.ml: Core Gpu Hashtbl Ir List Option Printf

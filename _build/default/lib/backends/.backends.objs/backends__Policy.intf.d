@@ -1,0 +1,1 @@
+lib/backends/policy.mli: Core Gpu Ir

@@ -1,0 +1,163 @@
+module AS = Core.Auto_scheduler
+
+let any_arch (_ : Gpu.Arch.t) = true
+
+let fixed ?(temporal = true) block tile =
+  { AS.full with AS.use_temporal = temporal; use_tuning = false; fixed_block = block;
+    fixed_tile = tile }
+
+(* ------------------------------------------------------------------ *)
+(* Eager / library execution                                           *)
+(* ------------------------------------------------------------------ *)
+
+let eager_compile arch ~name g = Policy.compile_groups arch ~name g (Policy.singletons g)
+
+let pytorch =
+  { Policy.be_name = "PyTorch"; dispatch_us = 8.0; supports = any_arch; compile = eager_compile }
+
+let cublas =
+  { Policy.be_name = "cuBLAS"; dispatch_us = 6.0; supports = any_arch; compile = eager_compile }
+
+let cublaslt =
+  {
+    Policy.be_name = "cuBLASLt";
+    dispatch_us = 6.0;
+    supports = any_arch;
+    compile = (fun arch ~name g -> Policy.compile_groups arch ~name g (Policy.epilogue_groups g));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Hand-tuned fused kernels for specific patterns                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Fuse the whole subprogram with a fixed configuration when it matches the
+   pattern the hand-tuned library covers; otherwise run eagerly. *)
+let pattern_backend ~be_name ~dispatch_us ?(supports = any_arch) ~matches ~variant () =
+  {
+    Policy.be_name;
+    dispatch_us;
+    supports;
+    compile =
+      (fun arch ~name g ->
+        if matches g then
+          (Core.Spacefusion.compile ~variant ~arch ~name g).Core.Spacefusion.c_plan
+        else eager_compile arch ~name g);
+  }
+
+let torch_op_ln =
+  pattern_backend ~be_name:"PyTorch Op" ~dispatch_us:8.0 ~matches:Policy.is_norm_like
+    ~variant:(fixed 16 256) ()
+
+let apex_ln =
+  pattern_backend ~be_name:"NVIDIA Apex" ~dispatch_us:8.0 ~matches:Policy.is_norm_like
+    ~variant:(fixed 32 1024) ()
+
+let ln_triton =
+  (* The Triton tutorial kernel keeps the whole row on chip: no temporal
+     slicing. Once rows outgrow the budget the compile partitions, exactly
+     like the real kernel stops applying. *)
+  pattern_backend ~be_name:"LN Triton" ~dispatch_us:8.0 ~matches:Policy.is_norm_like
+    ~variant:(fixed ~temporal:false 16 64) ()
+
+let flash_attention =
+  pattern_backend ~be_name:"FlashAttention" ~dispatch_us:8.0
+    ~supports:(fun a -> a.Gpu.Arch.name <> "Volta")
+    ~matches:Policy.is_mha_like ~variant:(fixed 64 64) ()
+
+let flash_attention_triton =
+  pattern_backend ~be_name:"FlashAttention Triton" ~dispatch_us:8.0 ~matches:Policy.is_mha_like
+    ~variant:(fixed 128 64) ()
+
+let flash_attention2 =
+  pattern_backend ~be_name:"FlashAttention 2" ~dispatch_us:8.0
+    ~supports:(fun a -> a.Gpu.Arch.name <> "Volta")
+    ~matches:Policy.is_mha_like ~variant:(fixed 128 128) ()
+
+(* ------------------------------------------------------------------ *)
+(* Compilers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let astitch_compile arch ~name g = Policy.compile_groups arch ~name g (Policy.mi_runs g)
+
+let astitch =
+  { Policy.be_name = "AStitch"; dispatch_us = 4.0; supports = any_arch; compile = astitch_compile }
+
+(* Welder aligns tiles and schedules serial loops, but performs no
+   dependency transformation: streaming and simple aggregation only. *)
+let welder_variant = { AS.full with AS.use_uta = false }
+
+let welder_compile arch ~name g =
+  (Core.Spacefusion.compile ~variant:welder_variant ~arch ~name g).Core.Spacefusion.c_plan
+
+let welder =
+  { Policy.be_name = "Welder"; dispatch_us = 2.5; supports = any_arch; compile = welder_compile }
+
+let bladedisc =
+  {
+    astitch with
+    Policy.be_name = "BladeDISC";
+    supports = (fun a -> a.Gpu.Arch.name <> "Hopper");
+  }
+
+let nnfusion =
+  {
+    welder with
+    Policy.be_name = "NNFusion";
+    supports = (fun a -> a.Gpu.Arch.name = "Volta");
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Inference engines (composites of hand-tuned kernels)                *)
+(* ------------------------------------------------------------------ *)
+
+let composite ~mha_variant ~norm_variant arch ~name g =
+  if Policy.is_mha_like g then
+    (Core.Spacefusion.compile ~variant:mha_variant ~arch ~name g).Core.Spacefusion.c_plan
+  else if Policy.is_norm_like g then
+    (Core.Spacefusion.compile ~variant:norm_variant ~arch ~name g).Core.Spacefusion.c_plan
+  else Policy.compile_groups arch ~name g (Policy.epilogue_groups g)
+
+let tensorrt =
+  {
+    Policy.be_name = "TensorRT";
+    dispatch_us = 2.0;
+    supports = any_arch;
+    compile = composite ~mha_variant:(fixed 128 128) ~norm_variant:(fixed 32 512);
+  }
+
+let kernl =
+  {
+    Policy.be_name = "Kernl";
+    dispatch_us = 3.0;
+    supports = any_arch;
+    compile = composite ~mha_variant:(fixed 128 64) ~norm_variant:(fixed 16 256);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* SpaceFusion                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let spacefusion_variant ~name variant =
+  {
+    Policy.be_name = name;
+    dispatch_us = 3.0;
+    supports = any_arch;
+    compile =
+      (fun arch ~name g ->
+        (Core.Spacefusion.compile ~variant ~arch ~name g).Core.Spacefusion.c_plan);
+  }
+
+let spacefusion = spacefusion_variant ~name:"SpaceFusion" AS.full
+
+let all =
+  [
+    pytorch; cublas; cublaslt; torch_op_ln; apex_ln; ln_triton; flash_attention;
+    flash_attention_triton; flash_attention2; astitch; welder; bladedisc; nnfusion; tensorrt;
+    kernl; spacefusion;
+  ]
+
+let by_name s =
+  let s = String.lowercase_ascii s in
+  match List.find_opt (fun b -> String.lowercase_ascii b.Policy.be_name = s) all with
+  | Some b -> b
+  | None -> raise Not_found

@@ -1,0 +1,67 @@
+(** The evaluation's baseline systems (§6), each as a scheduling policy over
+    the shared simulator. What each one can and cannot fuse follows the
+    paper's description; tile configurations are hand-fixed where the
+    original is a hand-tuned kernel and tuned where the original tunes. *)
+
+val pytorch : Policy.t
+(** Eager execution: one tuned kernel per operator, high dispatch cost. *)
+
+val cublas : Policy.t
+(** Library calls: one kernel per operator, lower dispatch cost. *)
+
+val cublaslt : Policy.t
+(** GEMM + ≤2-op element-wise epilogue fusion. *)
+
+val torch_op_ln : Policy.t
+(** PyTorch's pre-fused LayerNorm CUDA kernel (fixed two-pass tiling);
+    everything that is not a norm runs eagerly. *)
+
+val apex_ln : Policy.t
+(** NVIDIA Apex fused LayerNorm (different fixed tiling). *)
+
+val ln_triton : Policy.t
+(** Triton tutorial LayerNorm: whole row on chip, no serial slicing — falls
+    apart (splits into several kernels) once rows outgrow the on-chip
+    budget. *)
+
+val flash_attention : Policy.t
+(** FlashAttention CUDA kernels (fixed 64-wide tiling); unavailable on
+    Volta, as in the paper. Non-attention subgraphs run eagerly. *)
+
+val flash_attention_triton : Policy.t
+(** The Triton re-implementation (128-row blocks). *)
+
+val flash_attention2 : Policy.t
+(** FlashAttention-2's better work partitioning (128×128). *)
+
+val astitch : Policy.t
+(** BladeDISC: fuses memory-intensive runs only; GEMMs are barriers. *)
+
+val welder : Policy.t
+(** NNFusion: tile-graph alignment fuses across GEMMs but performs no
+    intra-operator dependency transformation (no temporal slicing/UTA), so
+    long-sequence attention falls back to split kernels. Unavailable on
+    Ampere/Hopper, as in the paper. *)
+
+val bladedisc : Policy.t
+(** AStitch packaged as the BladeDISC engine (its e2e deployment);
+    unavailable on Hopper, as in the paper. *)
+
+val nnfusion : Policy.t
+(** Welder packaged as the NNFusion engine. *)
+
+val tensorrt : Policy.t
+(** Hand-tuned engine: FlashAttention2-style attention, fused norms,
+    epilogue GEMMs, low dispatch cost. *)
+
+val kernl : Policy.t
+(** Triton engine: FlashAttention-Triton + Triton norms + eager rest, CUDA
+    Graphs dispatch. *)
+
+val spacefusion : Policy.t
+val spacefusion_variant : name:string -> Core.Auto_scheduler.variant -> Policy.t
+(** Ablation variants of §6.4. *)
+
+val all : Policy.t list
+val by_name : string -> Policy.t
+(** Raises [Not_found]. *)

@@ -1,0 +1,46 @@
+(** Baseline scheduling policies, re-expressed over the same simulator.
+
+    A policy differs from SpaceFusion in {i what it may fuse} (its grouping
+    of the DFG) and {i how it tiles} (tuned vs hand-fixed configurations),
+    plus its CPU-side per-kernel dispatch overhead (eager frameworks pay
+    ~8µs per launch; compiled engines batch launches). *)
+
+type t = {
+  be_name : string;
+  dispatch_us : float;  (** CPU-side overhead per kernel launch *)
+  supports : Gpu.Arch.t -> bool;
+  compile : Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t;
+}
+
+val compile_groups :
+  ?variant:Core.Auto_scheduler.variant ->
+  Gpu.Arch.t ->
+  name:string ->
+  Ir.Graph.t ->
+  Ir.Graph.node_id list list ->
+  Gpu.Plan.t
+(** Compile each fusion group (a set of compute nodes, in program order)
+    independently; tensors crossing group boundaries land in global memory
+    under the enclosing program's names, so plans stay interchangeable for
+    verification. *)
+
+(** {1 Grouping strategies} *)
+
+val singletons : Ir.Graph.t -> Ir.Graph.node_id list list
+(** One kernel per operator (eager execution). *)
+
+val epilogue_groups : ?max_epilogue:int -> Ir.Graph.t -> Ir.Graph.node_id list list
+(** GEMMs absorb up to [max_epilogue] (default 2) trailing element-wise
+    operators (cuBLASLt-style epilogue fusion); everything else is eager. *)
+
+val mi_runs : Ir.Graph.t -> Ir.Graph.node_id list list
+(** Maximal runs of memory-intensive operators fuse; every GEMM is a fusion
+    barrier (AStitch/BladeDISC-style). *)
+
+(** {1 Pattern detection (for composite inference engines)} *)
+
+val is_mha_like : Ir.Graph.t -> bool
+(** At least two matmuls with a max/exp/sum softmax chain in between. *)
+
+val is_norm_like : Ir.Graph.t -> bool
+(** A mean/sqr/sqrt normalization chain without any matmul. *)

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Bytes Fusedspace Ir List Smg

@@ -1,0 +1,1 @@
+lib/core/auto_scheduler.ml: Analysis Cstats Fusedspace Gpu List Log Lower Pexpr Schedule Smg Update_fn

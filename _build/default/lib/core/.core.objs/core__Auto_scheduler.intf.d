@@ -1,0 +1,1 @@
+lib/core/auto_scheduler.mli: Cstats Gpu Ir Schedule Smg

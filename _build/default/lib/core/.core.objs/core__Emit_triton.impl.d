@@ -1,0 +1,1 @@
+lib/core/emit_triton.ml: Array Buffer Float Gpu Ir List Printf String

@@ -1,0 +1,1 @@
+lib/core/emit_triton.mli: Gpu

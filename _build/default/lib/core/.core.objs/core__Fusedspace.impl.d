@@ -1,0 +1,1 @@
+lib/core/fusedspace.ml: Array Format Hashtbl Ir List Printf

@@ -1,0 +1,1 @@
+lib/core/fusedspace.mli: Format Ir

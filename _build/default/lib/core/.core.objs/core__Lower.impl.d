@@ -1,0 +1,1 @@
+lib/core/lower.ml: Array Float Fusedspace Gpu Hashtbl Ir List Option Pexpr Printf Schedule Smg Update_fn

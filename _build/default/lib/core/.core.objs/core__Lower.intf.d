@@ -1,0 +1,1 @@
+lib/core/lower.mli: Gpu Ir Schedule

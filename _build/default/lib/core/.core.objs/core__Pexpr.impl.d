@@ -1,0 +1,1 @@
+lib/core/pexpr.ml: Fusedspace Ir List Printf Smg

@@ -1,0 +1,1 @@
+lib/core/pexpr.mli: Ir Smg

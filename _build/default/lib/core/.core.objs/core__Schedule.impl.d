@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Fusedspace Ir List Printf Smg String Update_fn

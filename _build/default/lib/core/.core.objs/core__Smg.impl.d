@@ -1,0 +1,1 @@
+lib/core/smg.ml: Array Format Fusedspace Hashtbl Ir List Printf String

@@ -1,0 +1,1 @@
+lib/core/smg.mli: Format Fusedspace Ir

@@ -1,0 +1,1 @@
+lib/core/spacefusion.ml: Array Auto_scheduler Cstats Gpu Hashtbl Ir List Log Option Partition Printf Schedule Smg String Tuner Unix

@@ -1,0 +1,1 @@
+lib/core/spacefusion.mli: Auto_scheduler Cstats Gpu Ir Schedule Smg

@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Auto_scheduler Cstats Gpu List Lower

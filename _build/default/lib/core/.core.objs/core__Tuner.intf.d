@@ -1,0 +1,1 @@
+lib/core/tuner.mli: Auto_scheduler Cstats Gpu Ir Schedule

@@ -1,0 +1,1 @@
+lib/core/update_fn.ml: Analysis Fusedspace Ir List Pexpr Printf Smg String

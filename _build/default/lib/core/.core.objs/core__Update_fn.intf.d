@@ -1,0 +1,1 @@
+lib/core/update_fn.mli: Ir Pexpr Smg

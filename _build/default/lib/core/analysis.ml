@@ -1,0 +1,105 @@
+module G = Ir.Graph
+
+type dim_info = {
+  dim : int;
+  input_o2a : Smg.mapping list;
+  other_o2a : Smg.mapping list;
+  a2o : Smg.mapping list;
+  in_all_iters : bool;
+}
+
+let dim_info smg d =
+  let ms = Smg.mappings_along smg d in
+  let input_o2a, other_o2a, a2o =
+    List.fold_left
+      (fun (i, o, a) (m : Smg.mapping) ->
+        match m.mkind with
+        | Smg.O2O -> (i, o, a) (* O2O mappings carry no direction dims *)
+        | Smg.O2A ->
+            if Smg.is_input_space smg (Smg.space smg m.msrc) then (m :: i, o, a) else (i, m :: o, a)
+        | Smg.A2O _ -> (i, o, m :: a))
+      ([], [], []) ms
+  in
+  let in_all_iters =
+    List.for_all (fun (s : Smg.space) -> List.mem d s.sdims) (Smg.iter_spaces smg)
+  in
+  { dim = d; input_o2a = List.rev input_o2a; other_o2a = List.rev other_o2a;
+    a2o = List.rev a2o; in_all_iters }
+
+let spatially_sliceable smg d =
+  let info = dim_info smg d in
+  info.other_o2a = [] && info.a2o = [] && info.in_all_iters
+
+let spatial_dims smg =
+  let nd = Fusedspace.num_dims (Smg.fused smg) in
+  List.filter (spatially_sliceable smg) (List.init nd (fun i -> i))
+
+let temporal_candidates smg ~spatial =
+  (* Unlike spatial slicing, a serial intra-block loop tolerates iteration
+     spaces that do not extend along the dimension (scalar epilogue chains
+     such as LayerNorm's sqrt(var+eps) simply re-evaluate per intra-block),
+     so the only exclusion is the spatially-sliced dims themselves. *)
+  let nd = Fusedspace.num_dims (Smg.fused smg) in
+  let candidates = List.filter (fun d -> not (List.mem d spatial)) (List.init nd (fun i -> i)) in
+  List.sort
+    (fun a b -> compare (Smg.data_volume_along smg b) (Smg.data_volume_along smg a))
+    candidates
+
+(* ------------------------------------------------------------------ *)
+(* Reachability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ancestors_table g =
+  let n = G.num_nodes g in
+  let anc = Array.init n (fun _ -> Bytes.make n '\000') in
+  List.iter
+    (fun (node : G.node) ->
+      Bytes.set anc.(node.id) node.id '\001';
+      List.iter
+        (fun p ->
+          for i = 0 to n - 1 do
+            if Bytes.get anc.(p) i = '\001' then Bytes.set anc.(node.id) i '\001'
+          done)
+        (G.preds node))
+    (G.nodes g);
+  anc
+
+let reaches g a b =
+  let anc = ancestors_table g in
+  Bytes.get anc.(b) a = '\001'
+
+type a2o_class =
+  | No_a2o
+  | Independent of G.node_id list
+  | Dependent of G.node_id list
+
+let classify_a2o smg ~dim =
+  let info = dim_info smg dim in
+  match info.a2o with
+  | [] -> No_a2o
+  | ms ->
+      let g = Smg.graph smg in
+      (* Each A2O's source iteration space belongs to the reducing node. *)
+      let nodes =
+        List.sort_uniq compare (List.map (fun (m : Smg.mapping) -> (Smg.space smg m.msrc).node) ms)
+      in
+      let anc = ancestors_table g in
+      let dependent =
+        List.exists
+          (fun a -> List.exists (fun b -> a <> b && Bytes.get anc.(b) a = '\001') nodes)
+          nodes
+      in
+      if dependent then Dependent nodes else Independent nodes
+
+let output_depends_on_dim_reduction smg ~dim =
+  let g = Smg.graph smg in
+  match classify_a2o smg ~dim with
+  | No_a2o -> false
+  | Independent reducers | Dependent reducers ->
+      let anc = ancestors_table g in
+      List.exists
+        (fun out ->
+          let out_dims = (Smg.data_space smg out).sdims in
+          List.mem dim out_dims
+          && List.exists (fun r -> Bytes.get anc.(out) r = '\001') reducers)
+        (G.outputs g)

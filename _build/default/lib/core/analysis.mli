@@ -1,0 +1,42 @@
+(** Per-dimension mapping classification — the decision table the slicers
+    consult (Table 3), plus the dependency analysis between All-to-One
+    mappings that decides Simple-Aggregate vs Update-then-Aggregate (§4.3). *)
+
+type dim_info = {
+  dim : int;
+  input_o2a : Smg.mapping list;  (** O2A whose source is a kernel input *)
+  other_o2a : Smg.mapping list;  (** O2A from intermediate data spaces *)
+  a2o : Smg.mapping list;
+  in_all_iters : bool;  (** present in every iteration space *)
+}
+
+val dim_info : Smg.t -> int -> dim_info
+
+val spatially_sliceable : Smg.t -> int -> bool
+(** A dimension can be sliced into parallel SMG blocks iff every mapping in
+    it is an input One-to-All (Table 3) and every iteration space extends
+    along it (otherwise blocks would replicate work and duplicate writes). *)
+
+val spatial_dims : Smg.t -> int list
+(** [SS.getDims] of Algorithm 1. *)
+
+val temporal_candidates : Smg.t -> spatial:int list -> int list
+(** Dimensions eligible for serial intra-block slicing, highest priority
+    first (larger on-chip data volume first, §5.1). *)
+
+(** Classification of the All-to-One mappings along a dimension. Node ids
+    are the reducing operators in topological order. *)
+type a2o_class =
+  | No_a2o
+  | Independent of Ir.Graph.node_id list
+  | Dependent of Ir.Graph.node_id list
+
+val classify_a2o : Smg.t -> dim:int -> a2o_class
+
+val reaches : Ir.Graph.t -> Ir.Graph.node_id -> Ir.Graph.node_id -> bool
+(** [reaches g a b]: [a] is [b] or a transitive data dependency of [b]. *)
+
+val output_depends_on_dim_reduction : Smg.t -> dim:int -> bool
+(** True when some graph output both extends along [dim] and depends on a
+    reduction along [dim] — the LayerNorm shape that forces a two-pass
+    intra-block plan instead of streaming UTA. *)

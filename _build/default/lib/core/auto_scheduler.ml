@@ -1,0 +1,140 @@
+type scheduled = { schedule : Schedule.t; cfgs : Schedule.cfg list }
+
+type variant = {
+  use_temporal : bool;
+  use_uta : bool;
+  use_tuning : bool;
+  fixed_block : int;
+  fixed_tile : int;
+}
+
+let full =
+  { use_temporal = true; use_uta = true; use_tuning = true; fixed_block = 64; fixed_tile = 64 }
+let base_ss = { full with use_temporal = false; use_tuning = false }
+let base_as = { full with use_temporal = false }
+let base_ts = { full with use_tuning = false }
+
+let feasible (arch : Gpu.Arch.t) schedule cfg ~name ~tensor_of =
+  match Lower.lower schedule cfg ~name ~tensor_of with
+  | exception Lower.Unlowerable msg ->
+      Log.debug (fun m -> m "[%s] unlowerable (%s): %s" name (Schedule.cfg_to_string cfg) msg);
+      None
+  | k ->
+      if
+        Gpu.Kernel.smem_bytes k <= arch.smem_per_block
+        && Gpu.Kernel.reg_bytes k <= arch.regs_per_block * 4
+      then Some k
+      else None
+
+let feasible_cfgs arch schedule ~name ~tensor_of =
+  List.filter
+    (fun cfg -> feasible arch schedule cfg ~name ~tensor_of <> None)
+    (Schedule.enum_cfgs schedule)
+
+(* The "expert knowledge" fixed configuration for the ablation variants and
+   the hand-tuned baseline models, falling back to the first feasible
+   configuration when the fixed one is not. *)
+let expert_cfg variant arch schedule ~name ~tensor_of =
+  let clamp extent v = min v extent in
+  let fs = Smg.fused schedule.Schedule.smg in
+  let fixed =
+    {
+      Schedule.blocks =
+        List.map
+          (fun d -> (d, clamp (Fusedspace.dim_extent fs d) variant.fixed_block))
+          schedule.Schedule.tiled_dims;
+      tile =
+        (match schedule.Schedule.temporal with
+        | Some p -> Some (clamp (Fusedspace.dim_extent fs p.Update_fn.tdim) variant.fixed_tile)
+        | None -> None);
+    }
+  in
+  if feasible arch schedule fixed ~name ~tensor_of <> None then [ fixed ]
+  else
+    (* Fall back to the largest feasible configuration (hand-tuned kernels
+       shrink their tiles only as far as the budget forces them to). *)
+    match List.rev (feasible_cfgs arch schedule ~name ~tensor_of) with
+    | [] -> []
+    | c :: _ -> [ c ]
+
+(* Whether a temporal plan is expressible without intra-operator dependency
+   transformation: plain streaming and simple aggregation are, the paper's
+   UTA (update factors over maintained scalars), postposed raw
+   decompositions and two-pass recompute plans are not. *)
+let plan_needs_transformation (p : Update_fn.t) =
+  p.Update_fn.two_pass
+  || List.exists
+       (fun (_, rp) ->
+         match rp with
+         | Update_fn.RMax | Update_fn.RMin -> false
+         | Update_fn.RRaw _ -> true
+         | Update_fn.RUta factor ->
+             List.exists (fun (a, _) -> match a with Pexpr.AConst _ -> false | _ -> true) factor)
+       p.Update_fn.reductions
+
+let analyze_dim variant smg d =
+  match Update_fn.analyze smg ~dim:d with
+  | Some plan when variant.use_uta || not (plan_needs_transformation plan) -> Some plan
+  | _ -> None
+
+let run ?(variant = full) ?stats arch smg ~name ~tensor_of =
+  let stats = match stats with Some s -> s | None -> Cstats.create () in
+  if not (Smg.consistent smg) then []
+  else begin
+    (* Algorithm 1 declares an SMG without sliceable dims unschedulable for
+       parallelization; for fused spaces that reduce to a scalar (no
+       parallel dim can exist, e.g. a loss) we still emit the single-block
+       schedule rather than fail — partitioning cannot create parallelism
+       that the computation does not have. *)
+    let spatial = Cstats.timed stats Cstats.Ss (fun () -> Analysis.spatial_dims smg) in
+    let results = ref [] in
+    let consider schedule =
+      let cfgs =
+        Cstats.timed stats Cstats.Enum (fun () ->
+            if variant.use_tuning then feasible_cfgs arch schedule ~name ~tensor_of
+            else expert_cfg variant arch schedule ~name ~tensor_of)
+      in
+      if cfgs <> [] then results := { schedule; cfgs } :: !results
+    in
+    (* Spatial-only schedule. *)
+    consider (Schedule.make smg ~spatial ~temporal:None);
+    (* Temporal slicing on the highest-priority dimension whose dependency
+       chain simplifies (Table 3's △ analysis). A single operator's private
+       serial loop (e.g. a GEMM's K loop) is below SMG-level slicing: even
+       the spatial-only ablation variants keep it. *)
+    if variant.use_temporal || List.length (Smg.iter_spaces smg) = 1 then begin
+      let rec try_dims = function
+        | [] -> ()
+        | d :: rest -> (
+            match Cstats.timed stats Cstats.Ts (fun () -> analyze_dim variant smg d) with
+            | Some plan -> consider (Schedule.make smg ~spatial ~temporal:(Some plan))
+            | None -> try_dims rest)
+      in
+      try_dims
+        (Cstats.timed stats Cstats.Ts (fun () -> Analysis.temporal_candidates smg ~spatial))
+    end;
+    List.rev !results
+  end
+
+let exists_feasible ?(variant = full) arch smg ~name ~tensor_of =
+  Smg.consistent smg
+  &&
+  let spatial = Analysis.spatial_dims smg in
+  let try_schedule temporal =
+    let schedule = Schedule.make smg ~spatial ~temporal in
+    List.exists
+      (fun cfg -> feasible arch schedule cfg ~name ~tensor_of <> None)
+      (Schedule.enum_cfgs schedule)
+  in
+  try_schedule None
+  ||
+  ((variant.use_temporal || List.length (Smg.iter_spaces smg) = 1)
+  &&
+  let rec try_dims = function
+    | [] -> false
+    | d :: rest -> (
+        match analyze_dim variant smg d with
+        | Some plan -> try_schedule (Some plan)
+        | None -> try_dims rest)
+  in
+  try_dims (Analysis.temporal_candidates smg ~spatial))

@@ -1,0 +1,50 @@
+type t = {
+  mutable t_ss : float;
+  mutable t_ts : float;
+  mutable t_enum : float;
+  mutable t_tune : float;
+  mutable t_total : float;
+  mutable n_cfgs : int;
+  mutable n_early_quit : int;
+  mutable n_partitions : int;
+}
+
+type phase = Ss | Ts | Enum | Tune
+
+let create () =
+  { t_ss = 0.0; t_ts = 0.0; t_enum = 0.0; t_tune = 0.0; t_total = 0.0; n_cfgs = 0;
+    n_early_quit = 0; n_partitions = 0 }
+
+let add a b =
+  a.t_ss <- a.t_ss +. b.t_ss;
+  a.t_ts <- a.t_ts +. b.t_ts;
+  a.t_enum <- a.t_enum +. b.t_enum;
+  a.t_tune <- a.t_tune +. b.t_tune;
+  a.t_total <- a.t_total +. b.t_total;
+  a.n_cfgs <- a.n_cfgs + b.n_cfgs;
+  a.n_early_quit <- a.n_early_quit + b.n_early_quit;
+  a.n_partitions <- a.n_partitions + b.n_partitions
+
+let timed t phase f =
+  let start = Unix.gettimeofday () in
+  let finish () =
+    let dt = Unix.gettimeofday () -. start in
+    match phase with
+    | Ss -> t.t_ss <- t.t_ss +. dt
+    | Ts -> t.t_ts <- t.t_ts +. dt
+    | Enum -> t.t_enum <- t.t_enum +. dt
+    | Tune -> t.t_tune <- t.t_tune +. dt
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let pp fmt t =
+  Format.fprintf fmt
+    "ss=%.3fms ts=%.3fms enum=%.3fms tune=%.3fms total=%.3fms cfgs=%d early_quit=%d partitions=%d"
+    (t.t_ss *. 1e3) (t.t_ts *. 1e3) (t.t_enum *. 1e3) (t.t_tune *. 1e3) (t.t_total *. 1e3)
+    t.n_cfgs t.n_early_quit t.n_partitions

@@ -1,0 +1,22 @@
+(** Compilation-time accounting (Table 4 / Table 5). *)
+
+type t = {
+  mutable t_ss : float;  (** SS.getDims + SS.slice, seconds *)
+  mutable t_ts : float;  (** TS.getPriorDim + TS.slice (postposition + update functions) *)
+  mutable t_enum : float;  (** enumCfg: search-space enumeration + feasibility *)
+  mutable t_tune : float;  (** candidate evaluation on the cost model *)
+  mutable t_total : float;
+  mutable n_cfgs : int;  (** configurations evaluated *)
+  mutable n_early_quit : int;  (** configurations abandoned by the α rule *)
+  mutable n_partitions : int;  (** Algorithm-2 rounds taken *)
+}
+
+type phase = Ss | Ts | Enum | Tune
+
+val create : unit -> t
+
+val add : t -> t -> unit
+(** Accumulate the second argument into the first. *)
+
+val timed : t -> phase -> (unit -> 'a) -> 'a
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(** Triton-style source rendering of lowered kernels.
+
+    The paper integrates SpaceFusion with OpenAI Triton for intra-block code
+    generation (§6). In this reproduction the simulator executes the kernel
+    IR directly, but the same IR renders to readable Triton-flavoured Python
+    for inspection — one [@triton.jit] function per kernel, with the grid,
+    the serial intra-block loop, tile loads/stores and the generated
+    update-function arithmetic laid out exactly as the schedule prescribes.
+
+    The output is for humans (and golden tests), not for a Python
+    interpreter: index expressions are symbolic (`off[d0-block, :]`), since
+    the simulator, not Triton, is the execution backend here. *)
+
+val emit : Gpu.Kernel.t -> string
+
+val emit_plan : Gpu.Plan.t -> string
+(** All kernels of a plan, with a launch-order header. *)

@@ -1,0 +1,194 @@
+type dim = { dname : string; extent : int }
+
+module G = Ir.Graph
+
+(* Union-find over (node, axis) pairs. *)
+type uf = {
+  ids : (G.node_id * int, int) Hashtbl.t;
+  mutable parent : int array;
+  mutable n : int;
+}
+
+let uf_create () = { ids = Hashtbl.create 64; parent = Array.make 64 0; n = 0 }
+
+let uf_key uf node axis =
+  match Hashtbl.find_opt uf.ids (node, axis) with
+  | Some i -> i
+  | None ->
+      if uf.n = Array.length uf.parent then begin
+        let bigger = Array.make (2 * uf.n) 0 in
+        Array.blit uf.parent 0 bigger 0 uf.n;
+        uf.parent <- bigger
+      end;
+      let i = uf.n in
+      uf.parent.(i) <- i;
+      uf.n <- uf.n + 1;
+      Hashtbl.replace uf.ids (node, axis) i;
+      i
+
+let rec uf_find uf i =
+  if uf.parent.(i) = i then i
+  else begin
+    let r = uf_find uf uf.parent.(i) in
+    uf.parent.(i) <- r;
+    r
+  end
+
+let uf_union uf a b =
+  let ra = uf_find uf a and rb = uf_find uf b in
+  if ra <> rb then uf.parent.(ra) <- rb
+
+type t = {
+  graph : G.t;
+  dims : dim array;
+  (* (node, axis) -> fused dim, or -1 for extent-1 axes. *)
+  axis_map : (G.node_id * int, int) Hashtbl.t;
+  extra : (G.node_id, int) Hashtbl.t;  (* contraction dim per matmul/reduce *)
+}
+
+let infer graph =
+  let uf = uf_create () in
+  let key n a = uf_key uf n a in
+  let unify n1 a1 n2 a2 = uf_union uf (key n1 a1) (key n2 a2) in
+  let shape n = (G.node graph n).G.shape in
+  (* Right-align an operand against an output of rank [ro]; unify non-unit
+     axes (unit axes are broadcast and carry no dimension). *)
+  let align_broadcast out ro operand =
+    let s = shape operand in
+    let r = Array.length s in
+    for j = 0 to r - 1 do
+      if s.(j) > 1 then unify operand j out (j + (ro - r))
+    done
+  in
+  List.iter
+    (fun (n : G.node) ->
+      (* Ensure every axis exists in the union-find even if never unified. *)
+      Array.iteri (fun i _ -> ignore (key n.id i)) n.shape;
+      match n.kind with
+      | G.Input _ | G.Weight _ | G.Const _ -> ()
+      | G.Unary (_, a) -> Array.iteri (fun i _ -> unify n.id i a i) n.shape
+      | G.Binary (_, a, b) ->
+          let ro = Array.length n.shape in
+          align_broadcast n.id ro a;
+          align_broadcast n.id ro b
+      | G.Reduce { axis; keepdims; arg; _ } ->
+          let ra = Array.length (shape arg) in
+          for j = 0 to ra - 1 do
+            if j <> axis then
+              let out_axis = if keepdims || j < axis then j else j - 1 in
+              unify arg j n.id out_axis
+          done
+      | G.Matmul { a; b; trans_b } ->
+          let sa = shape a and sb = shape b in
+          let ra = Array.length sa and rb = Array.length sb in
+          let ro = Array.length n.shape in
+          (* Batch axes broadcast-align. *)
+          for j = 0 to ra - 3 do
+            if sa.(j) > 1 then unify a j n.id (j + (ro - ra))
+          done;
+          for j = 0 to rb - 3 do
+            if sb.(j) > 1 then unify b j n.id (j + (ro - rb))
+          done;
+          unify a (ra - 2) n.id (ro - 2);
+          let n_axis = if trans_b then rb - 2 else rb - 1 in
+          let k_axis_b = if trans_b then rb - 1 else rb - 2 in
+          unify b n_axis n.id (ro - 1);
+          unify a (ra - 1) b k_axis_b)
+    (G.nodes graph);
+  (* Collect classes: a class is a fused dimension iff it contains a
+     non-unit axis; all non-unit extents in a class must agree. *)
+  let class_extent : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let class_order = ref [] in
+  Hashtbl.iter
+    (fun (node, axis) id ->
+      let extent = (shape node).(axis) in
+      if extent > 1 then begin
+        let root = uf_find uf id in
+        match Hashtbl.find_opt class_extent root with
+        | None ->
+            Hashtbl.replace class_extent root extent;
+            class_order := root :: !class_order
+        | Some e ->
+            if e <> extent then
+              invalid_arg
+                (Printf.sprintf
+                   "Fusedspace.infer: axis %d of node %d (extent %d) unified with extent %d" axis
+                   node extent e)
+      end)
+    uf.ids;
+  (* Stable order: by smallest (node, axis) member. *)
+  let members root =
+    Hashtbl.fold
+      (fun (node, axis) id acc -> if uf_find uf id = root then (node, axis) :: acc else acc)
+      uf.ids []
+  in
+  let roots =
+    List.sort
+      (fun a b -> compare (List.fold_left min (max_int, max_int) (members a))
+          (List.fold_left min (max_int, max_int) (members b)))
+      !class_order
+  in
+  let dim_of_root = Hashtbl.create 16 in
+  List.iteri (fun i root -> Hashtbl.replace dim_of_root root i) roots;
+  let dims =
+    Array.of_list
+      (List.mapi
+         (fun i root ->
+           { dname = Printf.sprintf "d%d" i; extent = Hashtbl.find class_extent root })
+         roots)
+  in
+  let axis_map = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (node, axis) id ->
+      let d =
+        if (shape node).(axis) = 1 then -1
+        else Hashtbl.find dim_of_root (uf_find uf id)
+      in
+      Hashtbl.replace axis_map (node, axis) d)
+    uf.ids;
+  let extra = Hashtbl.create 16 in
+  List.iter
+    (fun (n : G.node) ->
+      match n.kind with
+      | G.Matmul { a; _ } ->
+          let ra = Array.length (shape a) in
+          let d = Hashtbl.find axis_map (a, ra - 1) in
+          if d >= 0 then Hashtbl.replace extra n.id d
+      | G.Reduce { axis; arg; _ } ->
+          let d = Hashtbl.find axis_map (arg, axis) in
+          if d >= 0 then Hashtbl.replace extra n.id d
+      | _ -> ())
+    (G.nodes graph);
+  { graph; dims; axis_map; extra }
+
+let dims t = t.dims
+let num_dims t = Array.length t.dims
+
+let axis_dim t node axis =
+  match Hashtbl.find_opt t.axis_map (node, axis) with
+  | Some d when d >= 0 -> Some d
+  | _ -> None
+
+let node_dims t node =
+  let shape = (G.node t.graph node).G.shape in
+  let ds = ref [] in
+  Array.iteri
+    (fun i _ -> match axis_dim t node i with Some d when not (List.mem d !ds) -> ds := d :: !ds | _ -> ())
+    shape;
+  List.sort compare !ds
+
+let contraction_dim t node = Hashtbl.find_opt t.extra node
+
+let iter_dims t node =
+  let base = node_dims t node in
+  match contraction_dim t node with
+  | Some d when not (List.mem d base) -> List.sort compare (d :: base)
+  | _ -> base
+
+let dim_extent t d = t.dims.(d).extent
+let dim_name t d = t.dims.(d).dname
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>fused space:@,";
+  Array.iter (fun d -> Format.fprintf fmt "  %s : extent %d@," d.dname d.extent) t.dims;
+  Format.fprintf fmt "@]"

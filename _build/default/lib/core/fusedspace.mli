@@ -1,0 +1,39 @@
+(** Fused-space dimension inference.
+
+    A fusion group's operators live in one geometric computational space
+    (§4.1). Every axis of every node is unified with the axes it must stay
+    aligned with (element-wise operands, matmul row/column/contraction
+    pairings, reduction arguments); the resulting equivalence classes are the
+    fused dimensions. Axes of extent 1 (broadcasts, keepdims placeholders)
+    carry no dimension. *)
+
+type dim = { dname : string; extent : int }
+
+type t
+
+val infer : Ir.Graph.t -> t
+(** Raises [Invalid_argument] when two unified axes disagree on extent. *)
+
+val dims : t -> dim array
+(** All fused dimensions, in a stable order. *)
+
+val num_dims : t -> int
+
+val axis_dim : t -> Ir.Graph.node_id -> int -> int option
+(** The fused dimension of one node axis; [None] for extent-1 axes. *)
+
+val node_dims : t -> Ir.Graph.node_id -> int list
+(** Fused dimensions present in a node's value (its data space), sorted. *)
+
+val iter_dims : t -> Ir.Graph.node_id -> int list
+(** Fused dimensions of the node's iteration space: its value dims plus any
+    contracted/reduced dims (e.g. a matmul's K). Equals {!node_dims} for
+    element-wise operators. *)
+
+val dim_extent : t -> int -> int
+val dim_name : t -> int -> string
+val contraction_dim : t -> Ir.Graph.node_id -> int option
+(** For [Matmul] nodes, the fused dimension being contracted; for [Reduce]
+    nodes, the reduced dimension (when its extent exceeds 1). *)
+
+val pp : Format.formatter -> t -> unit

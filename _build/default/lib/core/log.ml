@@ -1,0 +1,11 @@
+(* Library-wide log source. Enable with e.g.
+   [Logs.set_level (Some Logs.Debug); Logs.set_reporter (Logs_fmt.reporter ())]
+   or, for quick CLI debugging, the SPACEFUSION_DEBUG environment variable
+   (handled in bin/). *)
+let src = Logs.Src.create "spacefusion" ~doc:"SpaceFusion scheduler"
+
+module L = (val Logs.src_log src : Logs.LOG)
+
+let debug = L.debug
+let info = L.info
+let warn = L.warn

@@ -1,0 +1,26 @@
+(** Lowering a fusion schedule to the tile-level kernel IR (§5.4).
+
+    Memory-hierarchy placement follows the paper: tiles loaded once per
+    block (One-to-All sources re-read across the serial loop) go to shared
+    memory; streaming tiles, intermediate One-to-One values and reduction
+    states (All-to-One sinks, GEMM accumulators) live in registers. A
+    liveness-based pooling pass then shares buffers with disjoint live
+    ranges, which is what lets long fused chains (e.g. 20 MLP layers) stream
+    their weights through a constant-size on-chip footprint. *)
+
+exception Unlowerable of string
+
+val lower :
+  ?pool:bool ->
+  Schedule.t ->
+  Schedule.cfg ->
+  name:string ->
+  tensor_of:(Ir.Graph.node_id -> string) ->
+  Gpu.Kernel.t
+(** [tensor_of] maps the graph's leaves and outputs to global tensor names.
+    Raises {!Unlowerable} when the schedule cannot be expressed with 2-D
+    tiles (e.g. a blocked batch axis or a row-direction reduction). *)
+
+val pool_buffers : Gpu.Kernel.t -> Gpu.Kernel.t
+(** Shares same-shape, same-scope buffers whose live ranges do not overlap.
+    Exposed for testing; [lower] already applies it. *)

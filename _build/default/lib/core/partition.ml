@@ -1,0 +1,146 @@
+module G = Ir.Graph
+
+type segment = { seg_nodes : G.node_id list; seg_is_a2o : bool }
+
+let is_a2o_node (n : G.node) = match n.kind with G.Matmul _ | G.Reduce _ -> true | _ -> false
+
+let segments g =
+  let segs = ref [] and run = ref [] in
+  let flush () =
+    if !run <> [] then begin
+      segs := { seg_nodes = List.rev !run; seg_is_a2o = false } :: !segs;
+      run := []
+    end
+  in
+  List.iter
+    (fun (n : G.node) ->
+      match n.kind with
+      | G.Input _ | G.Weight _ | G.Const _ -> ()
+      | _ ->
+          if is_a2o_node n then begin
+            flush ();
+            segs := { seg_nodes = [ n.id ]; seg_is_a2o = true } :: !segs
+          end
+          else run := n.id :: !run)
+    (G.nodes g);
+  flush ();
+  List.rev !segs
+
+type part = { part_graph : G.t; part_orig : G.node_id -> G.node_id }
+
+let subgraph g ~keep ~name_of =
+  let ng = G.create () in
+  let fwd : (G.node_id, G.node_id) Hashtbl.t = Hashtbl.create 32 in
+  let back : (G.node_id, G.node_id) Hashtbl.t = Hashtbl.create 32 in
+  let record orig nid =
+    Hashtbl.replace fwd orig nid;
+    Hashtbl.replace back nid orig;
+    nid
+  in
+  let keep_set = List.sort_uniq compare keep in
+  let in_keep id = List.mem id keep_set in
+  let rec resolve orig =
+    match Hashtbl.find_opt fwd orig with
+    | Some nid -> nid
+    | None ->
+        let n = G.node g orig in
+        let nid =
+          match n.kind with
+          | G.Input name -> G.input ng name n.shape
+          | G.Weight name -> G.weight ng name n.shape
+          | G.Const v -> G.const ng v
+          | _ when not (in_keep orig) ->
+              (* Cut intermediate: re-enter as a kernel input. *)
+              G.input ng (name_of orig) n.shape
+          | G.Unary (op, a) -> G.unary ng op (resolve a)
+          | G.Binary (op, a, b) -> G.binary ng op (resolve a) (resolve b)
+          | G.Reduce { op; axis; keepdims; arg } -> G.reduce ng op ~keepdims ~axis (resolve arg)
+          | G.Matmul { a; b; trans_b } -> G.matmul ng ~trans_b (resolve a) (resolve b)
+        in
+        record orig nid
+  in
+  List.iter (fun orig -> ignore (resolve orig)) keep_set;
+  (* Outputs: original outputs kept here, plus values consumed outside. *)
+  List.iter
+    (fun orig ->
+      let consumed_outside =
+        List.exists (fun c -> not (in_keep c)) (G.consumers g orig)
+      in
+      if G.is_output g orig || consumed_outside then G.mark_output ng (Hashtbl.find fwd orig))
+    keep_set;
+  { part_graph = ng; part_orig = (fun nid -> match Hashtbl.find_opt back nid with Some o -> o | None -> nid) }
+
+let round g ~name_of ~schedulable =
+  let segs = segments g in
+  let nodes_of ss = List.concat_map (fun s -> s.seg_nodes) ss in
+  let take_prefix n = (List.filteri (fun i _ -> i < n) segs, List.filteri (fun i _ -> i >= n) segs) in
+  let total = List.length segs in
+  let make_candidate n =
+    let f_segs, l_segs = take_prefix n in
+    let gf = subgraph g ~keep:(nodes_of f_segs) ~name_of in
+    if not (schedulable gf.part_graph) then None
+    else
+      let gl =
+        if l_segs = [] then None else Some (subgraph g ~keep:(nodes_of l_segs) ~name_of)
+      in
+      Some (gf, gl)
+  in
+  let rec search n =
+    if n = 0 then Error "Partition.round: no schedulable prefix (even a single sub-SMG fails)"
+    else
+      match make_candidate n with
+      | Some (gf, gl) ->
+          (* §5.3: also offer the split that moves one more trailing
+             non-All-to-One sub-SMG into the latter graph. *)
+          let extra =
+            if n >= 2 && not (List.nth segs (n - 1)).seg_is_a2o then
+              match make_candidate (n - 1) with
+              | Some (gf', gl') -> [ (gf', gl') ]
+              | None -> []
+            else []
+          in
+          Ok (((gf, gl) :: extra))
+      | None -> search (n - 1)
+  in
+  search total
+
+let peel_candidates g ~name_of =
+  let segs = segments g in
+  let n = List.length segs in
+  if n < 2 then []
+  else begin
+    let nodes_of ss = List.concat_map (fun s -> s.seg_nodes) ss in
+    let split_at b =
+      let f_segs = List.filteri (fun i _ -> i < b) segs in
+      let l_segs = List.filteri (fun i _ -> i >= b) segs in
+      ( subgraph g ~keep:(nodes_of f_segs) ~name_of,
+        subgraph g ~keep:(nodes_of l_segs) ~name_of )
+    in
+    (* Candidate boundaries (§5.3, generalised): peel the last sub-SMG; cut
+       before the last All-to-One sub-SMG so it keeps its element-wise
+       epilogue (the boundary a library-style GEMM+epilogue split would
+       use); and cut before the first reduction sub-SMG, separating a
+       GEMM/element-wise prologue from a normalization-style chain. *)
+    let indexed = List.mapi (fun i s -> (i, s)) segs in
+    let is_reduce_seg (s : segment) =
+      s.seg_is_a2o
+      && List.exists
+           (fun nid -> match (G.node g nid).kind with G.Reduce _ -> true | _ -> false)
+           s.seg_nodes
+    in
+    let last_a2o =
+      List.fold_left (fun acc (i, s) -> if s.seg_is_a2o then Some i else acc) None indexed
+    in
+    let first_reduce =
+      List.fold_left
+        (fun acc (i, s) -> if acc = None && is_reduce_seg s then Some i else acc)
+        None indexed
+    in
+    let boundaries =
+      List.sort_uniq compare
+        (List.filter
+           (fun b -> b > 0 && b < n)
+           ((n - 1) :: List.filter_map (fun x -> x) [ last_a2o; first_reduce ]))
+    in
+    List.map split_at boundaries
+  end

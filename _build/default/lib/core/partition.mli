@@ -1,0 +1,44 @@
+(** SMG partitioning — Algorithm 2 and the §5.3 candidate exploration.
+
+    An unschedulable fusion group is reorganised into sub-SMGs — All-to-One
+    sub-SMGs (one reducing operator each) and non-All-to-One runs — and the
+    trailing sub-SMGs are peeled off into a latter graph [G_l] until the
+    prefix [G_f] becomes schedulable. Intermediate data spaces on the cut
+    are duplicated: they become outputs of [G_f] and inputs of [G_l]. *)
+
+type segment = { seg_nodes : Ir.Graph.node_id list; seg_is_a2o : bool }
+
+val segments : Ir.Graph.t -> segment list
+(** Compute nodes only, topological order. *)
+
+type part = {
+  part_graph : Ir.Graph.t;
+  part_orig : Ir.Graph.node_id -> Ir.Graph.node_id;
+      (** map each node of [part_graph] back to the original graph (used for
+          consistent global tensor naming across the cut) *)
+}
+
+val subgraph : Ir.Graph.t -> keep:Ir.Graph.node_id list -> name_of:(Ir.Graph.node_id -> string) -> part
+(** Extract the sub-DFG of the given compute nodes. Leaf predecessors are
+    cloned; cut intermediates become [Input] nodes named by [name_of];
+    values consumed outside [keep] (or originally outputs) are outputs. *)
+
+val round :
+  Ir.Graph.t ->
+  name_of:(Ir.Graph.node_id -> string) ->
+  schedulable:(Ir.Graph.t -> bool) ->
+  ((part * part option) list, string) result
+(** One round of Algorithm 2: candidate [(G_f, G_l)] splits, largest-prefix
+    first. [G_l = None] when the whole graph is schedulable unsplit. The
+    second candidate (when present) additionally moves one trailing
+    non-All-to-One sub-SMG (§5.3). [Error] when even a single sub-SMG prefix
+    is unschedulable. *)
+
+val peel_candidates :
+  Ir.Graph.t -> name_of:(Ir.Graph.node_id -> string) -> (part * part) list
+(** Split candidates the tuner weighs against the fully fused schedule when
+    both are feasible (profitability, not just feasibility: e.g. wide-MLP
+    fusion is feasible yet unprofitable): the last sub-SMG peeled off, and —
+    §5.3 — a cut placed before the last All-to-One sub-SMG so that it keeps
+    its element-wise epilogue. Empty when the graph has fewer than two
+    sub-SMGs. *)

@@ -1,0 +1,92 @@
+module G = Ir.Graph
+
+type t = {
+  smg : Smg.t;
+  batch_dims : int list;
+  tiled_dims : int list;
+  temporal : Update_fn.t option;
+  inner_dims : int list;
+}
+
+type cfg = { blocks : (int * int) list; tile : int option }
+
+(* A spatial dim is tileable iff it never appears as a leading (batch) axis
+   of any tensor: tiles are 2-D, so only the last two axes may be blocked. *)
+let tileable smg d =
+  let fs = Smg.fused smg in
+  let g = Smg.graph smg in
+  List.for_all
+    (fun (n : G.node) ->
+      let rank = Array.length n.shape in
+      let ok = ref true in
+      Array.iteri
+        (fun i _ ->
+          if i < rank - 2 && Fusedspace.axis_dim fs n.id i = Some d then ok := false)
+        n.shape;
+      !ok)
+    (G.nodes g)
+
+let make smg ~spatial ~temporal =
+  let fs = Smg.fused smg in
+  let tileable_dims, batch = List.partition (tileable smg) spatial in
+  (* Keep the two largest tileable dims blocked; the rest join the batch
+     grid with block 1. *)
+  let by_extent =
+    List.sort (fun a b -> compare (Fusedspace.dim_extent fs b) (Fusedspace.dim_extent fs a))
+      tileable_dims
+  in
+  let tiled, demoted =
+    match by_extent with
+    | a :: b :: rest -> ([ a; b ], rest)
+    | l -> (l, [])
+  in
+  let tdim = match temporal with Some p -> [ p.Update_fn.tdim ] | None -> [] in
+  let nd = Fusedspace.num_dims fs in
+  let inner =
+    List.filter
+      (fun d -> not (List.mem d spatial || List.mem d tdim))
+      (List.init nd (fun i -> i))
+  in
+  { smg; batch_dims = batch @ demoted; tiled_dims = List.sort compare tiled; temporal;
+    inner_dims = inner }
+
+let candidate_sizes extent =
+  let pow2 = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ] in
+  let sizes = List.filter (fun v -> v < extent) pow2 @ [ extent ] in
+  List.sort_uniq compare (List.map (fun v -> min v extent) sizes)
+
+let enum_cfgs t =
+  let fs = Smg.fused t.smg in
+  let block_choices = List.map (fun d -> (d, candidate_sizes (Fusedspace.dim_extent fs d))) t.tiled_dims in
+  let rec combos = function
+    | [] -> [ [] ]
+    | (d, sizes) :: rest ->
+        let tails = combos rest in
+        List.concat_map (fun s -> List.map (fun tl -> (d, s) :: tl) tails) sizes
+  in
+  let blockss = combos block_choices in
+  match t.temporal with
+  | None -> List.map (fun blocks -> { blocks; tile = None }) blockss
+  | Some p ->
+      let sizes = candidate_sizes (Fusedspace.dim_extent fs p.Update_fn.tdim) in
+      List.concat_map
+        (fun blocks -> List.map (fun s -> { blocks; tile = Some s }) sizes)
+        blockss
+
+let cfg_to_string cfg =
+  let blocks = String.concat "," (List.map (fun (d, s) -> Printf.sprintf "d%d:%d" d s) cfg.blocks) in
+  match cfg.tile with
+  | Some tile -> Printf.sprintf "{blocks=%s; tile=%d}" blocks tile
+  | None -> Printf.sprintf "{blocks=%s}" blocks
+
+let describe t =
+  let fs = Smg.fused t.smg in
+  let names ds = String.concat "," (List.map (Fusedspace.dim_name fs) ds) in
+  Printf.sprintf "spatial[batch=%s; tiled=%s] temporal=%s inner=%s" (names t.batch_dims)
+    (names t.tiled_dims)
+    (match t.temporal with
+    | Some p ->
+        Printf.sprintf "%s%s" (Fusedspace.dim_name fs p.Update_fn.tdim)
+          (if p.Update_fn.two_pass then "(two-pass)" else "")
+    | None -> "none")
+    (names t.inner_dims)

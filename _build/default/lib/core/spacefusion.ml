@@ -1,0 +1,257 @@
+module G = Ir.Graph
+
+type kernel_choice = {
+  kc_kernel : Gpu.Kernel.t;
+  kc_schedule : Schedule.t;
+  kc_cfg : Schedule.cfg;
+  kc_cost : float;
+}
+
+type compiled = {
+  c_name : string;
+  c_plan : Gpu.Plan.t;
+  c_choices : kernel_choice list;
+  c_stats : Cstats.t;
+  c_smg : Smg.t;
+}
+
+exception Unschedulable of string
+
+let tensor_name ~name g node =
+  let n = G.node g node in
+  match n.kind with
+  | G.Input s | G.Weight s -> s
+  | _ -> (
+      let rec out_index i = function
+        | [] -> None
+        | o :: _ when o = node -> Some i
+        | _ :: rest -> out_index (i + 1) rest
+      in
+      match out_index 0 (G.outputs g) with
+      | Some i -> Printf.sprintf "%s:out%d" name i
+      | None -> Printf.sprintf "%s:t%d" name node)
+
+(* Weakly-connected components of the compute nodes, where constants do not
+   connect (a shared scalar constant is no reason to fuse). *)
+let components g =
+  let n = G.num_nodes g in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  List.iter
+    (fun (node : G.node) ->
+      List.iter
+        (fun p ->
+          match (G.node g p).kind with G.Const _ -> () | _ -> union node.id p)
+        (G.preds node))
+    (G.nodes g);
+  let groups : (int, G.node_id list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (node : G.node) ->
+      match node.kind with
+      | G.Input _ | G.Weight _ | G.Const _ -> ()
+      | _ ->
+          let r = find node.id in
+          Hashtbl.replace groups r (node.id :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
+    (G.nodes g);
+  Hashtbl.fold (fun _ ns acc -> List.rev ns :: acc) groups []
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+
+let declare_all device name_of g =
+  List.iter
+    (fun (n : G.node) ->
+      match n.kind with
+      | G.Const _ -> ()
+      | _ -> Gpu.Device.declare device (name_of n.id) n.shape)
+    (G.nodes g)
+
+let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
+  let stats = Cstats.create () in
+  let t_start = Unix.gettimeofday () in
+  let name_of =
+    match tensor_names with Some f -> f | None -> tensor_name ~name graph
+  in
+  (* Shape context for cost evaluation: every original tensor. *)
+  let device = Gpu.Device.create () in
+  declare_all device name_of graph;
+  let kcount = ref 0 in
+  (* Per-kernel CPU dispatch overhead, so candidate plans with more kernels
+     pay for their extra launches in the comparison. *)
+  let dispatch_cost = 3.0e-6 in
+  (* Candidate plans are compared the way they will run: kernels in order,
+     sharing one L2 residency state (a split plan's consumer kernel hits the
+     producer's output in cache), plus per-launch dispatch. *)
+  let plan_cost ks =
+    let cache = Gpu.Cost.fresh_cache arch in
+    List.fold_left
+      (fun acc c ->
+        let stats = Gpu.Exec.run ~mode:Gpu.Exec.Analytic device c.kc_kernel in
+        acc +. (Gpu.Cost.kernel_time arch cache stats).Gpu.Cost.time +. dispatch_cost)
+      0.0 ks
+  in
+  (* Schedule one (sub)graph. The slicing state (Algorithm 1) yields the
+     fused candidate; the partitioning state (Algorithm 2 / §5.3) yields
+     split candidates — on unschedulable SMGs out of necessity, and on
+     schedulable ones as alternative candidate schedules that the tuner
+     arbitrates (this is what rejects e.g. wide-MLP fusion as unprofitable
+     rather than infeasible).
+
+     Each level returns a small beam — the best fused plan and the best
+     split plan — because kernels couple through the L2 model: a locally
+     second-best sub-plan can compose into the globally cheapest plan.
+     Memoized on the original-node subset: the recursive exploration
+     revisits the same sub-SMG prefixes many times. *)
+  let memo : (string, kernel_choice list list) Hashtbl.t = Hashtbl.create 32 in
+  let rec schedule_graph g orig =
+    let key =
+      Ir.Graph.nodes g
+      |> List.filter_map (fun (n : G.node) ->
+             match n.kind with
+             | G.Input _ | G.Weight _ | G.Const _ -> None
+             | _ -> Some (string_of_int (orig n.id)))
+      |> String.concat ","
+    in
+    match Hashtbl.find_opt memo key with
+    | Some ks -> ks
+    | None ->
+        let ks = schedule_graph_uncached g orig in
+        Hashtbl.replace memo key ks;
+        ks
+
+  and schedule_graph_uncached g orig =
+    let tensor_of nid = name_of (orig nid) in
+    (* Disconnected fusion groups (no shared tensors at all) have no common
+       spatial dimension: schedule each weakly-connected component on its
+       own. Components sharing only a kernel input stay together (split-K
+       style fusion of sibling projections can profit from the shared
+       stream). *)
+    match components g with
+    | first :: (_ :: _ as rest) ->
+        let per_comp =
+          List.map
+            (fun comp ->
+              let part = Partition.subgraph g ~keep:comp ~name_of:tensor_of in
+              best_of
+                (schedule_graph part.Partition.part_graph (fun nid ->
+                     orig (part.Partition.part_orig nid))))
+            (first :: rest)
+        in
+        [ List.concat per_comp ]
+    | _ -> schedule_connected g orig
+
+  and best_of candidates =
+    match candidates with
+    | [] -> assert false
+    | c :: rest ->
+        List.fold_left (fun acc c -> if plan_cost c < plan_cost acc then c else acc) c rest
+
+  and schedule_connected g orig =
+    let tensor_of nid = name_of (orig nid) in
+    let smg = Smg.build g in
+    let kname = Printf.sprintf "%s.k%d" name !kcount in
+    let fused =
+      (* One beam candidate per schedule family (spatial-only, temporal):
+         the tuner's per-kernel metric cannot anticipate cross-kernel cache
+         effects, so composition must get to weigh both. *)
+      match Auto_scheduler.run ~variant ~stats arch smg ~name:kname ~tensor_of with
+      | [] -> None
+      | scheds -> (
+          let per_schedule =
+            List.filter_map
+              (fun sched ->
+                match Tuner.pick_best ~stats arch device ~name:kname ~tensor_of [ sched ] with
+                | None -> None
+                | Some (schedule, cfg, kernel, cost) ->
+                    incr kcount;
+                    Some [ { kc_kernel = kernel; kc_schedule = schedule; kc_cfg = cfg; kc_cost = cost } ])
+              scheds
+          in
+          match per_schedule with [] -> None | l -> Some l)
+    in
+    let compose (gf : Partition.part) (gl : Partition.part option) =
+      (* Cartesian product of the two sides' beams. *)
+      let fs = schedule_graph gf.Partition.part_graph (fun nid -> orig (gf.Partition.part_orig nid)) in
+      let ls =
+        match gl with
+        | None -> [ [] ]
+        | Some gl ->
+            schedule_graph gl.Partition.part_graph (fun nid -> orig (gl.Partition.part_orig nid))
+      in
+      List.concat_map (fun f -> List.map (fun l -> f @ l) ls) fs
+    in
+    let split =
+      if List.length (Partition.segments g) < 2 then None
+      else begin
+        let name_of nid = tensor_of nid in
+        let candidates =
+          match fused with
+          | Some _ ->
+              (* Schedulable: offer the §5.3 alternative splits; recursion
+                 explores deeper boundaries. *)
+              List.map (fun (gf, gl) -> (gf, Some gl)) (Partition.peel_candidates g ~name_of)
+          | None -> (
+              (* Unschedulable: Algorithm 2 finds the largest schedulable
+                 prefix. *)
+              let schedulable g' =
+                Auto_scheduler.exists_feasible ~variant arch (Smg.build g') ~name:kname
+                  ~tensor_of:name_of
+              in
+              match Partition.round g ~name_of ~schedulable with
+              | Error msg -> raise (Unschedulable (Printf.sprintf "%s: %s" name msg))
+              | Ok candidates -> List.filter (fun (_, glopt) -> glopt <> None) candidates)
+        in
+        if candidates <> [] then stats.Cstats.n_partitions <- stats.Cstats.n_partitions + 1;
+        let plans =
+          List.concat_map
+            (fun (gf, glopt) ->
+              match compose gf glopt with
+              | exception Unschedulable _ when fused <> None -> []
+              | ps -> ps)
+            candidates
+        in
+        match plans with [] -> None | p :: rest -> Some (best_of (p :: rest))
+      end
+    in
+    (match (fused, split) with
+    | Some kfs, Some ksplit ->
+        Log.debug (fun m ->
+            let kf = best_of kfs in
+            m "[%s] %d nodes: fused(%d kernels)=%.2fus vs split(%d)=%.2fus" kname
+              (G.num_nodes g) (List.length kf) (plan_cost kf *. 1e6) (List.length ksplit)
+              (plan_cost ksplit *. 1e6))
+    | _ -> ());
+    match (fused, split) with
+    | None, None ->
+        Log.debug (fun m -> m "[%s] dead end on graph:@.%a" kname G.pp g);
+        raise (Unschedulable (Printf.sprintf "%s: no lowerable configuration" kname))
+    | Some ks, None -> ks
+    | None, Some ks -> [ ks ]
+    | Some kfs, Some ksplit -> kfs @ [ ksplit ]
+  in
+  let smg = Smg.build graph in
+  let choices =
+    let candidates = schedule_graph graph (fun nid -> nid) in
+    List.fold_left
+      (fun acc c -> if plan_cost c < plan_cost acc then c else acc)
+      (List.hd candidates) (List.tl candidates)
+  in
+  stats.Cstats.t_total <- Unix.gettimeofday () -. t_start;
+  let decls =
+    List.filter_map
+      (fun (n : G.node) ->
+        match n.kind with G.Const _ -> None | _ -> Some (name_of n.id, n.shape))
+      (G.nodes graph)
+  in
+  {
+    c_name = name;
+    c_plan = { Gpu.Plan.p_name = name; p_kernels = List.map (fun c -> c.kc_kernel) choices; p_decls = decls };
+    c_choices = choices;
+    c_stats = stats;
+    c_smg = smg;
+  }
+
+let output_names c =
+  List.mapi (fun i _ -> Printf.sprintf "%s:out%d" c.c_name i) (G.outputs (Smg.graph c.c_smg))

@@ -1,0 +1,41 @@
+(** SpaceFusion's end-to-end compilation pipeline (Fig 9):
+
+    program preprocessing (the caller segments models into subprograms) →
+    SMG building → auto-scheduling, iterating between the slicing state
+    (Algorithm 1) and the partitioning state (Algorithm 2, with the §5.3
+    candidate-schedule exploration arbitrated by the tuner) → lowering →
+    an executable {!Gpu.Plan.t}. *)
+
+type kernel_choice = {
+  kc_kernel : Gpu.Kernel.t;
+  kc_schedule : Schedule.t;
+  kc_cfg : Schedule.cfg;
+  kc_cost : float;  (** tuned simulated seconds *)
+}
+
+type compiled = {
+  c_name : string;
+  c_plan : Gpu.Plan.t;
+  c_choices : kernel_choice list;  (** one per emitted kernel, launch order *)
+  c_stats : Cstats.t;
+  c_smg : Smg.t;  (** the SMG of the whole (pre-partitioning) subprogram *)
+}
+
+exception Unschedulable of string
+
+val compile :
+  ?variant:Auto_scheduler.variant ->
+  ?tensor_names:(Ir.Graph.node_id -> string) ->
+  arch:Gpu.Arch.t ->
+  name:string ->
+  Ir.Graph.t ->
+  compiled
+(** Compile one subprogram. [name] prefixes intermediate tensor names.
+    Graph inputs and weights keep their declared names; output [i] is
+    published as ["<name>:out<i>"]. [tensor_names] overrides the naming
+    scheme entirely (used when compiling an extracted fusion group whose
+    tensors must keep the enclosing program's names). *)
+
+val output_names : compiled -> string list
+val tensor_name : name:string -> Ir.Graph.t -> Ir.Graph.node_id -> string
+(** The global-tensor naming scheme (exposed for the runtime/tests). *)

@@ -1,0 +1,30 @@
+let alpha = 0.25
+
+let kernel_cost arch device kernel =
+  let stats = Gpu.Exec.run ~mode:Gpu.Exec.Analytic device kernel in
+  let cache = Gpu.Cost.fresh_cache arch in
+  (Gpu.Cost.kernel_time arch cache stats).Gpu.Cost.time
+
+let pick_best ?stats arch device ~name ~tensor_of (scheds : Auto_scheduler.scheduled list) =
+  let cstats = match stats with Some s -> s | None -> Cstats.create () in
+  let best = ref None in
+  let best_cost = ref infinity in
+  Cstats.timed cstats Cstats.Tune (fun () ->
+      List.iter
+        (fun { Auto_scheduler.schedule; cfgs } ->
+          List.iter
+            (fun cfg ->
+              match Lower.lower schedule cfg ~name ~tensor_of with
+              | exception Lower.Unlowerable _ -> ()
+              | kernel ->
+                  cstats.Cstats.n_cfgs <- cstats.Cstats.n_cfgs + 1;
+                  let cost = kernel_cost arch device kernel in
+                  if cost > !best_cost /. alpha then
+                    cstats.Cstats.n_early_quit <- cstats.Cstats.n_early_quit + 1;
+                  if cost < !best_cost then begin
+                    best_cost := cost;
+                    best := Some (schedule, cfg, kernel, cost)
+                  end)
+            cfgs)
+        scheds);
+  !best

@@ -1,0 +1,23 @@
+(** Auto-tuning: pick the best (schedule, configuration) pair by scoring
+    lowered kernels on the simulated-GPU cost model (§6.5).
+
+    The early-quit mechanism mirrors the paper's: a candidate is abandoned
+    once its accumulated cost exceeds [best / alpha] (α = 0.25 by default) —
+    with analytic scoring this saves no wall-clock on single-kernel plans
+    but keeps the statistics (and multi-kernel candidate plans benefit). *)
+
+val alpha : float
+
+val kernel_cost : Gpu.Arch.t -> Gpu.Device.t -> Gpu.Kernel.t -> float
+(** Simulated seconds for one kernel on a fresh L2. *)
+
+val pick_best :
+  ?stats:Cstats.t ->
+  Gpu.Arch.t ->
+  Gpu.Device.t ->
+  name:string ->
+  tensor_of:(Ir.Graph.node_id -> string) ->
+  Auto_scheduler.scheduled list ->
+  (Schedule.t * Schedule.cfg * Gpu.Kernel.t * float) option
+(** Best candidate over every schedule's feasible configurations. The
+    device must have every touched tensor's shape declared. *)

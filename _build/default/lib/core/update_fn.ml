@@ -1,0 +1,113 @@
+module G = Ir.Graph
+module Op = Ir.Op
+
+type rplan =
+  | RMax
+  | RMin
+  | RUta of (Pexpr.atom * int) list
+  | RRaw of { raws : (int * Pexpr.expr) list; value : Pexpr.expr }
+
+type t = { tdim : int; two_pass : bool; reductions : (G.node_id * rplan) list }
+
+let analyze smg ~dim =
+  match Analysis.classify_a2o smg ~dim with
+  | Analysis.No_a2o -> Some { tdim = dim; two_pass = false; reductions = [] }
+  | Analysis.Independent reducers | Analysis.Dependent reducers ->
+      let extent = Fusedspace.dim_extent (Smg.fused smg) dim in
+      let order = List.sort compare reducers in
+      let exception Unsliceable in
+      (try
+         let plans = ref [] in
+         let plan_of node = List.assoc_opt node !plans in
+         let maintained_ok (atom, e) =
+           match atom with
+           (* Atoms must refer to values that are exact prefixes mid-stream.
+              Positive exponents would rescale a zero-initialized state by
+              new/old = x/0 on the first intra-block, so only divisor atoms
+              are accepted (all of Fig 8's update paths are divisors). *)
+           | Pexpr.AConst _ -> true
+           | Pexpr.AExp n | Pexpr.AScal n -> (
+               e < 0
+               &&
+               match plan_of n with
+               | Some RMax | Some RMin | Some (RUta _) -> true
+               | Some (RRaw _) | None -> false)
+         in
+         List.iter
+           (fun node ->
+             let d = Pexpr.rewrite ~extent (Pexpr.defn smg ~dim node) in
+             let plan =
+               match Pexpr.extract d with
+               | Some { nf_op = Op.Rmax; nf_scale = []; _ } -> RMax
+               | Some { nf_op = Op.Rmin; nf_scale = []; _ } -> RMin
+               | Some { nf_op = (Op.Rmax | Op.Rmin); _ } ->
+                   (* A scaled max cannot be rescaled after the fact. *)
+                   raise Unsliceable
+               | Some { nf_scale; _ } ->
+                   if List.for_all maintained_ok nf_scale then RUta nf_scale
+                   else raise Unsliceable
+               | None ->
+                   let raws, value = Pexpr.collect_raws d in
+                   (* The raw reductions must be pure streams: no reference
+                      to evolving scalars inside the reduced cores. *)
+                   List.iter
+                     (fun (_, r) ->
+                       match r with
+                       | Pexpr.ERed (op, core) ->
+                           if (not (Op.redop_is_linear op)) || Pexpr.contains_escal core then
+                             raise Unsliceable
+                       | _ -> raise Unsliceable)
+                     raws;
+                   (* The reconstructed value may reference maintained
+                      scalars — valid only after the loop. *)
+                   if
+                     not
+                       (List.for_all
+                          (fun n -> match plan_of n with Some _ -> true | None -> false)
+                          (Pexpr.free_escals value))
+                   then raise Unsliceable;
+                   RRaw { raws; value }
+             in
+             plans := !plans @ [ (node, plan) ])
+           order;
+         (* A reduction maintained as RRaw has no meaningful mid-stream
+            value, so no later reduction may consume it. *)
+         let g = Smg.graph smg in
+         List.iter
+           (fun (node, plan) ->
+             match plan with
+             | RRaw _ ->
+                 List.iter
+                   (fun (later, _) ->
+                     if later <> node && Analysis.reaches g node later then raise Unsliceable)
+                   !plans
+             | _ -> ())
+           !plans;
+         Some
+           {
+             tdim = dim;
+             two_pass = Analysis.output_depends_on_dim_reduction smg ~dim;
+             reductions = !plans;
+           }
+       with Unsliceable -> None)
+
+let atom_to_string = function
+  | Pexpr.AExp n -> Printf.sprintf "exp(S%d)" n
+  | Pexpr.AScal n -> Printf.sprintf "S%d" n
+  | Pexpr.AConst c -> Printf.sprintf "%g" c
+
+let factor_to_string f =
+  if f = [] then "1"
+  else
+    String.concat " * "
+      (List.map
+         (fun (a, e) ->
+           if e = 1 then atom_to_string a else Printf.sprintf "%s^%d" (atom_to_string a) e)
+         f)
+
+let rplan_to_string = function
+  | RMax -> "max-aggregate"
+  | RMin -> "min-aggregate"
+  | RUta [] -> "simple-aggregate"
+  | RUta f -> Printf.sprintf "update-then-aggregate (g = %s)" (factor_to_string f)
+  | RRaw { raws; _ } -> Printf.sprintf "raw-aggregate (%d raw reductions)" (List.length raws)

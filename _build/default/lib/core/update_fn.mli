@@ -1,0 +1,43 @@
+(** Automatic Update-Function generation (§4.3, Fig 8).
+
+    For a temporal slicing of an SMG block along one dimension, decides how
+    each reduction along that dimension is maintained across the serially
+    executed intra-blocks:
+
+    - [RMax]/[RMin]: aggregate with max/min (update is the identity);
+    - [RUta factor]: maintained as the paper's Update-then-Aggregate — the
+      state is first rescaled by [g(new)/g(old)] where [g] is the scalar
+      monomial of the reduction's postposed normal form (this generates
+      exactly [updateSum]/[updateOut] for attention), then the current
+      intra-block's contribution is aggregated;
+    - [RRaw]: the normal form mixes several reductions (e.g. a variance):
+      the raw postposed reductions are maintained by Simple Aggregate and
+      the value is reconstructed from them after the loop.
+
+    Independent All-to-Ones degenerate to [RUta []] / [RMax] — Simple
+    Aggregate — without any special casing. *)
+
+type rplan =
+  | RMax
+  | RMin
+  | RUta of (Pexpr.atom * int) list
+  | RRaw of { raws : (int * Pexpr.expr) list; value : Pexpr.expr }
+      (** [raws]: slot → [ERed] term to maintain; [value]: the node's value
+          over [ERaw] slots and maintained scalars, valid once the loop has
+          completed. *)
+
+type t = {
+  tdim : int;
+  two_pass : bool;
+      (** an output extends along the dimension and depends on its
+          reductions: stream a second pass instead of UTA (LayerNorm). *)
+  reductions : (Ir.Graph.node_id * rplan) list;  (** chain order *)
+}
+
+val analyze : Smg.t -> dim:int -> t option
+(** [None] when the dimension cannot be temporally sliced: a reduction's
+    chain fails to simplify (Table 3's △ analysis fails), or a later
+    reduction depends on an [RRaw] value mid-stream. *)
+
+val factor_to_string : (Pexpr.atom * int) list -> string
+val rplan_to_string : rplan -> string

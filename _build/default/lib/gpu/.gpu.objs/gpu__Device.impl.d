@@ -1,0 +1,1 @@
+lib/gpu/device.ml: Arch Array Hashtbl Printf Shape Tensor

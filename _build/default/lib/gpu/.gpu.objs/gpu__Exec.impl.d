@@ -1,0 +1,1 @@
+lib/gpu/exec.ml: Arch Array Device Hashtbl Ir Kernel List Printf Shape

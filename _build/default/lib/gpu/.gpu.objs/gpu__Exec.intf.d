@@ -1,0 +1,1 @@
+lib/gpu/exec.mli: Arch Device Kernel

@@ -1,0 +1,1 @@
+lib/gpu/plan.ml: Device Format Kernel List Shape

@@ -1,0 +1,1 @@
+lib/gpu/plan.mli: Device Format Kernel Shape

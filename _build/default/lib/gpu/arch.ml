@@ -1,0 +1,74 @@
+type t = {
+  name : string;
+  sms : int;
+  smem_per_block : int;
+  regs_per_block : int;
+  l1_size : int;
+  l2_size : int;
+  dram_bw : float;
+  l2_bw : float;
+  tensor_flops : float;
+  simd_flops : float;
+  launch_us : float;
+}
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+let volta =
+  {
+    name = "Volta";
+    sms = 80;
+    smem_per_block = kib 96;
+    regs_per_block = 65536;
+    l1_size = kib 32;
+    l2_size = mib 6;
+    dram_bw = 0.90e12;
+    l2_bw = 2.2e12;
+    tensor_flops = 112.0e12;
+    simd_flops = 28.0e12;
+    launch_us = 3.5;
+  }
+
+let ampere =
+  {
+    name = "Ampere";
+    sms = 108;
+    smem_per_block = kib 164;
+    regs_per_block = 65536;
+    l1_size = kib 64;
+    l2_size = mib 40;
+    dram_bw = 2.0e12;
+    l2_bw = 4.5e12;
+    tensor_flops = 312.0e12;
+    simd_flops = 75.0e12;
+    launch_us = 3.0;
+  }
+
+let hopper =
+  (* H100 PCIe-class figures; peak ratio vs Volta/Ampere matches the
+     1 : 2.79 : 6.75 the paper quotes in §6.4. *)
+  {
+    name = "Hopper";
+    sms = 114;
+    smem_per_block = kib 228;
+    regs_per_block = 65536;
+    l1_size = kib 128;
+    l2_size = mib 50;
+    dram_bw = 2.4e12;
+    l2_bw = 6.5e12;
+    tensor_flops = 756.0e12;
+    simd_flops = 120.0e12;
+    launch_us = 2.5;
+  }
+
+let all = [ volta; ampere; hopper ]
+
+let by_name s =
+  let s = String.lowercase_ascii s in
+  match List.find_opt (fun a -> String.lowercase_ascii a.name = s) all with
+  | Some a -> a
+  | None -> raise Not_found
+
+let elt_bytes = 2
+let sector_bytes = 32

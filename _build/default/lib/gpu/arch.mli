@@ -1,0 +1,34 @@
+(** Simulated GPU architecture configurations.
+
+    These stand in for the paper's V100 (Volta), A100 (Ampere) and H100
+    (Hopper) testbeds. Resource limits gate scheduling decisions exactly as
+    they do on real hardware; throughput numbers are the public datasheet
+    figures used only by the analytic timing model. *)
+
+type t = {
+  name : string;
+  sms : int;  (** streaming multiprocessors *)
+  smem_per_block : int;  (** max shared memory per thread block, bytes *)
+  regs_per_block : int;  (** max 32-bit registers per thread block *)
+  l1_size : int;  (** per-SM L1 data cache, bytes *)
+  l2_size : int;  (** device-wide L2, bytes *)
+  dram_bw : float;  (** bytes/sec *)
+  l2_bw : float;  (** bytes/sec *)
+  tensor_flops : float;  (** FP16 tensor-core flops/sec (GEMM) *)
+  simd_flops : float;  (** FP16 vector flops/sec (non-GEMM) *)
+  launch_us : float;  (** GPU-side kernel launch latency, microseconds *)
+}
+
+val volta : t
+val ampere : t
+val hopper : t
+val all : t list
+val by_name : string -> t
+(** Case-insensitive; raises [Not_found]. *)
+
+val elt_bytes : int
+(** Element size used for traffic accounting (FP16 = 2). *)
+
+val sector_bytes : int
+(** Cache sector granularity for miss counting (32B, as in NVIDIA
+    profilers). *)

@@ -1,0 +1,147 @@
+type timing = {
+  time : float;
+  l1_access : float;
+  l1_miss : float;
+  l2_access : float;
+  l2_miss : float;
+  dram_read : float;
+  dram_write : float;
+  compute_time : float;
+  mem_time : float;
+}
+
+let zero =
+  {
+    time = 0.0;
+    l1_access = 0.0;
+    l1_miss = 0.0;
+    l2_access = 0.0;
+    l2_miss = 0.0;
+    dram_read = 0.0;
+    dram_write = 0.0;
+    compute_time = 0.0;
+    mem_time = 0.0;
+  }
+
+let add a b =
+  {
+    time = a.time +. b.time;
+    l1_access = a.l1_access +. b.l1_access;
+    l1_miss = a.l1_miss +. b.l1_miss;
+    l2_access = a.l2_access +. b.l2_access;
+    l2_miss = a.l2_miss +. b.l2_miss;
+    dram_read = a.dram_read +. b.dram_read;
+    dram_write = a.dram_write +. b.dram_write;
+    compute_time = a.compute_time +. b.compute_time;
+    mem_time = a.mem_time +. b.mem_time;
+  }
+
+(* LRU of tensors resident in L2, most recent first. *)
+type cache = { arch : Arch.t; mutable resident : (string * int) list }
+
+let fresh_cache arch = { arch; resident = [] }
+
+let is_resident cache name = List.mem_assoc name cache.resident
+
+let touch cache name bytes =
+  let kept = List.remove_assoc name cache.resident in
+  let entry = (name, min bytes cache.arch.Arch.l2_size) in
+  (* Evict least-recently-used entries beyond capacity. *)
+  let rec fit acc used = function
+    | [] -> List.rev acc
+    | (n, b) :: rest -> if used + b > cache.arch.Arch.l2_size then List.rev acc else fit ((n, b) :: acc) (used + b) rest
+  in
+  cache.resident <- fit [] 0 (entry :: kept)
+
+let sector = float_of_int Arch.sector_bytes
+
+let kernel_time (arch : Arch.t) cache (ks : Exec.kstats) =
+  let l1_access = ref 0.0
+  and l1_miss = ref 0.0
+  and l2_access = ref 0.0
+  and l2_miss = ref 0.0
+  and dram_read = ref 0.0
+  and dram_write = ref 0.0 in
+  List.iter
+    (fun (tr : Exec.transfer) ->
+      let requested = float_of_int tr.tr_requested in
+      let unique = float_of_int tr.tr_unique in
+      let accesses = requested /. sector in
+      l1_access := !l1_access +. accesses;
+      (* Re-passes over a block-local region hit in L1 when it fits. *)
+      let hits_l1 =
+        if tr.tr_passes > 1 && tr.tr_per_block <= arch.l1_size then
+          accesses *. float_of_int (tr.tr_passes - 1) /. float_of_int tr.tr_passes
+        else 0.0
+      in
+      l1_miss := !l1_miss +. (accesses -. hits_l1);
+      let to_l2 = accesses -. hits_l1 in
+      l2_access := !l2_access +. to_l2;
+      let unique_sectors = unique /. sector in
+      let redundant = Float.max 0.0 (to_l2 -. unique_sectors) in
+      (* Cross-block reuse within the kernel hits while the tensor fits. *)
+      let redundant_hit_frac =
+        if tr.tr_unique <= arch.l2_size then 1.0
+        else 0.5 *. float_of_int arch.l2_size /. unique
+      in
+      let first_touch_miss =
+        if is_resident cache tr.tr_tensor && tr.tr_unique <= arch.l2_size then 0.0
+        else Float.min to_l2 unique_sectors
+      in
+      let miss = first_touch_miss +. (redundant *. (1.0 -. redundant_hit_frac)) in
+      l2_miss := !l2_miss +. miss;
+      dram_read := !dram_read +. (miss *. sector);
+      touch cache tr.tr_tensor tr.tr_unique)
+    ks.ks_reads;
+  List.iter
+    (fun (tr : Exec.transfer) ->
+      let requested = float_of_int tr.tr_requested in
+      let unique = float_of_int tr.tr_unique in
+      let accesses = requested /. sector in
+      l1_access := !l1_access +. accesses;
+      l1_miss := !l1_miss +. accesses;
+      l2_access := !l2_access +. accesses;
+      (* Written data eventually spills to DRAM once per unique byte. *)
+      l2_miss := !l2_miss +. (unique /. sector);
+      dram_write := !dram_write +. unique;
+      touch cache tr.tr_tensor tr.tr_unique)
+    ks.ks_writes;
+  (* Utilization: wave quantization at block granularity, with occupancy
+     boosted when blocks are light on shared memory. *)
+  let blocks_per_sm =
+    if ks.ks_smem_bytes <= 0 then 8
+    else max 1 (min 8 (arch.smem_per_block / max 1 ks.ks_smem_bytes))
+  in
+  let concurrent = arch.sms * blocks_per_sm in
+  let blocks = float_of_int ks.ks_blocks in
+  let util =
+    if ks.ks_blocks >= concurrent then
+      (* Wave quantization: the tail wave runs under-filled. *)
+      let waves = ceil (blocks /. float_of_int concurrent) in
+      blocks /. (waves *. float_of_int concurrent)
+    else
+      (* Fewer resident blocks than SMs leaves SMs idle; extra resident
+         blocks per SM only hide latency, they do not add capacity. *)
+      Float.min 1.0 (blocks /. float_of_int arch.sms)
+  in
+  let util = Float.max util 0.05 in
+  let bw_util = Float.max util 0.25 in
+  let compute_time =
+    (ks.ks_gemm_flops /. (arch.tensor_flops *. 0.75 *. util))
+    +. (ks.ks_simd_flops /. (arch.simd_flops *. 0.85 *. util))
+  in
+  let dram_time = (!dram_read +. !dram_write) /. (arch.dram_bw *. bw_util) in
+  let l2_time = !l2_access *. sector /. (arch.l2_bw *. bw_util) in
+  let mem_time = Float.max dram_time l2_time in
+  let busy = Float.max compute_time mem_time +. (0.2 *. Float.min compute_time mem_time) in
+  {
+    time = (arch.launch_us *. 1e-6) +. busy;
+    l1_access = !l1_access;
+    l1_miss = !l1_miss;
+    l2_access = !l2_access;
+    l2_miss = !l2_miss;
+    dram_read = !dram_read;
+    dram_write = !dram_write;
+    compute_time;
+    mem_time;
+  }

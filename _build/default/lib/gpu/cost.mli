@@ -1,0 +1,37 @@
+(** Analytic timing and cache model.
+
+    Converts {!Exec.kstats} into simulated kernel time plus L1/L2/DRAM
+    counters, mirroring what NVIDIA profilers report (Fig 15 of the paper).
+    The model is deliberately simple and explainable:
+
+    - L1 (per-SM): a block's repeated passes over the same region hit if the
+      region fits in L1; everything else misses to L2.
+    - L2 (device-wide): redundant requests across blocks of one kernel hit
+      while the tensor's unique footprint fits in L2; first touches hit only
+      if a previous kernel left the tensor resident (tracked LRU across the
+      plan). Misses go to DRAM.
+    - time = launch + max(compute, memory), with a wave-quantized
+      utilization factor — few blocks cannot saturate the machine, which is
+      what makes unfused batch-1 inference overhead-bound (§6.2). *)
+
+type timing = {
+  time : float;  (** seconds, GPU side (no CPU dispatch) *)
+  l1_access : float;  (** sectors *)
+  l1_miss : float;
+  l2_access : float;
+  l2_miss : float;
+  dram_read : float;  (** bytes *)
+  dram_write : float;
+  compute_time : float;
+  mem_time : float;
+}
+
+type cache
+(** Simulated cross-kernel L2 residency. *)
+
+val fresh_cache : Arch.t -> cache
+val kernel_time : Arch.t -> cache -> Exec.kstats -> timing
+(** Scores one kernel and updates the L2 residency state. *)
+
+val add : timing -> timing -> timing
+val zero : timing

@@ -1,0 +1,47 @@
+type entry = { eshape : Shape.t; mutable edata : float array option }
+
+type t = { tensors : (string, entry) Hashtbl.t }
+
+let create () = { tensors = Hashtbl.create 64 }
+
+let declare t name shape =
+  Shape.validate shape;
+  match Hashtbl.find_opt t.tensors name with
+  | None -> Hashtbl.replace t.tensors name { eshape = shape; edata = None }
+  | Some e ->
+      if not (Shape.equal e.eshape shape) then
+        invalid_arg
+          (Printf.sprintf "Device.declare: %S redeclared %s -> %s" name
+             (Shape.to_string e.eshape) (Shape.to_string shape))
+
+let bind t name tensor =
+  declare t name (Tensor.shape tensor);
+  (Hashtbl.find t.tensors name).edata <- Some (Tensor.data tensor)
+
+let find t name =
+  match Hashtbl.find_opt t.tensors name with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Device: unknown tensor %S" name)
+
+let shape t name = (find t name).eshape
+let mem t name = Hashtbl.mem t.tensors name
+
+let ensure_data t name =
+  let e = find t name in
+  match e.edata with
+  | Some d -> d
+  | None ->
+      let d = Array.make (Shape.numel e.eshape) 0.0 in
+      e.edata <- Some d;
+      d
+
+let tensor t name =
+  let e = find t name in
+  match e.edata with
+  | Some d -> Tensor.of_array e.eshape d
+  | None -> invalid_arg (Printf.sprintf "Device.tensor: %S has no data (analytic run?)" name)
+
+let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tensors []
+
+let footprint_bytes t =
+  Hashtbl.fold (fun _ e acc -> acc + (Shape.numel e.eshape * Arch.elt_bytes)) t.tensors 0

@@ -1,0 +1,27 @@
+(** Simulated device global memory: a table of named tensors. In analytic
+    runs only shapes are tracked; in full (functional) runs tensors carry
+    data. *)
+
+type t
+
+val create : unit -> t
+val declare : t -> string -> Shape.t -> unit
+(** Declare a tensor's shape (idempotent if shapes agree; raises
+    [Invalid_argument] on conflicting redeclaration). *)
+
+val bind : t -> string -> Tensor.t -> unit
+(** Declare and attach data. *)
+
+val shape : t -> string -> Shape.t
+val mem : t -> string -> bool
+val tensor : t -> string -> Tensor.t
+(** Raises [Invalid_argument] if undeclared or data-less. *)
+
+val ensure_data : t -> string -> float array
+(** The tensor's buffer, allocating zeros on first touch (for kernel
+    outputs in full mode). *)
+
+val names : t -> string list
+val footprint_bytes : t -> int
+(** Total declared bytes at FP16 accounting — the device-memory usage the
+    paper's fusion reduces. *)

@@ -1,0 +1,485 @@
+type mode = Full | Analytic
+
+type transfer = {
+  tr_tensor : string;
+  tr_requested : int;
+  tr_unique : int;
+  tr_per_block : int;
+  tr_passes : int;
+}
+
+type kstats = {
+  ks_name : string;
+  ks_blocks : int;
+  ks_steps : int;
+  ks_gemm_flops : float;
+  ks_simd_flops : float;
+  ks_smem_bytes : int;
+  ks_reg_bytes : int;
+  ks_moved_bytes : float;
+  ks_reads : transfer list;
+  ks_writes : transfer list;
+  ks_tags : string list;
+}
+
+exception Resource_exceeded of string
+
+let ceil_div a b = (a + b - 1) / b
+
+(* ------------------------------------------------------------------ *)
+(* Buffer state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type bufstate = {
+  spec : Kernel.buf;
+  store : float array;  (* capacity-sized; empty in analytic mode *)
+  mutable rows : int;  (* active extent *)
+  mutable cols : int;
+}
+
+(* The executor threads a context carrying, for the current block and step,
+   each grid dimension's origin and (edge-clamped) segment length. Analytic
+   walks set origins to 0 and carry a class multiplicity instead. *)
+type ctx = {
+  blk : (string * (int * int)) list;  (* dim -> origin, segment *)
+  step : int * int;  (* origin, segment of the temporal tile *)
+  mult : float;
+  in_loop : bool;
+}
+
+type acc = { mutable gemm_flops : float; mutable simd_flops : float; mutable bytes : float }
+
+let seg_of ctx d =
+  match List.assoc_opt d ctx.blk with
+  | Some os -> os
+  | None -> invalid_arg (Printf.sprintf "Exec: unknown grid dim %S" d)
+
+let resolve_dimsize ctx (k : Kernel.t) = function
+  | Kernel.Lit n -> n
+  | Kernel.Tile -> snd ctx.step
+  | Kernel.Blk d -> (
+      match List.assoc_opt d ctx.blk with
+      | Some (_, seg) -> seg
+      | None ->
+          (* Fall back to the declared block size (validation already
+             guaranteed the dim exists). *)
+          (List.find (fun (g : Kernel.grid_dim) -> g.gdim = d) k.grid).block)
+
+(* Nominal (non-edge) extent of one axis transfer, used for stable
+   row/column orientation. *)
+let nominal_len (k : Kernel.t) = function
+  | Kernel.IGrid d -> (List.find (fun (g : Kernel.grid_dim) -> g.gdim = d) k.grid).block
+  | Kernel.IStep -> ( match k.temporal with Some (_, _, tile) -> tile | None -> 1)
+  | Kernel.IAll -> max_int (* resolved against the axis extent below *)
+
+let axis_segments ctx shape idx =
+  if Array.length idx <> Array.length shape then
+    invalid_arg
+      (Printf.sprintf "Exec: transfer rank %d does not match tensor rank %d" (Array.length idx)
+         (Array.length shape));
+  Array.mapi
+    (fun i ix ->
+      let extent = shape.(i) in
+      match ix with
+      | Kernel.IAll -> (0, extent)
+      | Kernel.IStep ->
+          let origin, seg = ctx.step in
+          if origin >= extent then (origin, 0) else (origin, min seg (extent - origin))
+      | Kernel.IGrid d ->
+          let origin, seg = seg_of ctx d in
+          if origin >= extent then (origin, 0) else (origin, min seg (extent - origin)))
+    idx
+
+(* Which axes map to tile rows/cols. At most two axes may have nominal
+   length > 1; a single wide axis orients against the destination buffer. *)
+let mapped_axes (k : Kernel.t) shape idx ~buf_cols_capacity =
+  let wide = ref [] in
+  Array.iteri
+    (fun i ix ->
+      let n = min (nominal_len k ix) shape.(i) in
+      if n > 1 then wide := i :: !wide)
+    idx;
+  match List.rev !wide with
+  | [] -> (None, None)
+  | [ a ] -> if buf_cols_capacity = 1 then (Some a, None) else (None, Some a)
+  | [ a; b ] -> (Some a, Some b)
+  | _ -> invalid_arg "Exec: transfer touches more than two non-unit axes"
+
+let active_of_segments segs (row_axis, col_axis) =
+  let len = function None -> 1 | Some a -> snd segs.(a) in
+  (len row_axis, len col_axis)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction semantics                                               *)
+(* ------------------------------------------------------------------ *)
+
+let buf_get bufs name =
+  match Hashtbl.find_opt bufs name with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Exec: unknown buffer %S" name)
+
+let binary_dims kname a b =
+  let broadcast x y =
+    if x = y then x
+    else if x = 1 then y
+    else if y = 1 then x
+    else
+      invalid_arg
+        (Printf.sprintf "Exec %s: broadcast mismatch %d vs %d" kname x y)
+  in
+  (broadcast a.rows b.rows, broadcast a.cols b.cols)
+
+let exec_instr ~mode ~(k : Kernel.t) ~device ~bufs ~acc ctx instr =
+  let full = mode = Full in
+  let simd n = acc.simd_flops <- acc.simd_flops +. (ctx.mult *. float_of_int n) in
+  match instr with
+  | Kernel.Load { tensor; dst; idx } ->
+      let shape = Device.shape device tensor in
+      let d = buf_get bufs dst in
+      let _, ccap = Kernel.buf_capacity k d.spec in
+      let axes = mapped_axes k shape idx ~buf_cols_capacity:ccap in
+      let segs = axis_segments ctx shape idx in
+      let r, c = active_of_segments segs axes in
+      d.rows <- r;
+      d.cols <- c;
+      acc.bytes <- acc.bytes +. (ctx.mult *. float_of_int (r * c * Arch.elt_bytes));
+      if full && r * c > 0 then begin
+        let data = Device.ensure_data device tensor in
+        let strides = Shape.strides shape in
+        let base = ref 0 in
+        Array.iteri (fun i (o, _) -> base := !base + (o * strides.(i))) segs;
+        let sr = match fst axes with None -> 0 | Some a -> strides.(a) in
+        let sc = match snd axes with None -> 0 | Some a -> strides.(a) in
+        for i = 0 to r - 1 do
+          for j = 0 to c - 1 do
+            d.store.((i * c) + j) <- data.(!base + (i * sr) + (j * sc))
+          done
+        done
+      end
+  | Kernel.Store { src; tensor; idx } ->
+      let shape = Device.shape device tensor in
+      let s = buf_get bufs src in
+      let axes = mapped_axes k shape idx ~buf_cols_capacity:s.cols in
+      let segs = axis_segments ctx shape idx in
+      let r, c = active_of_segments segs axes in
+      if r <> s.rows || c <> s.cols then
+        invalid_arg
+          (Printf.sprintf "Exec %s: store of %S expects %dx%d, buffer %S is %dx%d" k.kname tensor r
+             c src s.rows s.cols);
+      acc.bytes <- acc.bytes +. (ctx.mult *. float_of_int (r * c * Arch.elt_bytes));
+      if full && r * c > 0 then begin
+        let data = Device.ensure_data device tensor in
+        let strides = Shape.strides shape in
+        let base = ref 0 in
+        Array.iteri (fun i (o, _) -> base := !base + (o * strides.(i))) segs;
+        let sr = match fst axes with None -> 0 | Some a -> strides.(a) in
+        let sc = match snd axes with None -> 0 | Some a -> strides.(a) in
+        for i = 0 to r - 1 do
+          for j = 0 to c - 1 do
+            data.(!base + (i * sr) + (j * sc)) <- s.store.((i * c) + j)
+          done
+        done
+      end
+  | Kernel.Fill (name, v) ->
+      let b = buf_get bufs name in
+      let r = resolve_dimsize ctx k b.spec.brows and c = resolve_dimsize ctx k b.spec.bcols in
+      b.rows <- r;
+      b.cols <- c;
+      simd (r * c);
+      if full then Array.fill b.store 0 (r * c) v
+  | Kernel.Copy { dst; src } ->
+      let s = buf_get bufs src and d = buf_get bufs dst in
+      d.rows <- s.rows;
+      d.cols <- s.cols;
+      simd (s.rows * s.cols);
+      if full then Array.blit s.store 0 d.store 0 (s.rows * s.cols)
+  | Kernel.Unary { dst; op; src } ->
+      let s = buf_get bufs src and d = buf_get bufs dst in
+      let f = Ir.Op.apply_unop op in
+      d.rows <- s.rows;
+      d.cols <- s.cols;
+      simd (s.rows * s.cols);
+      if full then
+        for i = 0 to (s.rows * s.cols) - 1 do
+          d.store.(i) <- f s.store.(i)
+        done
+  | Kernel.Binary { dst; op; a; b } ->
+      let ba = buf_get bufs a and bb = buf_get bufs b in
+      let d = buf_get bufs dst in
+      let r, c = binary_dims k.kname ba bb in
+      let f = Ir.Op.apply_binop op in
+      simd (r * c);
+      if full then begin
+        (* [dst] may alias an operand; read via index functions. *)
+        let ra = ba.rows and ca = ba.cols and rb = bb.rows and cb = bb.cols in
+        let sa = ba.store and sb = bb.store in
+        let out = if d == ba || d == bb then Array.make (r * c) 0.0 else d.store in
+        for i = 0 to r - 1 do
+          let ia = if ra = 1 then 0 else i and ib = if rb = 1 then 0 else i in
+          for j = 0 to c - 1 do
+            let ja = if ca = 1 then 0 else j and jb = if cb = 1 then 0 else j in
+            out.((i * c) + j) <- f sa.((ia * ca) + ja) sb.((ib * cb) + jb)
+          done
+        done;
+        if out != d.store then Array.blit out 0 d.store 0 (r * c)
+      end;
+      d.rows <- r;
+      d.cols <- c
+  | Kernel.RowReduce { dst; op; src; accumulate } ->
+      let s = buf_get bufs src and d = buf_get bufs dst in
+      if accumulate && (d.rows <> s.rows || d.cols <> 1) then
+        invalid_arg
+          (Printf.sprintf "Exec %s: accumulating RowReduce into %S with stale dims" k.kname dst);
+      simd (s.rows * s.cols);
+      if full then begin
+        let combine = Ir.Op.redop_combine op and init = Ir.Op.redop_identity op in
+        for i = 0 to s.rows - 1 do
+          let a = ref init in
+          for j = 0 to s.cols - 1 do
+            a := combine !a s.store.((i * s.cols) + j)
+          done;
+          d.store.(i) <- (if accumulate then combine d.store.(i) !a else !a)
+        done
+      end;
+      d.rows <- s.rows;
+      d.cols <- 1
+  | Kernel.ColReduce { dst; op; src; accumulate } ->
+      let s = buf_get bufs src and d = buf_get bufs dst in
+      if accumulate && (d.rows <> 1 || d.cols <> s.cols) then
+        invalid_arg
+          (Printf.sprintf "Exec %s: accumulating ColReduce into %S with stale dims" k.kname dst);
+      simd (s.rows * s.cols);
+      if full then begin
+        let combine = Ir.Op.redop_combine op and init = Ir.Op.redop_identity op in
+        for j = 0 to s.cols - 1 do
+          let a = ref init in
+          for i = 0 to s.rows - 1 do
+            a := combine !a s.store.((i * s.cols) + j)
+          done;
+          d.store.(j) <- (if accumulate then combine d.store.(j) !a else !a)
+        done
+      end;
+      d.rows <- 1;
+      d.cols <- s.cols
+  | Kernel.Gemm { dst; a; b; trans_b; accumulate } ->
+      let ba = buf_get bufs a and bb = buf_get bufs b in
+      let d = buf_get bufs dst in
+      let r = ba.rows and ka = ba.cols in
+      let c, kb = if trans_b then (bb.rows, bb.cols) else (bb.cols, bb.rows) in
+      if ka <> kb then
+        invalid_arg
+          (Printf.sprintf "Exec %s: gemm contraction mismatch %d vs %d" k.kname ka kb);
+      if accumulate && (d.rows <> r || d.cols <> c) then
+        invalid_arg (Printf.sprintf "Exec %s: accumulating gemm into %S with stale dims" k.kname dst);
+      acc.gemm_flops <- acc.gemm_flops +. (ctx.mult *. float_of_int (2 * r * c * ka));
+      if full then begin
+        let sa = ba.store and sb = bb.store in
+        for i = 0 to r - 1 do
+          for j = 0 to c - 1 do
+            let s = ref 0.0 in
+            if trans_b then
+              for kk = 0 to ka - 1 do
+                s := !s +. (sa.((i * ka) + kk) *. sb.((j * ka) + kk))
+              done
+            else
+              for kk = 0 to ka - 1 do
+                s := !s +. (sa.((i * ka) + kk) *. sb.((kk * c) + j))
+              done;
+            d.store.((i * c) + j) <- (if accumulate then d.store.((i * c) + j) +. !s else !s)
+          done
+        done
+      end;
+      d.rows <- r;
+      d.cols <- c
+
+(* ------------------------------------------------------------------ *)
+(* Transfer summary (closed form)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let transfers device (k : Kernel.t) =
+  let nsteps = Kernel.num_steps k in
+  let temporal_extent = match k.temporal with Some (_, e, _) -> e | None -> 1 in
+  let table : (bool * string * Kernel.tindex array, int * int * int) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let record ~in_loop ~is_read tensor idx =
+    let shape = Device.shape device tensor in
+    let used_grid = ref [] in
+    let uses_step = ref false in
+    let requested = ref 1 and per_block = ref 1 in
+    Array.iteri
+      (fun i ix ->
+        let extent = shape.(i) in
+        match ix with
+        | Kernel.IAll ->
+            requested := !requested * extent;
+            per_block := !per_block * extent
+        | Kernel.IStep ->
+            uses_step := true;
+            requested := !requested * extent;
+            per_block := !per_block * temporal_extent
+        | Kernel.IGrid d ->
+            used_grid := d :: !used_grid;
+            let g = List.find (fun (g : Kernel.grid_dim) -> g.gdim = d) k.grid in
+            requested := !requested * extent;
+            per_block := !per_block * min g.block extent)
+      idx;
+    List.iter
+      (fun (g : Kernel.grid_dim) ->
+        if not (List.mem g.gdim !used_grid) then
+          requested := !requested * ceil_div g.extent g.block)
+      k.grid;
+    if in_loop && not !uses_step then requested := !requested * nsteps;
+    let key = (is_read, tensor, idx) in
+    let req, pb, passes =
+      match Hashtbl.find_opt table key with Some x -> x | None -> (0, 0, 0)
+    in
+    Hashtbl.replace table key (req + !requested, max pb !per_block, passes + 1)
+  in
+  List.iter
+    (fun stage ->
+      let in_loop, is_ = match stage with Kernel.Once is -> (false, is) | Kernel.ForEachStep is -> (true, is) in
+      List.iter
+        (function
+          | Kernel.Load { tensor; idx; _ } -> record ~in_loop ~is_read:true tensor idx
+          | Kernel.Store { tensor; idx; _ } -> record ~in_loop ~is_read:false tensor idx
+          | _ -> ())
+        is_)
+    k.stages;
+  let reads = ref [] and writes = ref [] in
+  Hashtbl.iter
+    (fun (is_read, tensor, _) (req, pb, passes) ->
+      let unique = Shape.numel (Device.shape device tensor) * Arch.elt_bytes in
+      let tr =
+        {
+          tr_tensor = tensor;
+          tr_requested = req * Arch.elt_bytes;
+          tr_unique = unique;
+          tr_per_block = pb * Arch.elt_bytes;
+          tr_passes = passes;
+        }
+      in
+      if is_read then reads := tr :: !reads else writes := tr :: !writes)
+    table;
+  (!reads, !writes)
+
+(* ------------------------------------------------------------------ *)
+(* Walks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_bufs ~mode (k : Kernel.t) =
+  let bufs = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Kernel.buf) ->
+      let r, c = Kernel.buf_capacity k b in
+      let store = if mode = Full then Array.make (max 1 (r * c)) 0.0 else [||] in
+      Hashtbl.replace bufs b.bname { spec = b; store; rows = 0; cols = 0 })
+    k.bufs;
+  bufs
+
+(* Enumerate (origin, segment) partitions of [extent] by [block]. *)
+let partitions extent block =
+  List.init (ceil_div extent block) (fun i ->
+      let o = i * block in
+      (o, min block (extent - o)))
+
+(* Segment classes: (segment, multiplicity). *)
+let seg_classes extent block =
+  let n = extent / block and rem = extent mod block in
+  (if n > 0 then [ (block, n) ] else []) @ if rem > 0 then [ (rem, 1) ] else []
+
+let run_full device (k : Kernel.t) acc =
+  let bufs = make_bufs ~mode:Full k in
+  let nominal_tile = match k.temporal with Some (_, _, t) -> t | None -> 1 in
+  let rec blocks dims chosen =
+    match dims with
+    | [] ->
+        let base_ctx = { blk = List.rev chosen; step = (0, nominal_tile); mult = 1.0; in_loop = false } in
+        List.iter
+          (function
+            | Kernel.Once is ->
+                List.iter (exec_instr ~mode:Full ~k ~device ~bufs ~acc base_ctx) is
+            | Kernel.ForEachStep is ->
+                let steps =
+                  match k.temporal with
+                  | None -> [ (0, 1) ]
+                  | Some (_, extent, tile) -> partitions extent tile
+                in
+                List.iter
+                  (fun step ->
+                    let ctx = { base_ctx with step; in_loop = true } in
+                    List.iter (exec_instr ~mode:Full ~k ~device ~bufs ~acc ctx) is)
+                  steps)
+          k.stages
+    | (g : Kernel.grid_dim) :: rest ->
+        List.iter (fun os -> blocks rest ((g.gdim, os) :: chosen)) (partitions g.extent g.block)
+  in
+  blocks k.grid []
+
+let run_analytic device (k : Kernel.t) acc =
+  let bufs = make_bufs ~mode:Analytic k in
+  let nominal_tile = match k.temporal with Some (_, _, t) -> t | None -> 1 in
+  (* Block classes: cartesian product of per-dim segment classes. *)
+  let rec classes dims chosen mult =
+    match dims with
+    | [] -> [ (List.rev chosen, mult) ]
+    | (g : Kernel.grid_dim) :: rest ->
+        List.concat_map
+          (fun (seg, count) ->
+            classes rest ((g.gdim, (0, seg)) :: chosen) (mult *. float_of_int count))
+          (seg_classes g.extent g.block)
+  in
+  List.iter
+    (fun (blk, mult) ->
+      let base_ctx = { blk; step = (0, nominal_tile); mult; in_loop = false } in
+      List.iter
+        (function
+          | Kernel.Once is ->
+              List.iter (exec_instr ~mode:Analytic ~k ~device ~bufs ~acc base_ctx) is
+          | Kernel.ForEachStep is ->
+              let step_cls =
+                match k.temporal with
+                | None -> [ (1, 1) ]
+                | Some (_, extent, tile) -> seg_classes extent tile
+              in
+              List.iter
+                (fun (seg, count) ->
+                  let ctx =
+                    { base_ctx with step = (0, seg); mult = mult *. float_of_int count; in_loop = true }
+                  in
+                  List.iter (exec_instr ~mode:Analytic ~k ~device ~bufs ~acc ctx) is)
+                step_cls)
+        k.stages)
+    (classes k.grid [] 1.0)
+
+let run ?(mode = Full) ?arch device (k : Kernel.t) =
+  Kernel.validate k;
+  let smem = Kernel.smem_bytes k and regs = Kernel.reg_bytes k in
+  (match arch with
+  | Some (a : Arch.t) ->
+      if smem > a.smem_per_block then
+        raise
+          (Resource_exceeded
+             (Printf.sprintf "kernel %s: %d B shared memory > %d B budget on %s" k.kname smem
+                a.smem_per_block a.name));
+      if regs > a.regs_per_block * 4 then
+        raise
+          (Resource_exceeded
+             (Printf.sprintf "kernel %s: %d B register tiles > budget on %s" k.kname regs a.name))
+  | None -> ());
+  let acc = { gemm_flops = 0.0; simd_flops = 0.0; bytes = 0.0 } in
+  (match mode with Full -> run_full device k acc | Analytic -> run_analytic device k acc);
+  let reads, writes = transfers device k in
+  {
+    ks_name = k.kname;
+    ks_blocks = Kernel.num_blocks k;
+    ks_steps = Kernel.num_steps k;
+    ks_gemm_flops = acc.gemm_flops;
+    ks_simd_flops = acc.simd_flops;
+    ks_smem_bytes = smem;
+    ks_reg_bytes = regs;
+    ks_moved_bytes = acc.bytes;
+    ks_reads = reads;
+    ks_writes = writes;
+    ks_tags = k.tags;
+  }

@@ -1,0 +1,43 @@
+(** Kernel executor.
+
+    [Full] mode runs the kernel functionally: every thread block is executed
+    against the device tensors (serially — the simulator models parallelism
+    in the cost model, not in execution order, which is valid precisely
+    because spatial slicing guarantees inter-block independence).
+
+    [Analytic] mode skips all data movement and computes the same cost
+    counters in closed form over block/step equivalence classes, so that
+    paper-scale workloads (e.g. Llama2-7B) are benchmarkable. A property
+    test asserts both modes agree on every counter. *)
+
+type mode = Full | Analytic
+
+type transfer = {
+  tr_tensor : string;
+  tr_requested : int;  (** bytes requested over the whole kernel *)
+  tr_unique : int;  (** distinct tensor bytes touched *)
+  tr_per_block : int;  (** bytes one block touches across its serial loop *)
+  tr_passes : int;  (** how many times a block re-traverses that region *)
+}
+
+type kstats = {
+  ks_name : string;
+  ks_blocks : int;
+  ks_steps : int;
+  ks_gemm_flops : float;
+  ks_simd_flops : float;
+  ks_smem_bytes : int;
+  ks_reg_bytes : int;
+  ks_moved_bytes : float;  (** bytes moved between global memory and tiles, walk-counted *)
+  ks_reads : transfer list;
+  ks_writes : transfer list;
+  ks_tags : string list;
+}
+
+exception Resource_exceeded of string
+
+val run : ?mode:mode -> ?arch:Arch.t -> Device.t -> Kernel.t -> kstats
+(** Executes (or analyzes) one kernel. When [arch] is given, raises
+    {!Resource_exceeded} if the kernel's shared-memory or register footprint
+    exceeds the per-block budget — fused schedules must never reach the
+    "hardware" with an over-budget tile configuration. *)

@@ -1,0 +1,14 @@
+type t = {
+  p_name : string;
+  p_kernels : Kernel.t list;
+  p_decls : (string * Shape.t) list;
+}
+
+let declare_all t device = List.iter (fun (name, shape) -> Device.declare device name shape) t.p_decls
+
+let num_kernels t = List.length t.p_kernels
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>plan %s (%d kernels)@," t.p_name (num_kernels t);
+  List.iter (fun k -> Format.fprintf fmt "%a@," Kernel.pp k) t.p_kernels;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,13 @@
+(** An executable plan: the kernels a scheduling policy (SpaceFusion or a
+    baseline) emits for one subprogram, plus the global tensors they
+    exchange. *)
+
+type t = {
+  p_name : string;
+  p_kernels : Kernel.t list;  (** launch order *)
+  p_decls : (string * Shape.t) list;  (** intermediate/output tensor shapes *)
+}
+
+val declare_all : t -> Device.t -> unit
+val num_kernels : t -> int
+val pp : Format.formatter -> t -> unit

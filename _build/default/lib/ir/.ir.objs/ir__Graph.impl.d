@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Array Format List Op Printf Shape

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Graph List Op Printf Rng Shape Tensor

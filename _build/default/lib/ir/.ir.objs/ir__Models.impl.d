@@ -1,0 +1,1 @@
+lib/ir/models.ml: Graph List Op Printf

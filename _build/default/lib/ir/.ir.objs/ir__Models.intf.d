@@ -1,0 +1,1 @@
+lib/ir/models.mli: Graph

@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Array Buffer Graph Hashtbl In_channel List Op Printf String

@@ -1,0 +1,125 @@
+type node_id = int
+
+type kind =
+  | Input of string
+  | Weight of string
+  | Const of float
+  | Unary of Op.unop * node_id
+  | Binary of Op.binop * node_id * node_id
+  | Reduce of { op : Op.redop; axis : int; keepdims : bool; arg : node_id }
+  | Matmul of { a : node_id; b : node_id; trans_b : bool }
+
+type node = { id : node_id; kind : kind; shape : Shape.t }
+
+type t = { mutable nodes : node array; mutable n : int; mutable outs : node_id list }
+
+let create () = { nodes = Array.make 16 { id = 0; kind = Const 0.0; shape = [||] }; n = 0; outs = [] }
+
+let node t id =
+  if id < 0 || id >= t.n then invalid_arg (Printf.sprintf "Graph.node: no node %d" id);
+  t.nodes.(id)
+
+let num_nodes t = t.n
+
+let add t kind shape =
+  if t.n = Array.length t.nodes then begin
+    let bigger = Array.make (2 * t.n) t.nodes.(0) in
+    Array.blit t.nodes 0 bigger 0 t.n;
+    t.nodes <- bigger
+  end;
+  let id = t.n in
+  t.nodes.(id) <- { id; kind; shape };
+  t.n <- t.n + 1;
+  id
+
+let input t name shape =
+  Shape.validate shape;
+  add t (Input name) shape
+
+let weight t name shape =
+  Shape.validate shape;
+  add t (Weight name) shape
+
+let const t v = add t (Const v) [||]
+
+let unary t op arg = add t (Unary (op, arg)) (node t arg).shape
+
+let binary t op a b =
+  let sa = (node t a).shape and sb = (node t b).shape in
+  add t (Binary (op, a, b)) (Shape.broadcast sa sb)
+
+let reduce t op ?(keepdims = false) ~axis arg =
+  let s = (node t arg).shape in
+  let axis = Shape.normalize_axis s axis in
+  add t (Reduce { op; axis; keepdims; arg }) (Shape.reduce s ~axis ~keepdims)
+
+let matmul t ?(trans_b = false) a b =
+  let sa = (node t a).shape and sb = (node t b).shape in
+  let ra = Shape.rank sa and rb = Shape.rank sb in
+  if ra < 2 || rb < 2 then invalid_arg "Graph.matmul: rank >= 2 required";
+  let m = sa.(ra - 2) and ka = sa.(ra - 1) in
+  let n, kb = if trans_b then (sb.(rb - 2), sb.(rb - 1)) else (sb.(rb - 1), sb.(rb - 2)) in
+  if ka <> kb then
+    invalid_arg
+      (Printf.sprintf "Graph.matmul: contraction mismatch %s x %s (trans_b=%b)"
+         (Shape.to_string sa) (Shape.to_string sb) trans_b);
+  let batch = Shape.broadcast (Array.sub sa 0 (ra - 2)) (Array.sub sb 0 (rb - 2)) in
+  add t (Matmul { a; b; trans_b }) (Array.append batch [| m; n |])
+
+let mark_output t id =
+  ignore (node t id);
+  if not (List.mem id t.outs) then t.outs <- t.outs @ [ id ]
+
+let nodes t = List.init t.n (fun i -> t.nodes.(i))
+
+let outputs t = t.outs
+
+let inputs t =
+  List.filter_map (fun n -> match n.kind with Input name -> Some (name, n.shape) | _ -> None) (nodes t)
+
+let weights t =
+  List.filter_map (fun n -> match n.kind with Weight name -> Some (name, n.shape) | _ -> None) (nodes t)
+
+let preds n =
+  match n.kind with
+  | Input _ | Weight _ | Const _ -> []
+  | Unary (_, a) -> [ a ]
+  | Binary (_, a, b) -> [ a; b ]
+  | Reduce { arg; _ } -> [ arg ]
+  | Matmul { a; b; _ } -> [ a; b ]
+
+let consumers t id =
+  List.filter_map (fun n -> if List.mem id (preds n) then Some n.id else None) (nodes t)
+
+let is_output t id = List.mem id t.outs
+
+let is_elementwise = function
+  | Unary _ -> true
+  | Binary _ -> true (* element-wise, possibly with broadcast *)
+  | Input _ | Weight _ | Const _ | Reduce _ | Matmul _ -> false
+
+let is_compute_intensive = function Matmul _ -> true | _ -> false
+
+let is_memory_intensive = function
+  | Unary _ | Binary _ | Reduce _ -> true
+  | Input _ | Weight _ | Const _ | Matmul _ -> false
+
+let kind_to_string = function
+  | Input name -> "input:" ^ name
+  | Weight name -> "weight:" ^ name
+  | Const v -> Printf.sprintf "const:%g" v
+  | Unary (op, a) -> Printf.sprintf "%s(%d)" (Op.unop_to_string op) a
+  | Binary (op, a, b) -> Printf.sprintf "%s(%d,%d)" (Op.binop_to_string op) a b
+  | Reduce { op; axis; arg; keepdims } ->
+      Printf.sprintf "reduce_%s(%d,axis=%d%s)" (Op.redop_to_string op) arg axis
+        (if keepdims then ",keepdims" else "")
+  | Matmul { a; b; trans_b } -> Printf.sprintf "matmul(%d,%d%s)" a b (if trans_b then ",T" else "")
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun n ->
+      Format.fprintf fmt "%%%d : %s = %s%s@," n.id (Shape.to_string n.shape) (kind_to_string n.kind)
+        (if is_output t n.id then "  (output)" else ""))
+    (nodes t);
+  Format.fprintf fmt "@]"

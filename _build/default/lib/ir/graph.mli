@@ -1,0 +1,59 @@
+(** Operator-level dataflow graphs (DFGs) — the high-level abstraction that
+    SpaceFusion consumes. Nodes carry concrete shapes; construction order is
+    a topological order. *)
+
+type node_id = int
+
+type kind =
+  | Input of string  (** runtime activation *)
+  | Weight of string  (** model parameter (constant at inference time) *)
+  | Const of float  (** scalar literal, shape [[||]] *)
+  | Unary of Op.unop * node_id
+  | Binary of Op.binop * node_id * node_id  (** with broadcasting *)
+  | Reduce of { op : Op.redop; axis : int; keepdims : bool; arg : node_id }
+  | Matmul of { a : node_id; b : node_id; trans_b : bool }
+
+type node = { id : node_id; kind : kind; shape : Shape.t }
+
+type t
+
+val create : unit -> t
+
+(** {1 Builders} — each returns the new node's id. *)
+
+val input : t -> string -> Shape.t -> node_id
+val weight : t -> string -> Shape.t -> node_id
+val const : t -> float -> node_id
+val unary : t -> Op.unop -> node_id -> node_id
+val binary : t -> Op.binop -> node_id -> node_id -> node_id
+val reduce : t -> Op.redop -> ?keepdims:bool -> axis:int -> node_id -> node_id
+val matmul : t -> ?trans_b:bool -> node_id -> node_id -> node_id
+val mark_output : t -> node_id -> unit
+
+(** {1 Inspection} *)
+
+val node : t -> node_id -> node
+val num_nodes : t -> int
+val nodes : t -> node list
+(** In topological (construction) order. *)
+
+val outputs : t -> node_id list
+val inputs : t -> (string * Shape.t) list
+val weights : t -> (string * Shape.t) list
+val preds : node -> node_id list
+(** Data dependencies of a node (empty for leaves). *)
+
+val consumers : t -> node_id -> node_id list
+val is_output : t -> node_id -> bool
+
+(** {1 Classification (§2 of the paper)} *)
+
+val is_elementwise : kind -> bool
+val is_compute_intensive : kind -> bool
+(** GEMM-family nodes. *)
+
+val is_memory_intensive : kind -> bool
+(** Non-leaf, non-GEMM nodes. *)
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type env = (string * Tensor.t) list
+
+let lookup env name shape =
+  match List.assoc_opt name env with
+  | None -> invalid_arg (Printf.sprintf "Interp: missing binding for %S" name)
+  | Some t ->
+      if not (Shape.equal (Tensor.shape t) shape) then
+        invalid_arg
+          (Printf.sprintf "Interp: %S has shape %s, expected %s" name
+             (Shape.to_string (Tensor.shape t))
+             (Shape.to_string shape));
+      t
+
+let eval_all g env =
+  let values = Array.make (Graph.num_nodes g) (Tensor.scalar 0.0) in
+  List.iter
+    (fun (n : Graph.node) ->
+      let v =
+        match n.kind with
+        | Graph.Input name | Graph.Weight name -> lookup env name n.shape
+        | Graph.Const c -> Tensor.scalar c
+        | Graph.Unary (op, a) -> Tensor.map (Op.apply_unop op) values.(a)
+        | Graph.Binary (op, a, b) -> Tensor.map2 (Op.apply_binop op) values.(a) values.(b)
+        | Graph.Reduce { op; axis; keepdims; arg } ->
+            let which =
+              match op with Op.Rsum -> `Sum | Op.Rmax -> `Max | Op.Rmin -> `Min | Op.Rmean -> `Mean
+            in
+            Tensor.reduce which ~axis ~keepdims values.(arg)
+        | Graph.Matmul { a; b; trans_b } -> Tensor.matmul ~trans_b values.(a) values.(b)
+      in
+      values.(n.id) <- v)
+    (Graph.nodes g);
+  values
+
+let eval g env =
+  let values = eval_all g env in
+  List.map (fun id -> values.(id)) (Graph.outputs g)
+
+let random_env ?(seed = 42) ?(scale = 0.5) g =
+  let rng = Rng.create seed in
+  let bind (name, shape) = (name, Tensor.randn ~scale rng shape) in
+  List.map bind (Graph.inputs g) @ List.map bind (Graph.weights g)

@@ -1,0 +1,15 @@
+(** Reference interpreter: evaluates a DFG with plain tensor semantics.
+    This is the correctness oracle every fused schedule is tested against. *)
+
+type env = (string * Tensor.t) list
+(** Bindings for [Input] and [Weight] nodes, by name. *)
+
+val eval : Graph.t -> env -> Tensor.t list
+(** Values of the graph's outputs, in [Graph.outputs] order. Raises
+    [Invalid_argument] if a name is missing or a shape mismatches. *)
+
+val eval_all : Graph.t -> env -> Tensor.t array
+(** Values of every node, indexed by node id. *)
+
+val random_env : ?seed:int -> ?scale:float -> Graph.t -> env
+(** Deterministic random inputs/weights matching the graph's declarations. *)

@@ -1,0 +1,338 @@
+type subprogram = { sp_name : string; graph : Graph.t; count : int }
+
+type model = { model_name : string; subprograms : subprogram list }
+
+let total_subgraphs m = List.fold_left (fun acc sp -> acc + sp.count) 0 m.subprograms
+
+(* ------------------------------------------------------------------ *)
+(* Shared graph fragments                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Normalize [x] along its last axis. [tag] disambiguates weight names when a
+   subprogram contains several norms. *)
+let add_norm g ~tag ~n ~kind x =
+  let eps = Graph.const g 1e-5 in
+  let gamma = Graph.weight g (tag ^ ".gamma") [| n |] in
+  match kind with
+  | `Layernorm ->
+      let mu = Graph.reduce g Op.Rmean ~keepdims:true ~axis:(-1) x in
+      let centered = Graph.binary g Op.Sub x mu in
+      let var = Graph.reduce g Op.Rmean ~keepdims:true ~axis:(-1) (Graph.unary g Op.Sqr centered) in
+      let std = Graph.unary g Op.Sqrt (Graph.binary g Op.Add var eps) in
+      let normed = Graph.binary g Op.Div centered std in
+      let scaled = Graph.binary g Op.Mul normed gamma in
+      let beta = Graph.weight g (tag ^ ".beta") [| n |] in
+      Graph.binary g Op.Add scaled beta
+  | `Rmsnorm ->
+      let ms = Graph.reduce g Op.Rmean ~keepdims:true ~axis:(-1) (Graph.unary g Op.Sqr x) in
+      let rms = Graph.unary g Op.Sqrt (Graph.binary g Op.Add ms eps) in
+      let normed = Graph.binary g Op.Div x rms in
+      Graph.binary g Op.Mul normed gamma
+
+let linear g ~tag ~out_dim x ~in_dim ?(bias = true) ?(act = `None) () =
+  let w = Graph.weight g (tag ^ ".w") [| out_dim; in_dim |] in
+  let y = Graph.matmul g ~trans_b:true x w in
+  let y =
+    if bias then Graph.binary g Op.Add y (Graph.weight g (tag ^ ".b") [| out_dim |]) else y
+  in
+  match act with
+  | `None -> y
+  | `Relu -> Graph.unary g Op.Relu y
+  | `Gelu -> Graph.unary g Op.Gelu y
+
+(* ------------------------------------------------------------------ *)
+(* Fig 10 subgraphs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mlp ~layers ~m ~n ~k =
+  if layers < 1 then invalid_arg "Models.mlp: layers >= 1";
+  let g = Graph.create () in
+  let x = Graph.input g "x" [| m; k |] in
+  let rec go x prev i =
+    if i > layers then x
+    else
+      let y = linear g ~tag:(Printf.sprintf "layer%d" i) ~out_dim:n x ~in_dim:prev ~act:`Relu () in
+      go y n (i + 1)
+  in
+  let out = go x k 1 in
+  Graph.mark_output g out;
+  g
+
+let lstm_cell ~m ~hidden ~input =
+  let g = Graph.create () in
+  let x = Graph.input g "x" [| m; input |] in
+  let h = Graph.input g "h" [| m; hidden |] in
+  let w1 = Graph.weight g "w_ih" [| hidden; input |] in
+  let w2 = Graph.weight g "w_hh" [| hidden; hidden |] in
+  let z1 = Graph.matmul g ~trans_b:true x w1 in
+  let z2 = Graph.matmul g ~trans_b:true h w2 in
+  let s = Graph.binary g Op.Add z1 z2 in
+  let gate = Graph.unary g Op.Sigmoid s in
+  let cand = Graph.unary g Op.Tanh s in
+  let out = Graph.binary g Op.Mul gate cand in
+  Graph.mark_output g out;
+  g
+
+let layernorm_graph ~m ~n =
+  let g = Graph.create () in
+  let x = Graph.input g "x" [| m; n |] in
+  let out = add_norm g ~tag:"ln" ~n ~kind:`Layernorm x in
+  Graph.mark_output g out;
+  g
+
+let rmsnorm_graph ~m ~n =
+  let g = Graph.create () in
+  let x = Graph.input g "x" [| m; n |] in
+  let out = add_norm g ~tag:"rms" ~n ~kind:`Rmsnorm x in
+  Graph.mark_output g out;
+  g
+
+let batchnorm_graph ~m ~n =
+  (* Training-style batch normalization: statistics along the batch axis
+     (axis 0) — the column-direction counterpart of LayerNorm. *)
+  let g = Graph.create () in
+  let x = Graph.input g "x" [| m; n |] in
+  let eps = Graph.const g 1e-5 in
+  let mu = Graph.reduce g Op.Rmean ~keepdims:true ~axis:0 x in
+  let centered = Graph.binary g Op.Sub x mu in
+  let var = Graph.reduce g Op.Rmean ~keepdims:true ~axis:0 (Graph.unary g Op.Sqr centered) in
+  let std = Graph.unary g Op.Sqrt (Graph.binary g Op.Add var eps) in
+  let normed = Graph.binary g Op.Div centered std in
+  let gamma = Graph.weight g "bn.gamma" [| n |] in
+  let beta = Graph.weight g "bn.beta" [| n |] in
+  Graph.mark_output g (Graph.binary g Op.Add (Graph.binary g Op.Mul normed gamma) beta);
+  g
+
+let softmax_graph ~m ~n =
+  let g = Graph.create () in
+  let x = Graph.input g "x" [| m; n |] in
+  let mx = Graph.reduce g Op.Rmax ~keepdims:true ~axis:1 x in
+  let e = Graph.unary g Op.Exp (Graph.binary g Op.Sub x mx) in
+  let s = Graph.reduce g Op.Rsum ~keepdims:true ~axis:1 e in
+  Graph.mark_output g (Graph.binary g Op.Div e s);
+  g
+
+let mha ?(causal = false) ~batch_heads ~seq_q ~seq_kv ~head_dim () =
+  let g = Graph.create () in
+  let q = Graph.input g "q" [| batch_heads; seq_q; head_dim |] in
+  let k = Graph.input g "k" [| batch_heads; seq_kv; head_dim |] in
+  let v = Graph.input g "v" [| batch_heads; seq_kv; head_dim |] in
+  let qk = Graph.matmul g ~trans_b:true q k in
+  let scale = Graph.const g (1.0 /. sqrt (float_of_int head_dim)) in
+  let qk = Graph.binary g Op.Mul qk scale in
+  let qk =
+    if causal then
+      (* Additive mask, broadcast over the batch-head dimension. *)
+      let mask = Graph.weight g "mask" [| seq_q; seq_kv |] in
+      Graph.binary g Op.Add qk mask
+    else qk
+  in
+  let mx = Graph.reduce g Op.Rmax ~keepdims:true ~axis:2 qk in
+  let e = Graph.unary g Op.Exp (Graph.binary g Op.Sub qk mx) in
+  let s = Graph.reduce g Op.Rsum ~keepdims:true ~axis:2 e in
+  let p = Graph.binary g Op.Div e s in
+  let out = Graph.matmul g p v in
+  Graph.mark_output g out;
+  g
+
+let softmax_gemm ~m ~l ~n =
+  let g = Graph.create () in
+  let x = Graph.input g "x" [| m; l |] in
+  let v = Graph.input g "v" [| l; n |] in
+  let mx = Graph.reduce g Op.Rmax ~keepdims:true ~axis:1 x in
+  let e = Graph.unary g Op.Exp (Graph.binary g Op.Sub x mx) in
+  let s = Graph.reduce g Op.Rsum ~keepdims:true ~axis:1 e in
+  let p = Graph.binary g Op.Div e s in
+  Graph.mark_output g (Graph.matmul g p v);
+  g
+
+(* ------------------------------------------------------------------ *)
+(* Transformer building blocks                                         *)
+(* ------------------------------------------------------------------ *)
+
+let qkv_proj ~m ~hidden =
+  let g = Graph.create () in
+  let x = Graph.input g "x" [| m; hidden |] in
+  List.iter
+    (fun tag -> Graph.mark_output g (linear g ~tag ~out_dim:hidden x ~in_dim:hidden ()))
+    [ "wq"; "wk"; "wv" ];
+  g
+
+let attn_out_ln ~m ~hidden ~norm =
+  let g = Graph.create () in
+  let attn = Graph.input g "attn" [| m; hidden |] in
+  let resid = Graph.input g "resid" [| m; hidden |] in
+  let o = linear g ~tag:"wo" ~out_dim:hidden attn ~in_dim:hidden () in
+  let r = Graph.binary g Op.Add o resid in
+  Graph.mark_output g (add_norm g ~tag:"ln" ~n:hidden ~kind:norm r);
+  g
+
+let ffn_ln ~m ~hidden ~ffn ~act ~norm =
+  let g = Graph.create () in
+  let x = Graph.input g "x" [| m; hidden |] in
+  let act = (act :> [ `None | `Relu | `Gelu ]) in
+  let h1 = linear g ~tag:"w1" ~out_dim:ffn x ~in_dim:hidden ~act () in
+  let h2 = linear g ~tag:"w2" ~out_dim:hidden h1 ~in_dim:ffn () in
+  let r = Graph.binary g Op.Add h2 x in
+  Graph.mark_output g (add_norm g ~tag:"ln" ~n:hidden ~kind:norm r);
+  g
+
+let swiglu_ffn ~m ~hidden ~ffn =
+  let g = Graph.create () in
+  let x = Graph.input g "x" [| m; hidden |] in
+  let normed = add_norm g ~tag:"rms" ~n:hidden ~kind:`Rmsnorm x in
+  let up = linear g ~tag:"wup" ~out_dim:ffn normed ~in_dim:hidden ~bias:false () in
+  let gate = linear g ~tag:"wgate" ~out_dim:ffn normed ~in_dim:hidden ~bias:false () in
+  let silu = Graph.binary g Op.Mul (Graph.unary g Op.Sigmoid gate) gate in
+  let h = Graph.binary g Op.Mul silu up in
+  let down = linear g ~tag:"wdown" ~out_dim:hidden h ~in_dim:ffn ~bias:false () in
+  Graph.mark_output g (Graph.binary g Op.Add down x);
+  g
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end models                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type encoder_cfg = {
+  name : string;
+  layers : int;
+  hidden : int;
+  heads : int;
+  ffn : int;
+  act : [ `Gelu | `Relu ];
+  norm : [ `Layernorm | `Rmsnorm ];
+  causal : bool;
+}
+
+let encoder_model cfg ~batch ~seq =
+  let m = batch * seq in
+  let bh = batch * cfg.heads in
+  let hd = cfg.hidden / cfg.heads in
+  let c = cfg.layers in
+  {
+    model_name = cfg.name;
+    subprograms =
+      [
+        { sp_name = "qkv_proj"; graph = qkv_proj ~m ~hidden:cfg.hidden; count = c };
+        {
+          sp_name = "mha";
+          graph = mha ~causal:cfg.causal ~batch_heads:bh ~seq_q:seq ~seq_kv:seq ~head_dim:hd ();
+          count = c;
+        };
+        { sp_name = "attn_out_ln"; graph = attn_out_ln ~m ~hidden:cfg.hidden ~norm:cfg.norm; count = c };
+        {
+          sp_name = "ffn_ln";
+          graph = ffn_ln ~m ~hidden:cfg.hidden ~ffn:cfg.ffn ~act:cfg.act ~norm:cfg.norm;
+          count = c;
+        };
+      ];
+  }
+
+let bert ~batch ~seq =
+  encoder_model
+    { name = "Bert"; layers = 12; hidden = 768; heads = 12; ffn = 3072; act = `Gelu;
+      norm = `Layernorm; causal = false }
+    ~batch ~seq
+
+let albert ~batch ~seq =
+  (* Same block shapes as Bert; layers share weights, which changes nothing
+     for compilation (identical subprograms compile once either way). *)
+  encoder_model
+    { name = "Albert"; layers = 12; hidden = 768; heads = 12; ffn = 3072; act = `Gelu;
+      norm = `Layernorm; causal = false }
+    ~batch ~seq
+
+let t5 ~batch ~seq =
+  let enc =
+    encoder_model
+      { name = "T5"; layers = 12; hidden = 768; heads = 12; ffn = 3072; act = `Relu;
+        norm = `Rmsnorm; causal = false }
+      ~batch ~seq
+  in
+  let m = batch * seq in
+  let bh = batch * 12 in
+  let dec_self =
+    { sp_name = "dec_self_mha";
+      graph = mha ~causal:true ~batch_heads:bh ~seq_q:seq ~seq_kv:seq ~head_dim:64 ();
+      count = 12 }
+  in
+  let dec_cross =
+    { sp_name = "dec_cross_mha";
+      graph = mha ~batch_heads:bh ~seq_q:seq ~seq_kv:seq ~head_dim:64 ();
+      count = 12 }
+  in
+  let dec_proj = { sp_name = "dec_qkv_proj"; graph = qkv_proj ~m ~hidden:768; count = 24 } in
+  let dec_out =
+    { sp_name = "dec_attn_out"; graph = attn_out_ln ~m ~hidden:768 ~norm:`Rmsnorm; count = 24 }
+  in
+  let dec_ffn =
+    { sp_name = "dec_ffn";
+      graph = ffn_ln ~m ~hidden:768 ~ffn:3072 ~act:`Relu ~norm:`Rmsnorm;
+      count = 12 }
+  in
+  { model_name = "T5"; subprograms = enc.subprograms @ [ dec_proj; dec_self; dec_cross; dec_out; dec_ffn ] }
+
+let vit ~batch ~image =
+  let patches = (image / 16) * (image / 16) in
+  let seq = patches + 1 in
+  let m =
+    encoder_model
+      { name = "ViT"; layers = 12; hidden = 768; heads = 12; ffn = 3072; act = `Gelu;
+        norm = `Layernorm; causal = false }
+      ~batch ~seq
+  in
+  (* Patch embedding: one GEMM from flattened 16x16x3 patches to hidden. *)
+  let g = Graph.create () in
+  let x = Graph.input g "patches" [| batch * patches; 768 |] in
+  Graph.mark_output g (linear g ~tag:"embed" ~out_dim:768 x ~in_dim:768 ());
+  { m with subprograms = { sp_name = "patch_embed"; graph = g; count = 1 } :: m.subprograms }
+
+let llama2_7b ~batch ~seq =
+  let hidden = 4096 and heads = 32 and layers = 32 and ffn = 11008 in
+  let m = batch * seq in
+  let bh = batch * heads in
+  let hd = hidden / heads in
+  (* Per-layer: RMSNorm+QKV, causal MHA, output proj + residual, SwiGLU FFN. *)
+  let norm_qkv =
+    let g = Graph.create () in
+    let x = Graph.input g "x" [| m; hidden |] in
+    let normed = add_norm g ~tag:"rms" ~n:hidden ~kind:`Rmsnorm x in
+    List.iter
+      (fun tag ->
+        Graph.mark_output g (linear g ~tag ~out_dim:hidden normed ~in_dim:hidden ~bias:false ()))
+      [ "wq"; "wk"; "wv" ];
+    g
+  in
+  let attn_out =
+    let g = Graph.create () in
+    let attn = Graph.input g "attn" [| m; hidden |] in
+    let resid = Graph.input g "resid" [| m; hidden |] in
+    let o = linear g ~tag:"wo" ~out_dim:hidden attn ~in_dim:hidden ~bias:false () in
+    Graph.mark_output g (Graph.binary g Op.Add o resid);
+    g
+  in
+  let lm_head =
+    let g = Graph.create () in
+    let x = Graph.input g "x" [| m; hidden |] in
+    let normed = add_norm g ~tag:"rms" ~n:hidden ~kind:`Rmsnorm x in
+    Graph.mark_output g (linear g ~tag:"lm_head" ~out_dim:32000 normed ~in_dim:hidden ~bias:false ());
+    g
+  in
+  {
+    model_name = "Llama2-7B";
+    subprograms =
+      [
+        { sp_name = "norm_qkv"; graph = norm_qkv; count = layers };
+        {
+          sp_name = "mha";
+          graph = mha ~causal:true ~batch_heads:bh ~seq_q:seq ~seq_kv:seq ~head_dim:hd ();
+          count = layers;
+        };
+        { sp_name = "attn_out"; graph = attn_out; count = layers };
+        { sp_name = "swiglu_ffn"; graph = swiglu_ffn ~m ~hidden ~ffn; count = layers };
+        { sp_name = "lm_head"; graph = lm_head; count = 1 };
+      ];
+  }
+
+let all_models ~batch ~seq =
+  [ bert ~batch ~seq; albert ~batch ~seq; t5 ~batch ~seq; vit ~batch ~image:224; llama2_7b ~batch ~seq ]

@@ -1,0 +1,66 @@
+(** Model zoo: the evaluated subgraphs (Fig 10) and the end-to-end
+    Transformer models of §6.2, expressed as DFG subprograms.
+
+    A model is a list of subprograms with repetition counts: SpaceFusion
+    segments programs at layer boundaries and layout transformations and
+    compiles each distinct subprogram once (§5, "Program-preprocessing"). *)
+
+type subprogram = { sp_name : string; graph : Graph.t; count : int }
+
+type model = { model_name : string; subprograms : subprogram list }
+
+val total_subgraphs : model -> int
+(** Sum of repetition counts. *)
+
+(** {1 Evaluated subgraphs (Fig 10)} *)
+
+val mlp : layers:int -> m:int -> n:int -> k:int -> Graph.t
+(** [layers] fused GEMM+bias+ReLU layers; input [[m; k]], every hidden
+    width [n] (Fig 10a, Fig 11a). *)
+
+val lstm_cell : m:int -> hidden:int -> input:int -> Graph.t
+(** Simplified LSTM cell: two GEMMs + add + activations (Fig 10b). *)
+
+val layernorm_graph : m:int -> n:int -> Graph.t
+(** Unfused LayerNorm as 9 memory-intensive operators (Fig 10c). *)
+
+val rmsnorm_graph : m:int -> n:int -> Graph.t
+(** Llama2/T5-style RMSNorm (no mean subtraction). *)
+
+val batchnorm_graph : m:int -> n:int -> Graph.t
+(** Training-style BatchNorm: mean/variance along the batch axis (axis 0) —
+    exercises column-direction reductions (Table 1's BatchNorm row). *)
+
+val softmax_graph : m:int -> n:int -> Graph.t
+(** Standalone row softmax: max, sub, exp, sum, div. *)
+
+val mha : ?causal:bool -> batch_heads:int -> seq_q:int -> seq_kv:int -> head_dim:int -> unit
+  -> Graph.t
+(** Multi-head attention core on pre-shaped [[bh; seq; dim]] tensors:
+    scaled QKᵀ (+ optional causal mask), softmax, PV (Fig 10d / Fig 1). *)
+
+val softmax_gemm : m:int -> l:int -> n:int -> Graph.t
+(** The §3 running example: Softmax over [[m; l]] feeding a GEMM with
+    [[l; n]]. *)
+
+(** {1 Transformer building blocks} *)
+
+val qkv_proj : m:int -> hidden:int -> Graph.t
+val attn_out_ln : m:int -> hidden:int -> norm:[ `Layernorm | `Rmsnorm ] -> Graph.t
+val ffn_ln : m:int -> hidden:int -> ffn:int -> act:[ `Gelu | `Relu ] -> norm:[ `Layernorm | `Rmsnorm ]
+  -> Graph.t
+val swiglu_ffn : m:int -> hidden:int -> ffn:int -> Graph.t
+(** Llama2-style gated FFN with RMSNorm + residual. *)
+
+(** {1 End-to-end models (§6.2)} *)
+
+val bert : batch:int -> seq:int -> model
+val albert : batch:int -> seq:int -> model
+val t5 : batch:int -> seq:int -> model
+val vit : batch:int -> image:int -> model
+(** [image] is the square image side in pixels (patch 16). *)
+
+val llama2_7b : batch:int -> seq:int -> model
+
+val all_models : batch:int -> seq:int -> model list
+(** The five models at the paper's default evaluation sizes. *)

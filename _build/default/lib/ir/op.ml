@@ -1,0 +1,62 @@
+type unop = Exp | Relu | Sqrt | Rsqrt | Neg | Recip | Sqr | Tanh | Sigmoid | Gelu
+
+type binop = Add | Sub | Mul | Div | Max | Min
+
+type redop = Rsum | Rmax | Rmin | Rmean
+
+let gelu_c = sqrt (2.0 /. Float.pi)
+
+let apply_unop = function
+  | Exp -> exp
+  | Relu -> fun x -> Float.max x 0.0
+  | Sqrt -> sqrt
+  | Rsqrt -> fun x -> 1.0 /. sqrt x
+  | Neg -> fun x -> -.x
+  | Recip -> fun x -> 1.0 /. x
+  | Sqr -> fun x -> x *. x
+  | Tanh -> tanh
+  | Sigmoid -> fun x -> 1.0 /. (1.0 +. exp (-.x))
+  | Gelu -> fun x -> 0.5 *. x *. (1.0 +. tanh (gelu_c *. (x +. (0.044715 *. x *. x *. x))))
+
+let apply_binop = function
+  | Add -> ( +. )
+  | Sub -> ( -. )
+  | Mul -> ( *. )
+  | Div -> ( /. )
+  | Max -> Float.max
+  | Min -> Float.min
+
+let redop_identity = function
+  | Rsum | Rmean -> 0.0
+  | Rmax -> Float.neg_infinity
+  | Rmin -> Float.infinity
+
+let redop_combine = function Rsum | Rmean -> ( +. ) | Rmax -> Float.max | Rmin -> Float.min
+
+let unop_to_string = function
+  | Exp -> "exp"
+  | Relu -> "relu"
+  | Sqrt -> "sqrt"
+  | Rsqrt -> "rsqrt"
+  | Neg -> "neg"
+  | Recip -> "recip"
+  | Sqr -> "sqr"
+  | Tanh -> "tanh"
+  | Sigmoid -> "sigmoid"
+  | Gelu -> "gelu"
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Max -> "max"
+  | Min -> "min"
+
+let redop_to_string = function
+  | Rsum -> "sum"
+  | Rmax -> "max"
+  | Rmin -> "min"
+  | Rmean -> "mean"
+
+let redop_is_linear = function Rsum | Rmean -> true | Rmax | Rmin -> false

@@ -1,0 +1,155 @@
+let unops =
+  [
+    ("exp", Op.Exp); ("relu", Op.Relu); ("sqrt", Op.Sqrt); ("rsqrt", Op.Rsqrt); ("neg", Op.Neg);
+    ("recip", Op.Recip); ("sqr", Op.Sqr); ("tanh", Op.Tanh); ("sigmoid", Op.Sigmoid);
+    ("gelu", Op.Gelu);
+  ]
+
+let binops =
+  [ ("add", Op.Add); ("sub", Op.Sub); ("mul", Op.Mul); ("div", Op.Div); ("max", Op.Max);
+    ("min", Op.Min) ]
+
+let redops = [ ("sum", Op.Rsum); ("max", Op.Rmax); ("min", Op.Rmin); ("mean", Op.Rmean) ]
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* "[4, 8]" possibly split across tokens. *)
+let parse_shape tokens =
+  let joined = String.concat "" tokens in
+  let joined = String.trim joined in
+  if String.length joined < 2 || joined.[0] <> '[' || joined.[String.length joined - 1] <> ']' then
+    fail "expected a shape like [4, 8], got %S" joined;
+  let inner = String.sub joined 1 (String.length joined - 2) in
+  let parts = String.split_on_char ',' inner |> List.map String.trim in
+  let parts = List.filter (fun s -> s <> "") parts in
+  if parts = [] then fail "empty shape";
+  Array.of_list
+    (List.map
+       (fun p -> match int_of_string_opt p with Some d -> d | None -> fail "bad dimension %S" p)
+       parts)
+
+let tokenize line =
+  (* Strip comments, split on whitespace; keep '[', ']' and ',' attached
+     (parse_shape re-joins them). *)
+  let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse text =
+  let g = Graph.create () in
+  let env : (string, Graph.node_id) Hashtbl.t = Hashtbl.create 16 in
+  let resolve name =
+    match Hashtbl.find_opt env name with
+    | Some id -> id
+    | None -> fail "unknown value %S" name
+  in
+  let define name id =
+    if Hashtbl.mem env name then fail "value %S defined twice" name;
+    Hashtbl.replace env name id
+  in
+  let parse_axis tok =
+    match String.split_on_char '=' tok with
+    | [ "axis"; n ] -> (
+        match int_of_string_opt n with Some a -> a | None -> fail "bad axis %S" tok)
+    | _ -> fail "expected axis=N, got %S" tok
+  in
+  let statement tokens =
+    match tokens with
+    | [] -> ()
+    | [ "input"; name ] | [ "weight"; name ] -> fail "%s %s: missing shape" (List.hd tokens) name
+    | "input" :: name :: shape -> define name (Graph.input g name (parse_shape shape))
+    | "weight" :: name :: shape -> define name (Graph.weight g name (parse_shape shape))
+    | [ "const"; name; v ] -> (
+        match float_of_string_opt v with
+        | Some f -> define name (Graph.const g f)
+        | None -> fail "bad constant %S" v)
+    | [ "output"; name ] -> Graph.mark_output g (resolve name)
+    | name :: "=" :: rhs -> (
+        match rhs with
+        | [ op; a ] when List.mem_assoc op unops ->
+            define name (Graph.unary g (List.assoc op unops) (resolve a))
+        | [ op; a; b ] when List.mem_assoc op binops ->
+            define name (Graph.binary g (List.assoc op binops) (resolve a) (resolve b))
+        | "reduce" :: op :: a :: rest when List.mem_assoc op redops ->
+            let axis, keepdims =
+              match rest with
+              | [ ax ] -> (parse_axis ax, false)
+              | [ ax; "keepdims" ] -> (parse_axis ax, true)
+              | _ -> fail "reduce: expected 'axis=N [keepdims]'"
+            in
+            define name (Graph.reduce g (List.assoc op redops) ~keepdims ~axis (resolve a))
+        | [ "matmul"; a; b ] -> define name (Graph.matmul g (resolve a) (resolve b))
+        | [ "matmul"; a; b; "T" ] -> define name (Graph.matmul g ~trans_b:true (resolve a) (resolve b))
+        | op :: _ -> fail "unknown operator %S" op
+        | [] -> fail "empty right-hand side")
+    | tok :: _ -> fail "unexpected statement starting with %S" tok
+  in
+  let lines = String.split_on_char '\n' text in
+  match
+    List.iteri
+      (fun i line ->
+        match statement (tokenize line) with
+        | () -> ()
+        | exception Parse_error m -> fail "line %d: %s" (i + 1) m
+        | exception Invalid_argument m -> fail "line %d: %s" (i + 1) m)
+      lines
+  with
+  | () ->
+      if Graph.outputs g = [] then Error "graph declares no output"
+      else Ok g
+  | exception Parse_error m -> Error m
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error m -> Error m
+
+let to_dsl g =
+  let buf = Buffer.create 256 in
+  let name_of = Hashtbl.create 16 in
+  let fresh = ref 0 in
+  let bind (n : Graph.node) base =
+    (* Leaf names are preserved; intermediates get stable v<k> names unless
+       the leaf name is taken. *)
+    let name =
+      if base <> "" && not (Hashtbl.fold (fun _ v acc -> acc || v = base) name_of false) then base
+      else begin
+        incr fresh;
+        Printf.sprintf "v%d" !fresh
+      end
+    in
+    Hashtbl.replace name_of n.Graph.id name;
+    name
+  in
+  let nm id = Hashtbl.find name_of id in
+  let shape_str s =
+    "[" ^ String.concat ", " (Array.to_list (Array.map string_of_int s)) ^ "]"
+  in
+  List.iter
+    (fun (n : Graph.node) ->
+      match n.kind with
+      | Graph.Input name -> Buffer.add_string buf (Printf.sprintf "input %s %s\n" (bind n name) (shape_str n.shape))
+      | Graph.Weight name ->
+          Buffer.add_string buf (Printf.sprintf "weight %s %s\n" (bind n name) (shape_str n.shape))
+      | Graph.Const v -> Buffer.add_string buf (Printf.sprintf "const %s %.17g\n" (bind n "") v)
+      | Graph.Unary (op, a) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s = %s %s\n" (bind n "") (Op.unop_to_string op) (nm a))
+      | Graph.Binary (op, a, b) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s = %s %s %s\n" (bind n "") (Op.binop_to_string op) (nm a) (nm b))
+      | Graph.Reduce { op; axis; keepdims; arg } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s = reduce %s %s axis=%d%s\n" (bind n "") (Op.redop_to_string op)
+               (nm arg) axis
+               (if keepdims then " keepdims" else ""))
+      | Graph.Matmul { a; b; trans_b } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s = matmul %s %s%s\n" (bind n "") (nm a) (nm b)
+               (if trans_b then " T" else "")))
+    (Graph.nodes g);
+  List.iter (fun o -> Buffer.add_string buf (Printf.sprintf "output %s\n" (nm o))) (Graph.outputs g);
+  Buffer.contents buf

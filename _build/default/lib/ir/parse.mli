@@ -1,0 +1,30 @@
+(** A small line-oriented text format for dataflow graphs, so workloads can
+    be defined in files and fed to the CLI without writing OCaml.
+
+    {v
+    # attention score block
+    input  q [8, 64]
+    input  k [16, 64]
+    qk   = matmul q k T          # T transposes the right operand
+    mx   = reduce max qk axis=1 keepdims
+    sh   = sub qk mx
+    e    = exp sh
+    s    = reduce sum e axis=1 keepdims
+    p    = div e s
+    output p
+    v}
+
+    Statements: [input NAME SHAPE], [weight NAME SHAPE], [const NAME FLOAT],
+    [NAME = OP ARGS...], [output NAME]. Shapes are [[d1, d2, ...]].
+    Operators: every unary ({!Op.unop}) and binary ({!Op.binop}) by name,
+    [reduce sum|max|min|mean X axis=N [keepdims]], and [matmul A B [T]].
+    [#] starts a comment. *)
+
+val parse : string -> (Graph.t, string) result
+(** Errors carry a line number and a reason. *)
+
+val parse_file : string -> (Graph.t, string) result
+
+val to_dsl : Graph.t -> string
+(** Render a graph in the same format; [parse (to_dsl g)] reconstructs a
+    graph with identical structure and semantics. *)

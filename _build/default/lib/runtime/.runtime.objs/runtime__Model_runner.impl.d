@@ -1,0 +1,1 @@
+lib/runtime/model_runner.ml: Backends Format Gpu Ir List Plan_cache Printf Runner Unix

@@ -1,0 +1,1 @@
+lib/runtime/model_runner.mli: Backends Format Gpu Ir Plan_cache

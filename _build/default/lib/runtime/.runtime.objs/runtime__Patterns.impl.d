@@ -1,0 +1,1 @@
+lib/runtime/patterns.ml: Backends Format Gpu Hashtbl Ir List String

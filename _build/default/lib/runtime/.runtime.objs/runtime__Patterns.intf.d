@@ -1,0 +1,1 @@
+lib/runtime/patterns.mli: Backends Format Gpu Ir

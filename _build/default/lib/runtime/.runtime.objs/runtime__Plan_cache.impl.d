@@ -1,0 +1,1 @@
+lib/runtime/plan_cache.ml: Backends Gpu Hashtbl Ir String

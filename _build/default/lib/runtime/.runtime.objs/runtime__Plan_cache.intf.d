@@ -1,0 +1,1 @@
+lib/runtime/plan_cache.mli: Backends Gpu Ir

@@ -1,0 +1,1 @@
+lib/runtime/runner.ml: Format Gpu List

@@ -1,0 +1,1 @@
+lib/runtime/runner.mli: Format Gpu

@@ -1,0 +1,1 @@
+lib/runtime/verify.ml: Backends Gpu Ir List Printexc Printf Tensor

@@ -1,0 +1,64 @@
+type result = {
+  m_model : string;
+  m_backend : string;
+  m_arch : string;
+  m_latency : float;
+  m_kernels : int;
+  m_compile_s : float;
+  m_timing : Gpu.Cost.timing;
+}
+
+let supported ~arch (b : Backends.Policy.t) = b.supports arch
+
+let scale_timing (t : Gpu.Cost.timing) c =
+  let c = float_of_int c in
+  {
+    Gpu.Cost.time = t.time *. c;
+    l1_access = t.l1_access *. c;
+    l1_miss = t.l1_miss *. c;
+    l2_access = t.l2_access *. c;
+    l2_miss = t.l2_miss *. c;
+    dram_read = t.dram_read *. c;
+    dram_write = t.dram_write *. c;
+    compute_time = t.compute_time *. c;
+    mem_time = t.mem_time *. c;
+  }
+
+(* Plans are cached across calls when [cache] is supplied: the paper's
+   program-preprocessing compiles each distinct (repetitive) subprogram
+   once, and e.g. Bert and Albert share every block. *)
+let run_model ?cache ~arch (backend : Backends.Policy.t) (model : Ir.Models.model) =
+  if not (backend.supports arch) then
+    invalid_arg
+      (Printf.sprintf "%s does not support %s" backend.be_name arch.Gpu.Arch.name);
+  let latency = ref 0.0 and kernels = ref 0 and compile_s = ref 0.0 in
+  let timing = ref Gpu.Cost.zero in
+  List.iter
+    (fun (sp : Ir.Models.subprogram) ->
+      let t0 = Unix.gettimeofday () in
+      let plan =
+        let name = model.model_name ^ "." ^ sp.sp_name in
+        match cache with
+        | None -> backend.compile arch ~name sp.graph
+        | Some c -> Plan_cache.compile c backend arch ~name sp.graph
+      in
+      compile_s := !compile_s +. (Unix.gettimeofday () -. t0);
+      let device = Gpu.Device.create () in
+      let r = Runner.run_plan ~arch ~dispatch_us:backend.dispatch_us device plan in
+      latency := !latency +. (r.Runner.r_time *. float_of_int sp.count);
+      kernels := !kernels + (r.Runner.r_kernels * sp.count);
+      timing := Gpu.Cost.add !timing (scale_timing r.Runner.r_timing sp.count))
+    model.subprograms;
+  {
+    m_model = model.model_name;
+    m_backend = backend.be_name;
+    m_arch = arch.Gpu.Arch.name;
+    m_latency = !latency;
+    m_kernels = !kernels;
+    m_compile_s = !compile_s;
+    m_timing = !timing;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "%-10s %-14s %-7s %9.3f ms  %5d kernels  compile %.2f s" r.m_model
+    r.m_backend r.m_arch (r.m_latency *. 1e3) r.m_kernels r.m_compile_s

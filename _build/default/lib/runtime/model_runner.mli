@@ -1,0 +1,23 @@
+(** End-to-end model inference (§6.2): compile each distinct subprogram once
+    (the paper's repetitive-subprogram caching), benchmark its plan on the
+    simulator and aggregate latency over repetition counts. *)
+
+type result = {
+  m_model : string;
+  m_backend : string;
+  m_arch : string;
+  m_latency : float;  (** simulated seconds per forward pass *)
+  m_kernels : int;  (** total launches per forward pass *)
+  m_compile_s : float;  (** wall-clock compile time (distinct subprograms) *)
+  m_timing : Gpu.Cost.timing;  (** summed counters per forward pass *)
+}
+
+val run_model :
+  ?cache:Plan_cache.t -> arch:Gpu.Arch.t -> Backends.Policy.t -> Ir.Models.model -> result
+(** Raises if the backend does not support the architecture
+    ([Invalid_argument]). With [cache], repeated subprograms (within or
+    across models — e.g. Bert and Albert share every block shape) compile
+    once. *)
+
+val supported : arch:Gpu.Arch.t -> Backends.Policy.t -> bool
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,71 @@
+type census = { total : int; ci_only : int; mi_only : int; ci_and_mi : int; whole : int }
+
+(* A kernel's pattern signature: the sorted multiset of fused operator
+   kinds, with node ids stripped so that identical topologies collide. *)
+let signature (k : Gpu.Kernel.t) =
+  let strip tag =
+    (* "matmul(3,4,T)" -> "matmul"; "reduce_max(2,axis=1)" -> "reduce_max" *)
+    match String.index_opt tag '(' with Some i -> String.sub tag 0 i | None -> tag
+  in
+  String.concat "+" (List.sort compare (List.map strip k.tags))
+
+let a2o_count (k : Gpu.Kernel.t) =
+  List.length
+    (List.filter
+       (fun tag ->
+         String.length tag >= 6
+         && (String.sub tag 0 6 = "matmul" || String.sub tag 0 6 = "reduce"))
+       k.tags)
+
+let has_ci (k : Gpu.Kernel.t) =
+  List.exists (fun tag -> String.length tag >= 6 && String.sub tag 0 6 = "matmul") k.tags
+
+let has_mi (k : Gpu.Kernel.t) =
+  List.exists
+    (fun tag -> not (String.length tag >= 6 && String.sub tag 0 6 = "matmul"))
+    k.tags
+
+let census_of_plans plans =
+  let seen : (string, bool * bool) Hashtbl.t = Hashtbl.create 32 in
+  let whole = ref 0 in
+  List.iter
+    (fun (p : Gpu.Plan.t) ->
+      List.iter
+        (fun k ->
+          if a2o_count k >= 2 then Hashtbl.replace seen (signature k) (has_ci k, has_mi k))
+        p.p_kernels;
+      (* The capability signal forced splits cannot fake: the whole
+         subprogram instance realised as one fused kernel (not deduplicated
+         by signature — a policy that fuses a pattern at one size but falls
+         apart at another loses instances here). *)
+      match p.p_kernels with
+      | [ k ] when a2o_count k >= 2 -> incr whole
+      | _ -> ())
+    plans;
+  Hashtbl.fold
+    (fun _ (ci, mi) c ->
+      {
+        c with
+        total = c.total + 1;
+        ci_only = (c.ci_only + if ci && not mi then 1 else 0);
+        mi_only = (c.mi_only + if mi && not ci then 1 else 0);
+        ci_and_mi = (c.ci_and_mi + if ci && mi then 1 else 0);
+      })
+    seen
+    { total = 0; ci_only = 0; mi_only = 0; ci_and_mi = 0; whole = !whole }
+
+let census_of_models ~arch (backend : Backends.Policy.t) models =
+  let plans =
+    List.concat_map
+      (fun (m : Ir.Models.model) ->
+        List.map
+          (fun (sp : Ir.Models.subprogram) ->
+            backend.compile arch ~name:(m.model_name ^ "." ^ sp.sp_name) sp.graph)
+          m.subprograms)
+      models
+  in
+  census_of_plans plans
+
+let pp fmt c =
+  Format.fprintf fmt "total=%d ci_only=%d mi_only=%d ci+mi=%d whole-subprogram=%d" c.total
+    c.ci_only c.mi_only c.ci_and_mi c.whole

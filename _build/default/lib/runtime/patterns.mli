@@ -1,0 +1,24 @@
+(** Fusion-pattern census (Table 6): count the distinct fused subgraphs
+    containing at least two All-to-One mappings that a policy discovers
+    across a set of compiled model instances, split by whether they fuse
+    compute-intensive (CI) operators, memory-intensive (MI) operators, or
+    both. Patterns are keyed by their operator-kind multiset, so repeated
+    layers count once. *)
+
+type census = {
+  total : int;  (** distinct fused patterns with ≥ 2 All-to-Ones *)
+  ci_only : int;
+  mi_only : int;
+  ci_and_mi : int;
+  whole : int;
+      (** subprogram instances realised as a single fused kernel — forced
+          splits cannot inflate this column, and a policy that fuses a
+          pattern only at small sizes loses the large instances *)
+}
+
+val census_of_plans : Gpu.Plan.t list -> census
+
+val census_of_models : arch:Gpu.Arch.t -> Backends.Policy.t -> Ir.Models.model list -> census
+(** Compiles every distinct subprogram of every model with the policy. *)
+
+val pp : Format.formatter -> census -> unit

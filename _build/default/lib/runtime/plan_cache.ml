@@ -1,0 +1,25 @@
+type t = {
+  table : (string, Gpu.Plan.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 32; hits = 0; misses = 0 }
+
+let compile t (backend : Backends.Policy.t) arch ~name graph =
+  let key =
+    String.concat "\x00"
+      [ backend.be_name; arch.Gpu.Arch.name; name; Ir.Parse.to_dsl graph ]
+  in
+  match Hashtbl.find_opt t.table key with
+  | Some plan ->
+      t.hits <- t.hits + 1;
+      plan
+  | None ->
+      t.misses <- t.misses + 1;
+      let plan = backend.compile arch ~name graph in
+      Hashtbl.replace t.table key plan;
+      plan
+
+let hits t = t.hits
+let misses t = t.misses

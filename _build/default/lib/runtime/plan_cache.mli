@@ -1,0 +1,17 @@
+(** Compilation cache — the paper\'s program-preprocessing notes that "most
+    of these subprograms are repetitive. SpaceFusion compiles the repetitive
+    ones only once" (§5). Keyed on the policy, the architecture, the plan\'s
+    name prefix (tensor names are baked into plans) and the graph\'s
+    canonical textual form ({!Ir.Parse.to_dsl} is deterministic and
+    name-stable). *)
+
+type t
+
+val create : unit -> t
+
+val compile :
+  t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t
+(** Like the policy\'s [compile], memoized. *)
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,35 @@
+type result = {
+  r_time : float;
+  r_gpu_time : float;
+  r_dispatch : float;
+  r_kernels : int;
+  r_flops : float;
+  r_timing : Gpu.Cost.timing;
+}
+
+let run_plan ?(mode = Gpu.Exec.Analytic) ~arch ~dispatch_us device (plan : Gpu.Plan.t) =
+  Gpu.Plan.declare_all plan device;
+  let cache = Gpu.Cost.fresh_cache arch in
+  let timing = ref Gpu.Cost.zero in
+  let flops = ref 0.0 in
+  List.iter
+    (fun k ->
+      let stats = Gpu.Exec.run ~mode ~arch device k in
+      flops := !flops +. stats.Gpu.Exec.ks_gemm_flops +. stats.Gpu.Exec.ks_simd_flops;
+      timing := Gpu.Cost.add !timing (Gpu.Cost.kernel_time arch cache stats))
+    plan.Gpu.Plan.p_kernels;
+  let kernels = Gpu.Plan.num_kernels plan in
+  let dispatch = float_of_int kernels *. dispatch_us *. 1e-6 in
+  {
+    r_time = !timing.Gpu.Cost.time +. dispatch;
+    r_gpu_time = !timing.Gpu.Cost.time;
+    r_dispatch = dispatch;
+    r_kernels = kernels;
+    r_flops = !flops;
+    r_timing = !timing;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "%d kernels, %.3f us (gpu %.3f + dispatch %.3f), dram %.0f B" r.r_kernels
+    (r.r_time *. 1e6) (r.r_gpu_time *. 1e6) (r.r_dispatch *. 1e6)
+    (r.r_timing.Gpu.Cost.dram_read +. r.r_timing.Gpu.Cost.dram_write)

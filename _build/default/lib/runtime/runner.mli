@@ -1,0 +1,25 @@
+(** Plan execution: runs a plan's kernels in order on a device, summing
+    simulated GPU time, per-kernel CPU dispatch overhead, and the cache/
+    memory counters (one L2 residency state spans the whole plan, so
+    producer→consumer reuse between adjacent kernels is captured). *)
+
+type result = {
+  r_time : float;  (** total simulated seconds, including dispatch *)
+  r_gpu_time : float;
+  r_dispatch : float;
+  r_kernels : int;
+  r_flops : float;
+  r_timing : Gpu.Cost.timing;
+}
+
+val run_plan :
+  ?mode:Gpu.Exec.mode ->
+  arch:Gpu.Arch.t ->
+  dispatch_us:float ->
+  Gpu.Device.t ->
+  Gpu.Plan.t ->
+  result
+(** [mode] defaults to [Analytic] (benchmarking); use [Full] to also
+    compute real values on the device. Declares the plan's tensors. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,32 @@
+let verify_plan ?(seed = 42) ?(rtol = 1e-6) ?(atol = 1e-8) ~arch ~name graph (plan : Gpu.Plan.t) =
+  let env = Ir.Interp.random_env ~seed graph in
+  let expected = Ir.Interp.eval graph env in
+  let device = Gpu.Device.create () in
+  Gpu.Plan.declare_all plan device;
+  List.iter (fun (n, t) -> Gpu.Device.bind device n t) env;
+  match
+    List.iter (fun k -> ignore (Gpu.Exec.run ~mode:Gpu.Exec.Full ~arch device k)) plan.Gpu.Plan.p_kernels
+  with
+  | exception e -> Error (Printf.sprintf "%s: execution failed: %s" name (Printexc.to_string e))
+  | () ->
+      let rec check i = function
+        | [] -> Ok ()
+        | expect :: rest -> (
+            let tname = Printf.sprintf "%s:out%d" name i in
+            match Gpu.Device.tensor device tname with
+            | exception _ -> Error (Printf.sprintf "%s: output %s was never written" name tname)
+            | actual ->
+                if Tensor.allclose ~rtol ~atol expect actual then check (i + 1) rest
+                else
+                  Error
+                    (Printf.sprintf "%s: output %s differs from reference (max abs diff %g)" name
+                       tname (Tensor.max_abs_diff expect actual)))
+      in
+      check 0 expected
+
+let verify_backend ?seed ~arch ~name (backend : Backends.Policy.t) graph =
+  match backend.Backends.Policy.compile arch ~name graph with
+  | exception e ->
+      Error (Printf.sprintf "%s/%s: compile failed: %s" backend.Backends.Policy.be_name name
+           (Printexc.to_string e))
+  | plan -> verify_plan ?seed ~arch ~name graph plan

@@ -1,0 +1,19 @@
+(** Correctness oracle: any backend's plan for a subprogram must produce
+    the same outputs as the reference interpreter. *)
+
+val verify_plan :
+  ?seed:int ->
+  ?rtol:float ->
+  ?atol:float ->
+  arch:Gpu.Arch.t ->
+  name:string ->
+  Ir.Graph.t ->
+  Gpu.Plan.t ->
+  (unit, string) result
+(** Binds deterministic random inputs, executes the plan functionally and
+    compares every ["<name>:out<i>"] tensor against the interpreter. *)
+
+val verify_backend :
+  ?seed:int -> arch:Gpu.Arch.t -> name:string -> Backends.Policy.t -> Ir.Graph.t
+  -> (unit, string) result
+(** Compile with the policy, then {!verify_plan}. *)

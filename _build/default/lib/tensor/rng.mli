@@ -1,0 +1,20 @@
+(** Deterministic, seedable PRNG (splitmix64) for reproducible synthetic
+    weights and inputs. Independent of [Stdlib.Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] — the same seed always yields the same stream. *)
+
+val next_int64 : t -> int64
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val normal : t -> float
+(** Standard normal via Box–Muller. *)
+
+val split : t -> t
+(** Derive an independent stream (e.g. one per tensor). *)

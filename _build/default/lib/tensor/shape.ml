@@ -1,0 +1,81 @@
+type t = int array
+
+let scalar : t = [||]
+
+let rank (s : t) = Array.length s
+
+let numel (s : t) = Array.fold_left ( * ) 1 s
+
+let equal (a : t) (b : t) = a = b
+
+let to_string (s : t) =
+  if rank s = 0 then "[]"
+  else "[" ^ String.concat "x" (Array.to_list (Array.map string_of_int s)) ^ "]"
+
+let validate (s : t) =
+  Array.iter
+    (fun d ->
+      if d <= 0 then
+        invalid_arg (Printf.sprintf "Shape.validate: non-positive dim in %s" (to_string s)))
+    s
+
+let strides (s : t) =
+  let n = rank s in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * s.(i + 1)
+  done;
+  st
+
+let broadcastable (a : t) (b : t) =
+  let ra = rank a and rb = rank b in
+  let r = max ra rb in
+  let ok = ref true in
+  for i = 0 to r - 1 do
+    let da = if i < r - ra then 1 else a.(i - (r - ra)) in
+    let db = if i < r - rb then 1 else b.(i - (r - rb)) in
+    if da <> db && da <> 1 && db <> 1 then ok := false
+  done;
+  !ok
+
+let broadcast (a : t) (b : t) =
+  let ra = rank a and rb = rank b in
+  let r = max ra rb in
+  Array.init r (fun i ->
+      let da = if i < r - ra then 1 else a.(i - (r - ra)) in
+      let db = if i < r - rb then 1 else b.(i - (r - rb)) in
+      if da = db then da
+      else if da = 1 then db
+      else if db = 1 then da
+      else
+        invalid_arg
+          (Printf.sprintf "Shape.broadcast: incompatible %s vs %s" (to_string a) (to_string b)))
+
+let normalize_axis (s : t) axis =
+  let r = rank s in
+  let a = if axis < 0 then axis + r else axis in
+  if a < 0 || a >= r then
+    invalid_arg (Printf.sprintf "Shape.normalize_axis: axis %d out of range for %s" axis (to_string s));
+  a
+
+let reduce (s : t) ~axis ~keepdims =
+  let a = normalize_axis s axis in
+  if keepdims then Array.mapi (fun i d -> if i = a then 1 else d) s
+  else Array.init (rank s - 1) (fun i -> if i < a then s.(i) else s.(i + 1))
+
+let offset (s : t) idx =
+  let st = strides s in
+  let acc = ref 0 in
+  Array.iteri (fun i v -> acc := !acc + (v * st.(i))) idx;
+  !acc
+
+let unravel (s : t) off =
+  let st = strides s in
+  let n = rank s in
+  let idx = Array.make n 0 in
+  let rem = ref off in
+  for i = 0 to n - 1 do
+    idx.(i) <- !rem / st.(i);
+    rem := !rem mod st.(i)
+  done;
+  idx

@@ -1,0 +1,42 @@
+(** Tensor shapes: immutable dimension vectors with broadcasting rules. *)
+
+type t = int array
+
+val scalar : t
+(** The shape of a 0-d tensor. *)
+
+val rank : t -> int
+
+val numel : t -> int
+(** Number of elements; 1 for a scalar shape. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** [to_string [|2;3|]] is ["[2x3]"]. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] if any dimension is non-positive. *)
+
+val strides : t -> int array
+(** Row-major strides, in elements. *)
+
+val broadcast : t -> t -> t
+(** NumPy-style broadcast of two shapes. Raises [Invalid_argument] when the
+    shapes are incompatible. *)
+
+val broadcastable : t -> t -> bool
+
+val reduce : t -> axis:int -> keepdims:bool -> t
+(** Shape after reducing along [axis] (which may be negative, counting from
+    the end). *)
+
+val normalize_axis : t -> int -> int
+(** Resolve a possibly-negative axis index; raises [Invalid_argument] when
+    out of range. *)
+
+val offset : t -> int array -> int
+(** Row-major linear offset of a multi-index. *)
+
+val unravel : t -> int -> int array
+(** Inverse of {!offset}. *)

@@ -1,0 +1,233 @@
+type t = { shape : Shape.t; data : float array }
+
+let create shape v =
+  Shape.validate shape;
+  { shape; data = Array.make (Shape.numel shape) v }
+
+let zeros shape = create shape 0.0
+let ones shape = create shape 1.0
+let scalar v = { shape = Shape.scalar; data = [| v |] }
+
+let of_array shape data =
+  Shape.validate shape;
+  if Array.length data <> Shape.numel shape then
+    invalid_arg
+      (Printf.sprintf "Tensor.of_array: %d elements for shape %s" (Array.length data)
+         (Shape.to_string shape));
+  { shape; data }
+
+let init shape f =
+  Shape.validate shape;
+  let n = Shape.numel shape in
+  let data = Array.init n (fun i -> f (Shape.unravel shape i)) in
+  { shape; data }
+
+let randu rng shape =
+  Shape.validate shape;
+  { shape; data = Array.init (Shape.numel shape) (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) }
+
+let randn ?(scale = 1.0) rng shape =
+  Shape.validate shape;
+  { shape; data = Array.init (Shape.numel shape) (fun _ -> scale *. Rng.normal rng) }
+
+let arange n = { shape = [| n |]; data = Array.init n float_of_int }
+
+let shape t = t.shape
+let numel t = Array.length t.data
+let get t idx = t.data.(Shape.offset t.shape idx)
+let set t idx v = t.data.(Shape.offset t.shape idx) <- v
+let data t = t.data
+
+let reshape t shape =
+  Shape.validate shape;
+  if Shape.numel shape <> numel t then
+    invalid_arg
+      (Printf.sprintf "Tensor.reshape: %s -> %s" (Shape.to_string t.shape) (Shape.to_string shape));
+  { shape; data = t.data }
+
+let copy t = { shape = t.shape; data = Array.copy t.data }
+
+let map f t = { shape = t.shape; data = Array.map f t.data }
+
+(* Index arithmetic for broadcasting: for each output linear index, find the
+   source linear index given the source shape right-aligned to the output. *)
+let broadcast_offset ~out_shape ~src_shape =
+  let ro = Shape.rank out_shape and rs = Shape.rank src_shape in
+  let st = Shape.strides src_shape in
+  fun idx ->
+    let acc = ref 0 in
+    for i = 0 to rs - 1 do
+      let v = idx.(i + (ro - rs)) in
+      let v = if src_shape.(i) = 1 then 0 else v in
+      acc := !acc + (v * st.(i))
+    done;
+    !acc
+
+let map2 f a b =
+  if Shape.equal a.shape b.shape then
+    { shape = a.shape; data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i)) }
+  else begin
+    let out_shape = Shape.broadcast a.shape b.shape in
+    let oa = broadcast_offset ~out_shape ~src_shape:a.shape in
+    let ob = broadcast_offset ~out_shape ~src_shape:b.shape in
+    let n = Shape.numel out_shape in
+    let out = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      let idx = Shape.unravel out_shape i in
+      out.(i) <- f a.data.(oa idx) b.data.(ob idx)
+    done;
+    { shape = out_shape; data = out }
+  end
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let mul = map2 ( *. )
+let div = map2 ( /. )
+let maximum = map2 Float.max
+let minimum = map2 Float.min
+let neg = map (fun x -> -.x)
+let exp = map Stdlib.exp
+let sqrt_ = map Stdlib.sqrt
+let relu = map (fun x -> Float.max x 0.0)
+let tanh_ = map Stdlib.tanh
+let sigmoid = map (fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x)))
+
+let gelu =
+  (* tanh approximation, as used by Bert-family models. *)
+  let c = Stdlib.sqrt (2.0 /. Float.pi) in
+  map (fun x -> 0.5 *. x *. (1.0 +. Stdlib.tanh (c *. (x +. (0.044715 *. x *. x *. x)))))
+
+let recip = map (fun x -> 1.0 /. x)
+let sqr = map (fun x -> x *. x)
+let add_scalar t v = map (fun x -> x +. v) t
+let mul_scalar t v = map (fun x -> x *. v) t
+
+let reduce op ~axis ~keepdims t =
+  let a = Shape.normalize_axis t.shape axis in
+  let out_shape = Shape.reduce t.shape ~axis:a ~keepdims in
+  let extent = t.shape.(a) in
+  (* Split indices into [outer; axis; inner]. *)
+  let inner = ref 1 in
+  for i = a + 1 to Shape.rank t.shape - 1 do
+    inner := !inner * t.shape.(i)
+  done;
+  let outer = Shape.numel t.shape / (extent * !inner) in
+  let inner = !inner in
+  let out = Array.make (outer * inner) 0.0 in
+  let combine, init, finish =
+    match op with
+    | `Sum -> (( +. ), 0.0, fun x -> x)
+    | `Mean -> (( +. ), 0.0, fun x -> x /. float_of_int extent)
+    | `Max -> (Float.max, Float.neg_infinity, fun x -> x)
+    | `Min -> (Float.min, Float.infinity, fun x -> x)
+  in
+  for o = 0 to outer - 1 do
+    for i = 0 to inner - 1 do
+      let acc = ref init in
+      for k = 0 to extent - 1 do
+        acc := combine !acc t.data.((((o * extent) + k) * inner) + i)
+      done;
+      out.((o * inner) + i) <- finish !acc
+    done
+  done;
+  { shape = out_shape; data = out }
+
+let sum ?(axis = -1) ?(keepdims = false) t = reduce `Sum ~axis ~keepdims t
+let max_ ?(axis = -1) ?(keepdims = false) t = reduce `Max ~axis ~keepdims t
+let mean ?(axis = -1) ?(keepdims = false) t = reduce `Mean ~axis ~keepdims t
+let sum_all t = Array.fold_left ( +. ) 0.0 t.data
+let max_all t = Array.fold_left Float.max Float.neg_infinity t.data
+
+let matmul ?(trans_b = false) a b =
+  let ra = Shape.rank a.shape and rb = Shape.rank b.shape in
+  if ra < 2 || rb < 2 then invalid_arg "Tensor.matmul: operands must have rank >= 2";
+  let m = a.shape.(ra - 2) and ka = a.shape.(ra - 1) in
+  let n, kb =
+    if trans_b then (b.shape.(rb - 2), b.shape.(rb - 1)) else (b.shape.(rb - 1), b.shape.(rb - 2))
+  in
+  if ka <> kb then
+    invalid_arg
+      (Printf.sprintf "Tensor.matmul: contraction mismatch %s x %s (trans_b=%b)"
+         (Shape.to_string a.shape) (Shape.to_string b.shape) trans_b);
+  let batch_a = Array.sub a.shape 0 (ra - 2) and batch_b = Array.sub b.shape 0 (rb - 2) in
+  let batch = Shape.broadcast batch_a batch_b in
+  let out_shape = Array.append batch [| m; n |] in
+  let nb = Shape.numel batch in
+  let oa = broadcast_offset ~out_shape:batch ~src_shape:batch_a in
+  let ob = broadcast_offset ~out_shape:batch ~src_shape:batch_b in
+  let out = Array.make (nb * m * n) 0.0 in
+  let sa = m * ka and sb = (if trans_b then n else kb) * if trans_b then ka else n in
+  for bi = 0 to nb - 1 do
+    let bidx = Shape.unravel batch bi in
+    let base_a = oa bidx * sa and base_b = ob bidx * sb in
+    let base_o = bi * m * n in
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0.0 in
+        if trans_b then
+          for k = 0 to ka - 1 do
+            acc := !acc +. (a.data.(base_a + (i * ka) + k) *. b.data.(base_b + (j * ka) + k))
+          done
+        else
+          for k = 0 to ka - 1 do
+            acc := !acc +. (a.data.(base_a + (i * ka) + k) *. b.data.(base_b + (k * n) + j))
+          done;
+        out.(base_o + (i * n) + j) <- !acc
+      done
+    done
+  done;
+  { shape = out_shape; data = out }
+
+let softmax ~axis t =
+  let m = reduce `Max ~axis ~keepdims:true t in
+  let e = exp (sub t m) in
+  let s = reduce `Sum ~axis ~keepdims:true e in
+  div e s
+
+let layernorm ?(eps = 1e-5) ?gamma ?beta ~axis t =
+  let mu = reduce `Mean ~axis ~keepdims:true t in
+  let centered = sub t mu in
+  let var = reduce `Mean ~axis ~keepdims:true (sqr centered) in
+  let normalized = div centered (sqrt_ (add_scalar var eps)) in
+  let scaled = match gamma with None -> normalized | Some g -> mul normalized g in
+  match beta with None -> scaled | Some b -> add scaled b
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg
+      (Printf.sprintf "Tensor.max_abs_diff: %s vs %s" (Shape.to_string a.shape)
+         (Shape.to_string b.shape));
+  let d = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    d := Float.max !d (Float.abs (a.data.(i) -. b.data.(i)))
+  done;
+  !d
+
+let allclose ?(rtol = 1e-5) ?(atol = 1e-8) a b =
+  Shape.equal a.shape b.shape
+  &&
+  let ok = ref true in
+  for i = 0 to numel a - 1 do
+    let x = a.data.(i) and y = b.data.(i) in
+    (* Non-finite values must match exactly (NaN never matches anything):
+       a NaN would otherwise slip through, since NaN comparisons are all
+       false. *)
+    if Float.is_finite x && Float.is_finite y then begin
+      if Float.abs (x -. y) > atol +. (rtol *. Float.abs y) then ok := false
+    end
+    else if not (x = y) then ok := false
+  done;
+  !ok
+
+let pp fmt t =
+  let n = numel t in
+  let shown = min n 8 in
+  Format.fprintf fmt "Tensor%s[" (Shape.to_string t.shape);
+  for i = 0 to shown - 1 do
+    if i > 0 then Format.fprintf fmt "; ";
+    Format.fprintf fmt "%g" t.data.(i)
+  done;
+  if n > shown then Format.fprintf fmt "; ...";
+  Format.fprintf fmt "]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,90 @@
+(** Dense row-major n-d tensors of floats.
+
+    Values are stored in float64 for numerical fidelity of the correctness
+    oracle; the GPU cost model accounts sizes in FP16 separately. *)
+
+type t = private { shape : Shape.t; data : float array }
+
+(** {1 Construction} *)
+
+val create : Shape.t -> float -> t
+val zeros : Shape.t -> t
+val ones : Shape.t -> t
+val scalar : float -> t
+val of_array : Shape.t -> float array -> t
+(** Takes ownership of the array. Raises [Invalid_argument] on size mismatch. *)
+
+val init : Shape.t -> (int array -> float) -> t
+val randu : Rng.t -> Shape.t -> t
+(** Uniform in [-1, 1). *)
+
+val randn : ?scale:float -> Rng.t -> Shape.t -> t
+val arange : int -> t
+(** [arange n] is the 1-d tensor [0.; 1.; ...; n-1.]. *)
+
+(** {1 Access} *)
+
+val shape : t -> Shape.t
+val numel : t -> int
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+val data : t -> float array
+(** The underlying buffer (shared, mutable). *)
+
+val reshape : t -> Shape.t -> t
+(** Same buffer, new shape; element counts must match. *)
+
+val copy : t -> t
+
+(** {1 Elementwise, with broadcasting} *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Broadcasts the two operands. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val maximum : t -> t -> t
+val minimum : t -> t -> t
+val neg : t -> t
+val exp : t -> t
+val sqrt_ : t -> t
+val relu : t -> t
+val tanh_ : t -> t
+val sigmoid : t -> t
+val gelu : t -> t
+val recip : t -> t
+val sqr : t -> t
+val add_scalar : t -> float -> t
+val mul_scalar : t -> float -> t
+
+(** {1 Reductions} *)
+
+val reduce : [ `Sum | `Max | `Min | `Mean ] -> axis:int -> keepdims:bool -> t -> t
+val sum : ?axis:int -> ?keepdims:bool -> t -> t
+val max_ : ?axis:int -> ?keepdims:bool -> t -> t
+val mean : ?axis:int -> ?keepdims:bool -> t -> t
+val sum_all : t -> float
+val max_all : t -> float
+
+(** {1 Linear algebra} *)
+
+val matmul : ?trans_b:bool -> t -> t -> t
+(** Batched matrix multiply over the last two axes with broadcast batch
+    dims. With [trans_b] the RHS is interpreted as [[...; n; k]] so the
+    contraction reads rows of both operands (the paper's GEMM convention
+    [C = A·Bᵀ]). *)
+
+val softmax : axis:int -> t -> t
+(** Numerically-stable softmax (max-subtraction), the MHA reference. *)
+
+val layernorm : ?eps:float -> ?gamma:t -> ?beta:t -> axis:int -> t -> t
+
+(** {1 Comparison and printing} *)
+
+val allclose : ?rtol:float -> ?atol:float -> t -> t -> bool
+val max_abs_diff : t -> t -> float
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

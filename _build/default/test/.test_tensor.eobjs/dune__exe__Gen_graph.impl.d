@@ -1,0 +1,1 @@
+test/gen_graph.ml: Array Int64 Ir List Printf QCheck Rng Shape

@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Backends Baselines Gpu Ir List Policy QCheck QCheck_alcotest Runtime

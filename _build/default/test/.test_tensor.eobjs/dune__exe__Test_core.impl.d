@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analysis Auto_scheduler Core Cstats Fusedspace Gpu Ir List Option Pexpr Printf QCheck QCheck_alcotest Schedule Smg Spacefusion Tensor Update_fn

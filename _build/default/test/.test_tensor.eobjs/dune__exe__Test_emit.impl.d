@@ -1,0 +1,1 @@
+test/test_emit.ml: Alcotest Astring Core Emit_triton Gpu Ir List Spacefusion String

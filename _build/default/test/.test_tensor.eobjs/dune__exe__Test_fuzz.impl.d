@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Backends Core Gen_graph Gpu List QCheck QCheck_alcotest Runtime

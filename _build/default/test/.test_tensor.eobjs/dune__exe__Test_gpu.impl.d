@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Arch Cost Device Exec Float Gpu Ir Kernel List Printf Rng Tensor

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Float Graph Interp Ir List Models Op Printf QCheck QCheck_alcotest Tensor

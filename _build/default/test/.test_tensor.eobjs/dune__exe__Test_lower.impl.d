@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Analysis Array Auto_scheduler Core Gpu Ir List Lower Partition Printf Schedule Smg Spacefusion String Tensor

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Astring Backends Gen_graph Gpu Ir List Printf QCheck QCheck_alcotest Runtime Tensor

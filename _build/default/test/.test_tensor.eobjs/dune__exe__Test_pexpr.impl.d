@@ -1,0 +1,1 @@
+test/test_pexpr.ml: Alcotest Array Core Float Ir List Option Pexpr QCheck QCheck_alcotest Rng Update_fn

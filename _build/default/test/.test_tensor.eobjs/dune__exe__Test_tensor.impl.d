@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Rng Shape Tensor

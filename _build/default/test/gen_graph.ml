@@ -1,0 +1,84 @@
+(* Random fusion-group generator for differential testing: builds small,
+   well-typed DFGs exercising element-wise ops (with broadcasting),
+   keepdims reductions over the last axis, and matmuls against fresh
+   weights — the operator family SpaceFusion schedules. *)
+
+module G = Ir.Graph
+module Op = Ir.Op
+
+type spec = { nodes : int; seed : int }
+
+let pp_spec s = Printf.sprintf "{nodes=%d; seed=%d}" s.nodes s.seed
+
+(* Ops that keep values in a tame range for float comparison. *)
+let safe_unops = [| Op.Relu; Op.Tanh; Op.Sigmoid; Op.Neg; Op.Sqr; Op.Exp |]
+let safe_binops = [| Op.Add; Op.Sub; Op.Mul; Op.Max; Op.Min |]
+
+let build { nodes; seed } =
+  let rng = Rng.create seed in
+  let int lo hi = lo + (Int64.to_int (Int64.rem (Rng.next_int64 rng) (Int64.of_int (hi - lo + 1))) |> abs) in
+  let pick arr = arr.(int 0 (Array.length arr - 1)) in
+  let g = G.create () in
+  let dims = [| 2; 3; 4; 5; 8 |] in
+  let m = pick dims and n = pick dims in
+  let x0 = G.input g "x0" [| m; n |] in
+  (* Pool of live values with their shapes. *)
+  let pool = ref [ x0 ] in
+  let weights = ref 0 in
+  let shape id = (G.node g id).G.shape in
+  let add id = pool := id :: !pool in
+  let pick_node () = List.nth !pool (int 0 (List.length !pool - 1)) in
+  for _ = 1 to nodes do
+    let a = pick_node () in
+    let sa = shape a in
+    let rank = Array.length sa in
+    match int 0 5 with
+    | 0 -> add (G.unary g (pick safe_unops) a)
+    | 1 ->
+        (* Binary with an equal-shape or broadcastable partner. *)
+        let partner =
+          match
+            List.filter (fun b -> Shape.broadcastable (shape b) sa) !pool
+          with
+          | [] -> a
+          | compat -> List.nth compat (int 0 (List.length compat - 1))
+        in
+        add (G.binary g (pick safe_binops) a partner)
+    | 2 when rank >= 1 && sa.(rank - 1) > 1 ->
+        (* Keepdims reduction over the last axis (the direction the kernel
+           IR reduces). *)
+        let op = pick [| Op.Rsum; Op.Rmax; Op.Rmean; Op.Rmin |] in
+        add (G.reduce g op ~keepdims:true ~axis:(rank - 1) a)
+    | 2 when rank = 2 && sa.(0) > 1 && int 0 1 = 0 ->
+        (* Column-direction (axis-0) keepdims reduction. *)
+        let op = pick [| Op.Rsum; Op.Rmax; Op.Rmean; Op.Rmin |] in
+        add (G.reduce g op ~keepdims:true ~axis:0 a)
+    | 3 when rank = 2 ->
+        (* Project through a fresh weight, in either layout. *)
+        incr weights;
+        let out = pick dims in
+        if int 0 1 = 0 then
+          let w = G.weight g (Printf.sprintf "w%d" !weights) [| out; sa.(1) |] in
+          add (G.matmul g ~trans_b:true a w)
+        else
+          let w = G.weight g (Printf.sprintf "w%d" !weights) [| sa.(1); out |] in
+          add (G.matmul g a w)
+    | 4 ->
+        (* Scale and shift by a broadcast vector. *)
+        incr weights;
+        let v = G.weight g (Printf.sprintf "w%d" !weights) [| sa.(rank - 1) |] in
+        add (G.binary g (pick safe_binops) a v)
+    | _ -> add (G.unary g (pick safe_unops) a)
+  done;
+  (* Outputs: up to two pool members nobody consumes (always at least the
+     freshest node). *)
+  let sinks = List.filter (fun id -> G.consumers g id = []) !pool in
+  let sinks = match sinks with [] -> [ List.hd !pool ] | l -> l in
+  List.iteri (fun i id -> if i < 2 then G.mark_output g id) sinks;
+  g
+
+let arbitrary ~max_nodes =
+  QCheck.make
+    ~print:(fun s -> pp_spec s)
+    QCheck.Gen.(
+      map2 (fun nodes seed -> { nodes; seed }) (int_range 1 max_nodes) (int_range 0 1_000_000))

@@ -1,0 +1,178 @@
+(* Tests for the baseline scheduling policies: grouping strategies, pattern
+   detection, per-backend correctness against the reference interpreter,
+   and the behavioural contrasts the paper describes (Welder failing on
+   long-sequence attention, AStitch's GEMM barrier, FlashAttention's Volta
+   gap). *)
+
+open Backends
+module G = Ir.Graph
+module Op = Ir.Op
+
+let arch = Gpu.Arch.ampere
+
+let check_verified ?seed name backend g =
+  match Runtime.Verify.verify_backend ?seed ~arch ~name backend g with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Grouping strategies                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_singletons () =
+  let g = Ir.Models.lstm_cell ~m:8 ~hidden:8 ~input:8 in
+  let groups = Policy.singletons g in
+  Alcotest.(check int) "one group per compute op" 6 (List.length groups);
+  List.iter (fun grp -> Alcotest.(check int) "singleton" 1 (List.length grp)) groups
+
+let test_epilogue_groups () =
+  (* GEMM -> bias -> relu -> GEMM -> bias: first GEMM absorbs two
+     element-wise ops, second absorbs one. *)
+  let g = Ir.Models.mlp ~layers:2 ~m:8 ~n:8 ~k:8 in
+  let groups = Policy.epilogue_groups g in
+  Alcotest.(check int) "two gemm+epilogue groups" 2 (List.length groups);
+  List.iter (fun grp -> Alcotest.(check int) "gemm + 2 elementwise" 3 (List.length grp)) groups
+
+let test_epilogue_cap () =
+  let g = Ir.Models.mlp ~layers:1 ~m:8 ~n:8 ~k:8 in
+  let groups = Policy.epilogue_groups ~max_epilogue:1 g in
+  (* gemm+bias fuse; relu runs alone. *)
+  Alcotest.(check (list int)) "epilogue capped" [ 2; 1 ] (List.map List.length groups)
+
+let test_mi_runs () =
+  let g = Ir.Models.mha ~batch_heads:2 ~seq_q:8 ~seq_kv:8 ~head_dim:4 () in
+  let groups = Policy.mi_runs g in
+  (* gemm | scale..softmax run | gemm *)
+  Alcotest.(check int) "three groups" 3 (List.length groups);
+  let kinds =
+    List.map
+      (fun grp -> List.exists (fun n -> G.is_compute_intensive (G.node g n).kind) grp)
+      groups
+  in
+  Alcotest.(check (list bool)) "gemm, MI run, gemm" [ true; false; true ] kinds
+
+let test_pattern_detection () =
+  Alcotest.(check bool) "mha detected" true
+    (Policy.is_mha_like (Ir.Models.mha ~batch_heads:1 ~seq_q:4 ~seq_kv:4 ~head_dim:4 ()));
+  Alcotest.(check bool) "ln is not mha" false
+    (Policy.is_mha_like (Ir.Models.layernorm_graph ~m:4 ~n:4));
+  Alcotest.(check bool) "ln detected as norm" true
+    (Policy.is_norm_like (Ir.Models.layernorm_graph ~m:4 ~n:4));
+  Alcotest.(check bool) "rmsnorm detected as norm" true
+    (Policy.is_norm_like (Ir.Models.rmsnorm_graph ~m:4 ~n:4));
+  Alcotest.(check bool) "mlp is not norm" false
+    (Policy.is_norm_like (Ir.Models.mlp ~layers:1 ~m:4 ~n:4 ~k:4))
+
+(* ------------------------------------------------------------------ *)
+(* Every backend computes correct results on every zoo subgraph        *)
+(* ------------------------------------------------------------------ *)
+
+let zoo =
+  [
+    ("mha", Ir.Models.mha ~batch_heads:2 ~seq_q:12 ~seq_kv:20 ~head_dim:8 ());
+    ("layernorm", Ir.Models.layernorm_graph ~m:8 ~n:48);
+    ("mlp", Ir.Models.mlp ~layers:2 ~m:12 ~n:16 ~k:8);
+    ("lstm", Ir.Models.lstm_cell ~m:8 ~hidden:12 ~input:8);
+    ("softmax_gemm", Ir.Models.softmax_gemm ~m:8 ~l:24 ~n:8);
+    ("swiglu", Ir.Models.swiglu_ffn ~m:8 ~hidden:12 ~ffn:20);
+  ]
+
+let test_all_backends_correct () =
+  List.iter
+    (fun (b : Policy.t) ->
+      if b.supports arch then
+        List.iter (fun (name, g) -> check_verified (b.be_name ^ "/" ^ name) b g) zoo)
+    Baselines.all
+
+(* ------------------------------------------------------------------ *)
+(* Behavioural contrasts                                               *)
+(* ------------------------------------------------------------------ *)
+
+let kernels_of (b : Policy.t) name g = Gpu.Plan.num_kernels (b.compile arch ~name g)
+
+let test_astitch_gemm_barrier () =
+  let g = Ir.Models.mha ~batch_heads:2 ~seq_q:16 ~seq_kv:16 ~head_dim:8 () in
+  (* AStitch cannot cross GEMMs: >= 3 kernels; SpaceFusion fuses to 1. *)
+  Alcotest.(check bool) "astitch splits at gemms" true (kernels_of Baselines.astitch "m" g >= 3);
+  Alcotest.(check int) "spacefusion fuses" 1 (kernels_of Baselines.spacefusion "m" g)
+
+let test_welder_long_sequence_failure () =
+  (* §6.2: "NNFusion fails to fuse MHA with long sequence lengths" — no
+     dependency transformation means the whole key extent must stay on
+     chip. *)
+  let short = Ir.Models.mha ~batch_heads:2 ~seq_q:64 ~seq_kv:64 ~head_dim:64 () in
+  let long = Ir.Models.mha ~batch_heads:2 ~seq_q:64 ~seq_kv:4096 ~head_dim:64 () in
+  Alcotest.(check int) "welder fuses short sequences" 1 (kernels_of Baselines.welder "m" short);
+  Alcotest.(check bool) "welder splits long sequences" true
+    (kernels_of Baselines.welder "m" long > 1);
+  Alcotest.(check int) "spacefusion stays fused" 1 (kernels_of Baselines.spacefusion "m" long)
+
+let test_flash_attention_volta_gap () =
+  Alcotest.(check bool) "FA unsupported on Volta" false
+    (Baselines.flash_attention.Policy.supports Gpu.Arch.volta);
+  Alcotest.(check bool) "FA supported on Ampere" true
+    (Baselines.flash_attention.Policy.supports Gpu.Arch.ampere);
+  Alcotest.(check bool) "NNFusion is Volta-only" false
+    (Baselines.nnfusion.Policy.supports Gpu.Arch.ampere);
+  Alcotest.(check bool) "BladeDISC lacks Hopper" false
+    (Baselines.bladedisc.Policy.supports Gpu.Arch.hopper)
+
+let test_flash_attention_matches_spacefusion_shape () =
+  (* FlashAttention's hand-fixed kernel and SpaceFusion's tuned one are the
+     same algorithm; on attention both must produce a single kernel. *)
+  let g = Ir.Models.mha ~batch_heads:2 ~seq_q:32 ~seq_kv:32 ~head_dim:8 () in
+  Alcotest.(check int) "FA single kernel" 1 (kernels_of Baselines.flash_attention "m" g);
+  check_verified "fa" Baselines.flash_attention g
+
+let test_pytorch_kernel_count () =
+  (* Eager: exactly one kernel per compute op. *)
+  let g = Ir.Models.layernorm_graph ~m:8 ~n:16 in
+  Alcotest.(check int) "9 eager kernels for LN" 9 (kernels_of Baselines.pytorch "ln" g)
+
+let test_by_name () =
+  Alcotest.(check string) "lookup" "TensorRT" (Baselines.by_name "tensorrt").Policy.be_name;
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (Baselines.by_name "nope"))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_backends_agree =
+  (* All backends compute the same function (they differ only in
+     scheduling). *)
+  QCheck.Test.make ~name:"all backends agree on random MHA shapes" ~count:6
+    QCheck.(triple (int_range 1 2) (int_range 2 12) (int_range 1 8))
+    (fun (bh, seq, hd) ->
+      let g = Ir.Models.mha ~batch_heads:bh ~seq_q:seq ~seq_kv:seq ~head_dim:hd () in
+      List.for_all
+        (fun (b : Policy.t) ->
+          (not (b.supports arch))
+          || Runtime.Verify.verify_backend ~arch ~name:"p" b g = Ok ())
+        [ Baselines.pytorch; Baselines.welder; Baselines.astitch; Baselines.flash_attention2;
+          Baselines.spacefusion ])
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_backends_agree ]
+
+let () =
+  Alcotest.run "backends"
+    [
+      ( "grouping",
+        [
+          Alcotest.test_case "singletons" `Quick test_singletons;
+          Alcotest.test_case "epilogue groups" `Quick test_epilogue_groups;
+          Alcotest.test_case "epilogue cap" `Quick test_epilogue_cap;
+          Alcotest.test_case "mi runs" `Quick test_mi_runs;
+          Alcotest.test_case "pattern detection" `Quick test_pattern_detection;
+        ] );
+      ("correctness", [ Alcotest.test_case "all backends, whole zoo" `Slow test_all_backends_correct ]);
+      ( "contrasts",
+        [
+          Alcotest.test_case "astitch gemm barrier" `Quick test_astitch_gemm_barrier;
+          Alcotest.test_case "welder long-seq failure" `Quick test_welder_long_sequence_failure;
+          Alcotest.test_case "arch support gaps" `Quick test_flash_attention_volta_gap;
+          Alcotest.test_case "flash attention fused" `Quick test_flash_attention_matches_spacefusion_shape;
+          Alcotest.test_case "pytorch kernel count" `Quick test_pytorch_kernel_count;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+        ] );
+      ("properties", props);
+    ]

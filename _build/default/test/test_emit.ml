@@ -1,0 +1,75 @@
+(* Tests for the Triton-style source renderer. *)
+
+open Core
+
+let arch = Gpu.Arch.ampere
+
+let emit_of name g =
+  let c = Spacefusion.compile ~arch ~name g in
+  Emit_triton.emit_plan c.Spacefusion.c_plan
+
+let contains ~affix s = Astring.String.is_infix ~affix s
+
+let test_mha_emission () =
+  (* A long-sequence attention kernel must render the streaming loop and the
+     update-function arithmetic. *)
+  let g = Ir.Models.mha ~batch_heads:2 ~seq_q:128 ~seq_kv:4096 ~head_dim:64 () in
+  let src = emit_of "mha" g in
+  Alcotest.(check bool) "jit header" true (contains ~affix:"@triton.jit" src);
+  Alcotest.(check bool) "serial loop over seq_kv" true
+    (contains ~affix:"for d" src && contains ~affix:"range(0, 4096" src);
+  Alcotest.(check bool) "tensor-core dot" true (contains ~affix:"tl.dot(" src);
+  Alcotest.(check bool) "running max" true (contains ~affix:"tl.maximum(" src);
+  Alcotest.(check bool) "rescale exp" true (contains ~affix:"tl.exp(" src);
+  Alcotest.(check bool) "accumulating dot" true (contains ~affix:"+= tl.dot(" src)
+
+let test_ln_emission () =
+  let g = Ir.Models.layernorm_graph ~m:16 ~n:262144 in
+  let src = emit_of "ln" g in
+  (* Two-pass plan: the loop header appears twice. *)
+  let occurrences affix s =
+    let rec go from acc =
+      match Astring.String.find_sub ~start:from ~sub:affix s with
+      | Some i -> go (i + 1) (acc + 1)
+      | None -> acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "two serial passes" 2 (occurrences "for d" src);
+  Alcotest.(check bool) "stores stream in pass 2" true (contains ~affix:"tl.store(ln_out0" src)
+
+let test_every_zoo_graph_emits () =
+  List.iter
+    (fun (name, g) ->
+      let src = emit_of name g in
+      Alcotest.(check bool) (name ^ " emits a function") true (contains ~affix:"def " src))
+    [
+      ("softmax", Ir.Models.softmax_graph ~m:16 ~n:64);
+      ("batchnorm", Ir.Models.batchnorm_graph ~m:64 ~n:16);
+      ("mlp", Ir.Models.mlp ~layers:3 ~m:32 ~n:32 ~k:32);
+      ("lstm", Ir.Models.lstm_cell ~m:16 ~hidden:32 ~input:32);
+      ("swiglu", Ir.Models.swiglu_ffn ~m:16 ~hidden:32 ~ffn:48);
+    ]
+
+let test_plan_header () =
+  let g = Ir.Models.qkv_proj ~m:64 ~hidden:2048 in
+  let c = Spacefusion.compile ~arch ~name:"qkv" g in
+  let src = Emit_triton.emit_plan c.Spacefusion.c_plan in
+  Alcotest.(check bool) "launch-order header" true (contains ~affix:"launched in order" src);
+  Alcotest.(check bool) "one function per kernel" true
+    (List.length c.Spacefusion.c_plan.Gpu.Plan.p_kernels
+    = (String.split_on_char '\n' src
+      |> List.filter (fun l -> contains ~affix:"@triton.jit" l)
+      |> List.length))
+
+let () =
+  Alcotest.run "emit"
+    [
+      ( "triton",
+        [
+          Alcotest.test_case "mha streaming kernel" `Quick test_mha_emission;
+          Alcotest.test_case "layernorm two-pass" `Quick test_ln_emission;
+          Alcotest.test_case "whole zoo emits" `Quick test_every_zoo_graph_emits;
+          Alcotest.test_case "plan header" `Quick test_plan_header;
+        ] );
+    ]

@@ -1,0 +1,63 @@
+(* Differential fuzzing: random fusion groups are compiled by SpaceFusion
+   (and by the baseline policies) and executed functionally; outputs must
+   match the reference interpreter. This exercises the complete stack —
+   dimension inference, SMG construction, slicing analysis, postposition,
+   update-function generation, partitioning, lowering, buffer pooling and
+   the simulator — against a pure specification. *)
+
+let arch = Gpu.Arch.ampere
+
+let verify_with (b : Backends.Policy.t) spec =
+  let g = Gen_graph.build spec in
+  match Runtime.Verify.verify_backend ~arch ~name:"fuzz" b g with
+  | Ok () -> true
+  | Error msg -> QCheck.Test.fail_reportf "%s on %s: %s" b.be_name (Gen_graph.pp_spec spec) msg
+
+let prop_spacefusion =
+  QCheck.Test.make ~name:"spacefusion == reference on random graphs" ~count:120
+    (Gen_graph.arbitrary ~max_nodes:12)
+    (verify_with Backends.Baselines.spacefusion)
+
+let prop_welder =
+  QCheck.Test.make ~name:"welder policy == reference on random graphs" ~count:60
+    (Gen_graph.arbitrary ~max_nodes:10)
+    (verify_with Backends.Baselines.welder)
+
+let prop_astitch =
+  QCheck.Test.make ~name:"astitch policy == reference on random graphs" ~count:60
+    (Gen_graph.arbitrary ~max_nodes:10)
+    (verify_with Backends.Baselines.astitch)
+
+let prop_eager =
+  QCheck.Test.make ~name:"eager policy == reference on random graphs" ~count:60
+    (Gen_graph.arbitrary ~max_nodes:10)
+    (verify_with Backends.Baselines.pytorch)
+
+let prop_ablation_variants =
+  QCheck.Test.make ~name:"ablation variants == reference on random graphs" ~count:40
+    (Gen_graph.arbitrary ~max_nodes:8)
+    (fun spec ->
+      List.for_all
+        (fun v ->
+          verify_with (Backends.Baselines.spacefusion_variant ~name:"v" v) spec)
+        [ Core.Auto_scheduler.base_ss; Core.Auto_scheduler.base_ts ])
+
+let prop_deterministic_compile =
+  (* Compiling twice yields the same kernels (the tuner is deterministic). *)
+  QCheck.Test.make ~name:"compilation is deterministic" ~count:30
+    (Gen_graph.arbitrary ~max_nodes:10)
+    (fun spec ->
+      let g = Gen_graph.build spec in
+      let plan () =
+        (Core.Spacefusion.compile ~arch ~name:"d" g).Core.Spacefusion.c_plan.Gpu.Plan.p_kernels
+      in
+      plan () = plan ())
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_spacefusion; prop_welder; prop_astitch; prop_eager; prop_ablation_variants ] );
+      ("determinism", [ QCheck_alcotest.to_alcotest prop_deterministic_compile ]);
+    ]

@@ -1,0 +1,268 @@
+(* Tests for the simulated-GPU substrate: kernel IR, functional execution,
+   analytic/full counter agreement, resource checks and the cost model. *)
+
+open Gpu
+
+let check_close msg expected actual =
+  Alcotest.(check bool) (Printf.sprintf "%s (%g vs %g)" msg expected actual) true
+    (Float.abs (expected -. actual) <= 1e-9 *. (1.0 +. Float.abs expected))
+
+(* A plain tiled GEMM kernel: C[M,N] = A[M,K] · B[N,K]ᵀ. *)
+let gemm_kernel ~m ~n ~k ~bm ~bn ~bk : Kernel.t =
+  {
+    kname = "gemm";
+    grid = [ { gdim = "M"; extent = m; block = bm }; { gdim = "N"; extent = n; block = bn } ];
+    temporal = Some ("K", k, bk);
+    bufs =
+      [
+        { bname = "a"; scope = Smem; brows = Blk "M"; bcols = Tile };
+        { bname = "b"; scope = Smem; brows = Blk "N"; bcols = Tile };
+        { bname = "acc"; scope = Reg; brows = Blk "M"; bcols = Blk "N" };
+      ];
+    stages =
+      [
+        Once [ Fill ("acc", 0.0) ];
+        ForEachStep
+          [
+            Load { tensor = "A"; dst = "a"; idx = [| IGrid "M"; IStep |] };
+            Load { tensor = "B"; dst = "b"; idx = [| IGrid "N"; IStep |] };
+            Gemm { dst = "acc"; a = "a"; b = "b"; trans_b = true; accumulate = true };
+          ];
+        Once [ Store { src = "acc"; tensor = "C"; idx = [| IGrid "M"; IGrid "N" |] } ];
+      ];
+    tags = [];
+  }
+
+(* Row softmax in one kernel: rows in the grid, the whole row on chip. *)
+let softmax_kernel ~m ~n ~bm : Kernel.t =
+  {
+    kname = "softmax";
+    grid = [ { gdim = "M"; extent = m; block = bm } ];
+    temporal = None;
+    bufs =
+      [
+        { bname = "x"; scope = Smem; brows = Blk "M"; bcols = Lit n };
+        { bname = "mx"; scope = Reg; brows = Blk "M"; bcols = Lit 1 };
+        { bname = "s"; scope = Reg; brows = Blk "M"; bcols = Lit 1 };
+      ];
+    stages =
+      [
+        Once
+          [
+            Load { tensor = "X"; dst = "x"; idx = [| IGrid "M"; IAll |] };
+            RowReduce { dst = "mx"; op = Ir.Op.Rmax; src = "x"; accumulate = false };
+            Binary { dst = "x"; op = Ir.Op.Sub; a = "x"; b = "mx" };
+            Unary { dst = "x"; op = Ir.Op.Exp; src = "x" };
+            RowReduce { dst = "s"; op = Ir.Op.Rsum; src = "x"; accumulate = false };
+            Binary { dst = "x"; op = Ir.Op.Div; a = "x"; b = "s" };
+            Store { src = "x"; tensor = "Y"; idx = [| IGrid "M"; IAll |] };
+          ];
+      ];
+    tags = [];
+  }
+
+let test_gemm_full () =
+  let rng = Rng.create 7 in
+  let a = Tensor.randn rng [| 13; 17 |] and b = Tensor.randn rng [| 11; 17 |] in
+  let dev = Device.create () in
+  Device.bind dev "A" a;
+  Device.bind dev "B" b;
+  Device.declare dev "C" [| 13; 11 |];
+  let k = gemm_kernel ~m:13 ~n:11 ~k:17 ~bm:4 ~bn:4 ~bk:8 in
+  let _ = Exec.run dev k in
+  let expected = Tensor.matmul ~trans_b:true a b in
+  Alcotest.(check bool) "gemm matches reference" true
+    (Tensor.allclose ~rtol:1e-9 ~atol:1e-9 expected (Device.tensor dev "C"))
+
+let test_gemm_flops () =
+  let dev = Device.create () in
+  Device.declare dev "A" [| 16; 32 |];
+  Device.declare dev "B" [| 8; 32 |];
+  Device.declare dev "C" [| 16; 8 |];
+  let k = gemm_kernel ~m:16 ~n:8 ~k:32 ~bm:8 ~bn:8 ~bk:16 in
+  let s = Exec.run ~mode:Exec.Analytic dev k in
+  check_close "gemm flops" (2.0 *. 16.0 *. 8.0 *. 32.0) s.ks_gemm_flops
+
+let test_softmax_full () =
+  let rng = Rng.create 3 in
+  let x = Tensor.randn rng [| 9; 21 |] in
+  let dev = Device.create () in
+  Device.bind dev "X" x;
+  Device.declare dev "Y" [| 9; 21 |];
+  let _ = Exec.run dev (softmax_kernel ~m:9 ~n:21 ~bm:4) in
+  let expected = Tensor.softmax ~axis:1 x in
+  Alcotest.(check bool) "softmax matches reference" true
+    (Tensor.allclose ~rtol:1e-9 ~atol:1e-12 expected (Device.tensor dev "Y"))
+
+let test_full_analytic_agree () =
+  (* Full and analytic walks must count identical flops/bytes, including
+     ragged edge blocks and a ragged temporal remainder. *)
+  let dev = Device.create () in
+  Device.declare dev "A" [| 13; 19 |];
+  Device.declare dev "B" [| 7; 19 |];
+  Device.declare dev "C" [| 13; 7 |];
+  let k = gemm_kernel ~m:13 ~n:7 ~k:19 ~bm:4 ~bn:3 ~bk:8 in
+  Device.bind dev "A" (Tensor.ones [| 13; 19 |]);
+  Device.bind dev "B" (Tensor.ones [| 7; 19 |]);
+  let full = Exec.run ~mode:Exec.Full dev k in
+  let ana = Exec.run ~mode:Exec.Analytic dev k in
+  check_close "gemm flops agree" full.ks_gemm_flops ana.ks_gemm_flops;
+  check_close "simd flops agree" full.ks_simd_flops ana.ks_simd_flops;
+  check_close "moved bytes agree" full.ks_moved_bytes ana.ks_moved_bytes
+
+let test_transfer_summary () =
+  let dev = Device.create () in
+  Device.declare dev "A" [| 16; 32 |];
+  Device.declare dev "B" [| 8; 32 |];
+  Device.declare dev "C" [| 16; 8 |];
+  (* 2 M-blocks x 1 N-block; B is re-requested by each M-block. *)
+  let k = gemm_kernel ~m:16 ~n:8 ~k:32 ~bm:8 ~bn:8 ~bk:32 in
+  let s = Exec.run ~mode:Exec.Analytic dev k in
+  let tr name = List.find (fun (t : Exec.transfer) -> t.tr_tensor = name) s.ks_reads in
+  Alcotest.(check int) "A requested once" (16 * 32 * Arch.elt_bytes) (tr "A").tr_requested;
+  Alcotest.(check int) "B requested per M-block" (2 * 8 * 32 * Arch.elt_bytes) (tr "B").tr_requested;
+  Alcotest.(check int) "B unique" (8 * 32 * Arch.elt_bytes) (tr "B").tr_unique;
+  let w = List.find (fun (t : Exec.transfer) -> t.tr_tensor = "C") s.ks_writes in
+  Alcotest.(check int) "C written once" (16 * 8 * Arch.elt_bytes) w.tr_requested
+
+let test_resource_exceeded () =
+  let dev = Device.create () in
+  Device.declare dev "A" [| 4096; 4096 |];
+  Device.declare dev "B" [| 4096; 4096 |];
+  Device.declare dev "C" [| 4096; 4096 |];
+  let k = gemm_kernel ~m:4096 ~n:4096 ~k:4096 ~bm:1024 ~bn:1024 ~bk:64 in
+  Alcotest.check_raises "smem budget enforced"
+    (Exec.Resource_exceeded
+       (Printf.sprintf "kernel gemm: %d B shared memory > %d B budget on Volta"
+          (Kernel.smem_bytes k) Arch.volta.smem_per_block))
+    (fun () -> ignore (Exec.run ~mode:Exec.Analytic ~arch:Arch.volta dev k))
+
+let test_validate_istep_outside_loop () =
+  let bad : Kernel.t =
+    {
+      kname = "bad2";
+      grid = [ { gdim = "M"; extent = 8; block = 4 } ];
+      temporal = Some ("K", 8, 4);
+      bufs = [ { bname = "x"; scope = Smem; brows = Blk "M"; bcols = Tile } ];
+      stages = [ Once [ Load { tensor = "X"; dst = "x"; idx = [| IGrid "M"; IStep |] } ] ];
+      tags = [];
+    }
+  in
+  Alcotest.check_raises "IStep outside loop rejected"
+    (Invalid_argument "Kernel bad2: transfer of \"X\" uses IStep outside the temporal loop")
+    (fun () -> Kernel.validate bad)
+
+let test_validate_rejects () =
+  let bad : Kernel.t =
+    {
+      kname = "bad";
+      grid = [ { gdim = "M"; extent = 8; block = 4 } ];
+      temporal = None;
+      bufs = [];
+      stages = [ Once [ Fill ("ghost", 0.0) ] ];
+      tags = [];
+    }
+  in
+  Alcotest.check_raises "unknown buffer rejected"
+    (Invalid_argument "Kernel bad: instruction references unknown buffer \"ghost\"") (fun () ->
+      Kernel.validate bad)
+
+let test_cost_monotone () =
+  (* More DRAM traffic must not make a kernel faster. *)
+  let dev = Device.create () in
+  Device.declare dev "A" [| 1024; 1024 |];
+  Device.declare dev "B" [| 1024; 1024 |];
+  Device.declare dev "C" [| 1024; 1024 |];
+  let time bn =
+    let k = gemm_kernel ~m:1024 ~n:1024 ~k:1024 ~bm:64 ~bn ~bk:64 in
+    let s = Exec.run ~mode:Exec.Analytic dev k in
+    let cache = Cost.fresh_cache Arch.ampere in
+    (Cost.kernel_time Arch.ampere cache s).Cost.time
+  in
+  Alcotest.(check bool) "64x64 tiles at least as fast as 64x8" true (time 64 <= time 8)
+
+let test_cache_residency () =
+  (* A small tensor read twice in a row: the second kernel's read should hit
+     in L2 and cause no DRAM reads. *)
+  let dev = Device.create () in
+  Device.declare dev "X" [| 256; 256 |];
+  Device.declare dev "Y" [| 256; 256 |];
+  let k = softmax_kernel ~m:256 ~n:256 ~bm:32 in
+  let s = Exec.run ~mode:Exec.Analytic dev k in
+  let cache = Cost.fresh_cache Arch.ampere in
+  let t1 = Cost.kernel_time Arch.ampere cache s in
+  let t2 = Cost.kernel_time Arch.ampere cache s in
+  Alcotest.(check bool) "first run reads DRAM" true (t1.Cost.dram_read > 0.0);
+  Alcotest.(check bool) "second run hits L2" true (t2.Cost.dram_read = 0.0)
+
+let test_colreduce () =
+  (* Column-direction reduction: 1×c result, with accumulation. *)
+  let dev = Gpu.Device.create () in
+  let x = Tensor.of_array [| 3; 4 |] [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10.; 11.; 12. |] in
+  Device.bind dev "X" x;
+  Device.declare dev "Y" [| 1; 4 |];
+  let k : Kernel.t =
+    {
+      kname = "colsum";
+      grid = [];
+      temporal = None;
+      bufs =
+        [
+          { bname = "x"; scope = Smem; brows = Lit 3; bcols = Lit 4 };
+          { bname = "s"; scope = Reg; brows = Lit 1; bcols = Lit 4 };
+        ];
+      stages =
+        [
+          Once
+            [
+              Load { tensor = "X"; dst = "x"; idx = [| IAll; IAll |] };
+              ColReduce { dst = "s"; op = Ir.Op.Rsum; src = "x"; accumulate = false };
+              Store { src = "s"; tensor = "Y"; idx = [| IAll; IAll |] };
+            ];
+        ];
+      tags = [];
+    }
+  in
+  let _ = Exec.run dev k in
+  Alcotest.(check bool) "column sums" true
+    (Tensor.allclose (Tensor.of_array [| 1; 4 |] [| 15.; 18.; 21.; 24. |]) (Device.tensor dev "Y"))
+
+let test_device_errors () =
+  let dev = Device.create () in
+  Device.declare dev "a" [| 2; 2 |];
+  Alcotest.check_raises "conflicting redeclare"
+    (Invalid_argument "Device.declare: \"a\" redeclared [2x2] -> [3x3]") (fun () ->
+      Device.declare dev "a" [| 3; 3 |]);
+  Alcotest.check_raises "tensor without data"
+    (Invalid_argument "Device.tensor: \"a\" has no data (analytic run?)") (fun () ->
+      ignore (Device.tensor dev "a"));
+  Alcotest.check_raises "unknown tensor" (Invalid_argument "Device: unknown tensor \"nope\"")
+    (fun () -> ignore (Device.shape dev "nope"))
+
+let test_cost_accumulation () =
+  let t = Gpu.Cost.add Gpu.Cost.zero Gpu.Cost.zero in
+  Alcotest.(check (float 0.0)) "zero is neutral" 0.0 t.Gpu.Cost.time
+
+let test_arch_lookup () =
+  Alcotest.(check string) "by_name" "Hopper" (Arch.by_name "hopper").Arch.name;
+  Alcotest.(check int) "three archs" 3 (List.length Arch.all)
+
+let suite =
+  [
+    Alcotest.test_case "gemm full execution" `Quick test_gemm_full;
+    Alcotest.test_case "gemm flop count" `Quick test_gemm_flops;
+    Alcotest.test_case "softmax full execution" `Quick test_softmax_full;
+    Alcotest.test_case "full/analytic counters agree" `Quick test_full_analytic_agree;
+    Alcotest.test_case "transfer summary" `Quick test_transfer_summary;
+    Alcotest.test_case "resource bound enforced" `Quick test_resource_exceeded;
+    Alcotest.test_case "kernel validation" `Quick test_validate_rejects;
+    Alcotest.test_case "IStep scoping" `Quick test_validate_istep_outside_loop;
+    Alcotest.test_case "cost monotone in traffic" `Quick test_cost_monotone;
+    Alcotest.test_case "L2 residency across kernels" `Quick test_cache_residency;
+    Alcotest.test_case "colreduce" `Quick test_colreduce;
+    Alcotest.test_case "device errors" `Quick test_device_errors;
+    Alcotest.test_case "cost accumulation" `Quick test_cost_accumulation;
+    Alcotest.test_case "arch lookup" `Quick test_arch_lookup;
+  ]
+
+let () = Alcotest.run "gpu" [ ("gpu", suite) ]

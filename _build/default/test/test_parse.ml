@@ -1,0 +1,133 @@
+(* Tests for the textual graph format: parsing, error reporting, and the
+   printer/parser roundtrip (structural and semantic). *)
+
+module G = Ir.Graph
+
+let parse_ok text =
+  match Ir.Parse.parse text with Ok g -> g | Error m -> Alcotest.failf "parse failed: %s" m
+
+let parse_err text =
+  match Ir.Parse.parse text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error m -> m
+
+let test_parse_basic () =
+  let g =
+    parse_ok
+      {|
+# attention score block
+input  q [8, 64]
+input  k [16, 64]
+qk   = matmul q k T
+mx   = reduce max qk axis=1 keepdims
+sh   = sub qk mx
+e    = exp sh
+s    = reduce sum e axis=1 keepdims
+p    = div e s
+output p
+|}
+  in
+  Alcotest.(check int) "node count" 8 (G.num_nodes g);
+  Alcotest.(check int) "one output" 1 (List.length (G.outputs g));
+  let out = G.node g (List.hd (G.outputs g)) in
+  Alcotest.(check (array int)) "output shape" [| 8; 16 |] out.shape
+
+let test_parse_const_and_weight () =
+  let g =
+    parse_ok
+      {|
+input x [4, 4]
+weight w [4]
+const half 0.5
+y = mul x half
+z = add y w
+output z
+|}
+  in
+  let env = Ir.Interp.random_env ~seed:3 g in
+  let x = List.assoc "x" env and w = List.assoc "w" env in
+  let expected = Tensor.add (Tensor.mul_scalar x 0.5) w in
+  Alcotest.(check bool) "semantics" true
+    (Tensor.allclose expected (List.hd (Ir.Interp.eval g env)))
+
+let test_parse_errors () =
+  let has needle m =
+    Alcotest.(check bool) (Printf.sprintf "%S mentions %S" m needle) true
+      (Astring.String.is_infix ~affix:needle m)
+    [@warning "-3"]
+  in
+  has "line 1" (parse_err "bogus statement");
+  has "unknown value" (parse_err "y = exp nope\noutput y");
+  has "defined twice" (parse_err "input x [2]\ninput x [2]\noutput x");
+  has "no output" (parse_err "input x [2]");
+  has "bad dimension" (parse_err "input x [two]\noutput x");
+  has "unknown operator" (parse_err "input x [2]\ny = frobnicate x\noutput y")
+
+let roundtrip g =
+  match Ir.Parse.parse (Ir.Parse.to_dsl g) with
+  | Ok g2 -> g2
+  | Error m -> Alcotest.failf "roundtrip parse failed: %s\n%s" m (Ir.Parse.to_dsl g)
+
+let test_roundtrip_zoo () =
+  List.iter
+    (fun (name, g) ->
+      let g2 = roundtrip g in
+      Alcotest.(check int) (name ^ ": node count") (G.num_nodes g) (G.num_nodes g2);
+      (* Same structure: the pretty-printed forms coincide up to names, so
+         compare semantics on shared inputs instead. *)
+      let env = Ir.Interp.random_env ~seed:11 g in
+      let o1 = Ir.Interp.eval g env and o2 = Ir.Interp.eval g2 env in
+      List.iter2
+        (fun a b -> Alcotest.(check bool) (name ^ ": outputs equal") true (Tensor.allclose a b))
+        o1 o2)
+    [
+      ("mha", Ir.Models.mha ~batch_heads:2 ~seq_q:6 ~seq_kv:8 ~head_dim:4 ());
+      ("layernorm", Ir.Models.layernorm_graph ~m:4 ~n:12);
+      ("batchnorm", Ir.Models.batchnorm_graph ~m:12 ~n:4);
+      ("mlp", Ir.Models.mlp ~layers:2 ~m:4 ~n:6 ~k:5);
+      ("lstm", Ir.Models.lstm_cell ~m:4 ~hidden:6 ~input:5);
+      ("qkv", Ir.Models.qkv_proj ~m:4 ~hidden:8);
+    ]
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"to_dsl/parse roundtrip preserves semantics" ~count:80
+    (Gen_graph.arbitrary ~max_nodes:10)
+    (fun spec ->
+      let g = Gen_graph.build spec in
+      let g2 = roundtrip g in
+      let env = Ir.Interp.random_env ~seed:spec.Gen_graph.seed g in
+      List.for_all2 (fun a b -> Tensor.allclose a b) (Ir.Interp.eval g env)
+        (Ir.Interp.eval g2 env))
+
+let test_parse_then_compile () =
+  (* Parsed graphs flow through the whole pipeline. *)
+  let g =
+    parse_ok
+      {|
+input x [32, 64]
+weight w [16, 64]
+h = matmul x w T
+r = relu h
+output r
+|}
+  in
+  match Runtime.Verify.verify_backend ~arch:Gpu.Arch.ampere ~name:"dsl" Backends.Baselines.spacefusion g with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let () =
+  Alcotest.run "parse"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "const and weight" `Quick test_parse_const_and_weight;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "compile parsed graph" `Quick test_parse_then_compile;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "zoo graphs" `Quick test_roundtrip_zoo;
+          QCheck_alcotest.to_alcotest prop_roundtrip_random;
+        ] );
+    ]

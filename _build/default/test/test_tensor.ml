@@ -1,0 +1,244 @@
+(* Unit and property tests for the dense tensor substrate. *)
+
+let t_of l shape = Tensor.of_array shape (Array.of_list l)
+
+let check_tensor msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s vs %s" msg (Tensor.to_string expected) (Tensor.to_string actual))
+    true
+    (Tensor.allclose ~rtol:1e-9 ~atol:1e-12 expected actual)
+
+(* ------------------------------------------------------------------ *)
+(* Shape                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_shape_basics () =
+  Alcotest.(check int) "numel" 24 (Shape.numel [| 2; 3; 4 |]);
+  Alcotest.(check int) "numel scalar" 1 (Shape.numel [||]);
+  Alcotest.(check (array int)) "strides" [| 12; 4; 1 |] (Shape.strides [| 2; 3; 4 |]);
+  Alcotest.(check int) "offset" 23 (Shape.offset [| 2; 3; 4 |] [| 1; 2; 3 |]);
+  Alcotest.(check (array int)) "unravel" [| 1; 2; 3 |] (Shape.unravel [| 2; 3; 4 |] 23)
+
+let test_shape_broadcast () =
+  Alcotest.(check (array int)) "same" [| 2; 3 |] (Shape.broadcast [| 2; 3 |] [| 2; 3 |]);
+  Alcotest.(check (array int)) "vs vector" [| 2; 3 |] (Shape.broadcast [| 2; 3 |] [| 3 |]);
+  Alcotest.(check (array int)) "vs scalar" [| 2; 3 |] (Shape.broadcast [| 2; 3 |] [||]);
+  Alcotest.(check (array int)) "ones expand" [| 4; 3; 5 |] (Shape.broadcast [| 4; 1; 5 |] [| 3; 1 |]);
+  Alcotest.(check bool) "incompatible" false (Shape.broadcastable [| 2; 3 |] [| 4 |])
+
+let test_shape_reduce () =
+  Alcotest.(check (array int)) "drop axis" [| 2; 4 |] (Shape.reduce [| 2; 3; 4 |] ~axis:1 ~keepdims:false);
+  Alcotest.(check (array int)) "keepdims" [| 2; 1; 4 |] (Shape.reduce [| 2; 3; 4 |] ~axis:1 ~keepdims:true);
+  Alcotest.(check (array int)) "negative axis" [| 2; 3 |] (Shape.reduce [| 2; 3; 4 |] ~axis:(-1) ~keepdims:false)
+
+let test_shape_errors () =
+  Alcotest.check_raises "validate" (Invalid_argument "Shape.validate: non-positive dim in [2x0]")
+    (fun () -> Shape.validate [| 2; 0 |]);
+  Alcotest.check_raises "axis range"
+    (Invalid_argument "Shape.normalize_axis: axis 3 out of range for [2x3]") (fun () ->
+      ignore (Shape.normalize_axis [| 2; 3 |] 3))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 5 and b = Rng.create 5 in
+  for _ = 1 to 10 do
+    Alcotest.(check (float 0.0)) "same stream" (Rng.float a) (Rng.float b)
+  done;
+  let c = Rng.split a in
+  Alcotest.(check bool) "split differs" true (Rng.float c <> Rng.float a)
+
+let test_rng_range () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Tensor ops                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_elementwise () =
+  let a = t_of [ 1.; 2.; 3.; 4. ] [| 2; 2 |] in
+  let b = t_of [ 10.; 20.; 30.; 40. ] [| 2; 2 |] in
+  check_tensor "add" (t_of [ 11.; 22.; 33.; 44. ] [| 2; 2 |]) (Tensor.add a b);
+  check_tensor "mul" (t_of [ 10.; 40.; 90.; 160. ] [| 2; 2 |]) (Tensor.mul a b);
+  check_tensor "neg" (t_of [ -1.; -2.; -3.; -4. ] [| 2; 2 |]) (Tensor.neg a)
+
+let test_broadcast_ops () =
+  let a = t_of [ 1.; 2.; 3.; 4.; 5.; 6. ] [| 2; 3 |] in
+  let row = t_of [ 10.; 20.; 30. ] [| 3 |] in
+  let col = t_of [ 100.; 200. ] [| 2; 1 |] in
+  check_tensor "row broadcast" (t_of [ 11.; 22.; 33.; 14.; 25.; 36. ] [| 2; 3 |]) (Tensor.add a row);
+  check_tensor "col broadcast"
+    (t_of [ 101.; 102.; 103.; 204.; 205.; 206. ] [| 2; 3 |])
+    (Tensor.add a col);
+  check_tensor "scalar broadcast" (t_of [ 3.; 4.; 5.; 6.; 7.; 8. ] [| 2; 3 |])
+    (Tensor.add a (Tensor.scalar 2.0))
+
+let test_reductions () =
+  let a = t_of [ 1.; 2.; 3.; 4.; 5.; 6. ] [| 2; 3 |] in
+  check_tensor "sum last" (t_of [ 6.; 15. ] [| 2 |]) (Tensor.sum a);
+  check_tensor "sum axis0" (t_of [ 5.; 7.; 9. ] [| 3 |]) (Tensor.sum ~axis:0 a);
+  check_tensor "max keepdims" (t_of [ 3.; 6. ] [| 2; 1 |]) (Tensor.max_ ~keepdims:true a);
+  check_tensor "mean" (t_of [ 2.; 5. ] [| 2 |]) (Tensor.mean a);
+  Alcotest.(check (float 1e-12)) "sum_all" 21.0 (Tensor.sum_all a)
+
+let test_matmul () =
+  let a = t_of [ 1.; 2.; 3.; 4. ] [| 2; 2 |] in
+  let b = t_of [ 5.; 6.; 7.; 8. ] [| 2; 2 |] in
+  check_tensor "plain" (t_of [ 19.; 22.; 43.; 50. ] [| 2; 2 |]) (Tensor.matmul a b);
+  check_tensor "trans_b" (t_of [ 17.; 23.; 39.; 53. ] [| 2; 2 |]) (Tensor.matmul ~trans_b:true a b)
+
+let test_batched_matmul () =
+  let rng = Rng.create 11 in
+  let a = Tensor.randn rng [| 3; 4; 5 |] and b = Tensor.randn rng [| 3; 5; 6 |] in
+  let c = Tensor.matmul a b in
+  Alcotest.(check (array int)) "batched shape" [| 3; 4; 6 |] (Tensor.shape c);
+  (* Batch 0 equals the unbatched product of the corresponding slices. *)
+  let slice t i rows cols =
+    Tensor.init [| rows; cols |] (fun idx -> Tensor.get t [| i; idx.(0); idx.(1) |])
+  in
+  check_tensor "batch 0 slice" (Tensor.matmul (slice a 0 4 5) (slice b 0 5 6)) (slice c 0 4 6)
+
+let test_broadcast_batch_matmul () =
+  let rng = Rng.create 13 in
+  let a = Tensor.randn rng [| 4; 2; 3 |] and b = Tensor.randn rng [| 3; 5 |] in
+  let c = Tensor.matmul a b in
+  Alcotest.(check (array int)) "broadcast batch" [| 4; 2; 5 |] (Tensor.shape c)
+
+let test_softmax () =
+  let x = t_of [ 1.; 2.; 3.; 1.; 1.; 1. ] [| 2; 3 |] in
+  let s = Tensor.softmax ~axis:1 x in
+  let row_sums = Tensor.sum s in
+  check_tensor "rows sum to one" (Tensor.ones [| 2 |]) row_sums;
+  check_tensor "uniform row" (t_of [ 1. /. 3.; 1. /. 3.; 1. /. 3. ] [| 3 |])
+    (Tensor.init [| 3 |] (fun i -> Tensor.get s [| 1; i.(0) |]))
+
+let test_softmax_stability () =
+  (* Large magnitudes must not overflow thanks to max subtraction. *)
+  let x = t_of [ 1000.; 1001.; 1002. ] [| 1; 3 |] in
+  let s = Tensor.softmax ~axis:1 x in
+  Alcotest.(check bool) "finite" true (Array.for_all Float.is_finite (Tensor.data s));
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 (Tensor.sum_all s)
+
+let test_layernorm () =
+  let rng = Rng.create 17 in
+  let x = Tensor.randn rng [| 4; 16 |] in
+  let y = Tensor.layernorm ~axis:1 x in
+  let mu = Tensor.mean y in
+  let var = Tensor.mean (Tensor.sqr (Tensor.sub y (Tensor.mean ~keepdims:true y))) in
+  Alcotest.(check bool) "zero mean" true (Tensor.max_abs_diff mu (Tensor.zeros [| 4 |]) < 1e-9);
+  Alcotest.(check bool) "unit variance" true
+    (Tensor.max_abs_diff var (Tensor.ones [| 4 |]) < 1e-3)
+
+let test_reshape_and_errors () =
+  let a = Tensor.arange 6 in
+  let b = Tensor.reshape a [| 2; 3 |] in
+  Alcotest.(check (float 0.0)) "shared data" 5.0 (Tensor.get b [| 1; 2 |]);
+  Alcotest.check_raises "reshape mismatch" (Invalid_argument "Tensor.reshape: [6] -> [4]")
+    (fun () -> ignore (Tensor.reshape a [| 4 |]));
+  Alcotest.check_raises "of_array mismatch"
+    (Invalid_argument "Tensor.of_array: 3 elements for shape [2x2]") (fun () ->
+      ignore (Tensor.of_array [| 2; 2 |] [| 1.; 2.; 3. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let small_shape =
+  QCheck.Gen.(map Array.of_list (list_size (int_range 1 3) (int_range 1 5)))
+
+let arb_tensor =
+  QCheck.make
+    ~print:(fun t -> Tensor.to_string t)
+    QCheck.Gen.(
+      small_shape >>= fun shape ->
+      let n = Shape.numel shape in
+      map (fun seed -> Tensor.randn (Rng.create seed) shape) (int_range 0 10000) >>= fun t ->
+      ignore n;
+      return t)
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"add commutes" ~count:100 arb_tensor (fun t ->
+      let u = Tensor.map (fun x -> x *. 2.0) t in
+      Tensor.allclose (Tensor.add t u) (Tensor.add u t))
+
+let prop_softmax_normalized =
+  QCheck.Test.make ~name:"softmax rows sum to 1" ~count:100
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (m, n) ->
+      let x = Tensor.randn (Rng.create ((m * 100) + n)) [| m; n |] in
+      let s = Tensor.sum (Tensor.softmax ~axis:1 x) in
+      Tensor.allclose ~rtol:1e-9 ~atol:1e-9 (Tensor.ones [| m |]) s)
+
+let prop_matmul_transpose_equiv =
+  QCheck.Test.make ~name:"matmul trans_b consistent with explicit transpose" ~count:50
+    QCheck.(triple (int_range 1 6) (int_range 1 6) (int_range 1 6))
+    (fun (m, n, k) ->
+      let rng = Rng.create ((m * 31) + (n * 7) + k) in
+      let a = Tensor.randn rng [| m; k |] and b = Tensor.randn rng [| n; k |] in
+      let bt = Tensor.init [| k; n |] (fun idx -> Tensor.get b [| idx.(1); idx.(0) |]) in
+      Tensor.allclose ~rtol:1e-9 ~atol:1e-9 (Tensor.matmul ~trans_b:true a b) (Tensor.matmul a bt))
+
+let prop_reduce_sum_linear =
+  QCheck.Test.make ~name:"sum(a+b) = sum a + sum b" ~count:100
+    QCheck.(pair (int_range 1 6) (int_range 1 6))
+    (fun (m, n) ->
+      let rng = Rng.create ((m * 131) + n) in
+      let a = Tensor.randn rng [| m; n |] and b = Tensor.randn rng [| m; n |] in
+      Tensor.allclose ~rtol:1e-9 ~atol:1e-9
+        (Tensor.sum (Tensor.add a b))
+        (Tensor.add (Tensor.sum a) (Tensor.sum b)))
+
+let prop_broadcast_assoc =
+  QCheck.Test.make ~name:"broadcast shape is associative-compatible" ~count:200
+    QCheck.(pair (make small_shape) (make small_shape))
+    (fun (a, b) ->
+      QCheck.assume (Shape.broadcastable a b);
+      let c = Shape.broadcast a b in
+      Shape.broadcastable a c && Shape.equal (Shape.broadcast a c) c)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_add_commutes;
+      prop_softmax_normalized;
+      prop_matmul_transpose_equiv;
+      prop_reduce_sum_linear;
+      prop_broadcast_assoc;
+    ]
+
+let () =
+  Alcotest.run "tensor"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "basics" `Quick test_shape_basics;
+          Alcotest.test_case "broadcast" `Quick test_shape_broadcast;
+          Alcotest.test_case "reduce" `Quick test_shape_reduce;
+          Alcotest.test_case "errors" `Quick test_shape_errors;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "range" `Quick test_rng_range;
+        ] );
+      ( "tensor",
+        [
+          Alcotest.test_case "elementwise" `Quick test_elementwise;
+          Alcotest.test_case "broadcast ops" `Quick test_broadcast_ops;
+          Alcotest.test_case "reductions" `Quick test_reductions;
+          Alcotest.test_case "matmul" `Quick test_matmul;
+          Alcotest.test_case "batched matmul" `Quick test_batched_matmul;
+          Alcotest.test_case "broadcast batch matmul" `Quick test_broadcast_batch_matmul;
+          Alcotest.test_case "softmax" `Quick test_softmax;
+          Alcotest.test_case "softmax stability" `Quick test_softmax_stability;
+          Alcotest.test_case "layernorm" `Quick test_layernorm;
+          Alcotest.test_case "reshape/errors" `Quick test_reshape_and_errors;
+        ] );
+      ("properties", props);
+    ]
