@@ -26,10 +26,14 @@ let feasible (arch : Gpu.Arch.t) schedule cfg ~name ~tensor_of =
       then Some k
       else None
 
+(* Feasibility checks lower every candidate, which makes enumCfg the other
+   compile-time hot spot next to tuning: fan the lowering out over the
+   domain pool. The result keeps enum_cfgs order, so downstream tie-breaks
+   are unaffected. *)
 let feasible_cfgs arch schedule ~name ~tensor_of =
-  List.filter
-    (fun cfg -> feasible arch schedule cfg ~name ~tensor_of <> None)
-    (Schedule.enum_cfgs schedule)
+  let cfgs = Schedule.enum_cfgs schedule in
+  let keep = Parallel.map (fun cfg -> feasible arch schedule cfg ~name ~tensor_of <> None) cfgs in
+  List.filter_map (fun (cfg, ok) -> if ok then Some cfg else None) (List.combine cfgs keep)
 
 (* The "expert knowledge" fixed configuration for the ablation variants and
    the hand-tuned baseline models, falling back to the first feasible

@@ -6,9 +6,15 @@ type t = {
   mutable t_enum : float;  (** enumCfg: search-space enumeration + feasibility *)
   mutable t_tune : float;  (** candidate evaluation on the cost model *)
   mutable t_total : float;
-  mutable n_cfgs : int;  (** configurations evaluated *)
-  mutable n_early_quit : int;  (** configurations abandoned by the α rule *)
+  mutable n_cfgs : int;  (** configurations fully lowered and costed *)
+  mutable n_early_quit : int;
+      (** configurations skipped without lowering: their analytic
+          lower-bound cost already exceeded the incumbent best
+          ({!Tuner.pick_best}'s pruning rule) *)
   mutable n_partitions : int;  (** Algorithm-2 rounds taken *)
+  mutable n_cache_hits : int;  (** plan-cache lookups served without compiling *)
+  mutable n_cache_misses : int;  (** plan-cache lookups that compiled *)
+  mutable n_cache_evictions : int;  (** plans evicted by the cache's LRU policy *)
 }
 
 type phase = Ss | Ts | Enum | Tune

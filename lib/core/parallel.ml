@@ -1,0 +1,68 @@
+let env_jobs () =
+  match Sys.getenv_opt "SPACEFUSION_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let override : int option Atomic.t = Atomic.make None
+
+(* The OCaml runtime caps live domains at 128; stay well under it so helper
+   spawns can never fail even if callers ask for absurd job counts. *)
+let max_jobs = 64
+
+let default_jobs () =
+  let n =
+    match Atomic.get override with
+    | Some n -> n
+    | None -> (
+        match env_jobs () with
+        | Some n -> n
+        | None -> Domain.recommended_domain_count ())
+  in
+  max 1 (min max_jobs n)
+
+let with_jobs n f =
+  let prev = Atomic.get override in
+  Atomic.set override (Some (max 1 n));
+  Fun.protect ~finally:(fun () -> Atomic.set override prev) f
+
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let inside_worker () = Domain.DLS.get in_worker
+
+let map ?jobs f l =
+  let jobs = match jobs with Some j -> max 1 (min max_jobs j) | None -> default_jobs () in
+  let n = List.length l in
+  if jobs <= 1 || n <= 1 || inside_worker () then List.map f l
+  else begin
+    let items = Array.of_list l in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let work () =
+      Domain.DLS.set in_worker true;
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <-
+            Some
+              (match f items.(i) with
+              | v -> Ok v
+              | exception e -> Error (e, Printexc.get_raw_backtrace ()));
+          loop ()
+        end
+      in
+      loop ();
+      Domain.DLS.set in_worker false
+    in
+    let helpers = List.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn work) in
+    work ();
+    List.iter Domain.join helpers;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | None -> assert false)
+         results)
+  end

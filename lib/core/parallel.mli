@@ -1,0 +1,40 @@
+(** Work-pool over OCaml 5 domains for the compile-time hot paths.
+
+    The pool is deliberately structured, not global: each {!map} call spawns
+    up to [jobs - 1] helper domains, the calling domain participates, and
+    everything joins before the call returns. Nested calls (a worker that
+    itself calls {!map}) degrade to serial execution, so the total number of
+    live domains never exceeds the configured job count no matter how the
+    scheduler recursion nests.
+
+    Job-count resolution, in priority order:
+    + an explicit [?jobs] argument;
+    + a {!with_jobs} override installed by the caller (used by the bench
+      harness to compare serial vs parallel compiles in one process);
+    + the [SPACEFUSION_JOBS] environment variable (>= 1);
+    + [Domain.recommended_domain_count ()].
+
+    With a resolved job count of 1 every entry point runs serially in the
+    calling domain — no domains are spawned, no atomics are touched. *)
+
+val default_jobs : unit -> int
+(** The job count {!map} will use when [?jobs] is omitted (see resolution
+    order above). Always >= 1. *)
+
+val with_jobs : int -> (unit -> 'a) -> 'a
+(** [with_jobs n f] runs [f] with the default job count forced to
+    [max 1 n], restoring the previous setting afterwards (also on raise).
+    The override is process-global: install it from the main domain only. *)
+
+val inside_worker : unit -> bool
+(** True while executing inside a {!map} worker (including the calling
+    domain's own work loop). Nested {!map} calls use this to degrade to
+    serial execution. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map. Work is distributed by atomic
+    work-stealing over the items, so uneven item costs balance across
+    domains. Every item is always processed; if one or more applications
+    raise, the exception of the lowest-indexed failing item is re-raised
+    (with its backtrace) after all domains have joined — deterministic
+    regardless of scheduling. *)

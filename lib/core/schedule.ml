@@ -73,6 +73,9 @@ let enum_cfgs t =
         (fun blocks -> List.map (fun s -> { blocks; tile = Some s }) sizes)
         blockss
 
+let compare_cfg a b =
+  match compare a.blocks b.blocks with 0 -> compare a.tile b.tile | c -> c
+
 let cfg_to_string cfg =
   let blocks = String.concat "," (List.map (fun (d, s) -> Printf.sprintf "d%d:%d" d s) cfg.blocks) in
   match cfg.tile with

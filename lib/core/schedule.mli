@@ -28,7 +28,17 @@ val make : Smg.t -> spatial:int list -> temporal:Update_fn.t option -> t
 val enum_cfgs : t -> cfg list
 (** The multiplier/exponential search space of §5.1 (before resource
     filtering, which Algorithm 1 performs by lowering each candidate and
-    checking the footprint against the architecture). *)
+    checking the footprint against the architecture).
+
+    The returned order is deterministic (a pure function of the schedule)
+    and duplicate-free, and downstream stages preserve it: it is the tuner's
+    tie-break order, which is what makes parallel and serial tuning select
+    the same configuration (see {!Tuner.pick_best}). *)
+
+val compare_cfg : cfg -> cfg -> int
+(** Total order on configurations (lexicographic on block assignments, then
+    tile) — a stable identity for deduplication and for asserting the
+    {!enum_cfgs} uniqueness contract in tests. *)
 
 val cfg_to_string : cfg -> string
 val describe : t -> string

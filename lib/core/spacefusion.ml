@@ -74,10 +74,12 @@ let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
   let name_of =
     match tensor_names with Some f -> f | None -> tensor_name ~name graph
   in
-  (* Shape context for cost evaluation: every original tensor. *)
+  (* Shape context for cost evaluation: every original tensor. Declared up
+     front and read-only from here on, so parallel component workers can
+     share it without locking. *)
   let device = Gpu.Device.create () in
   declare_all device name_of graph;
-  let kcount = ref 0 in
+  let kcount = Atomic.make 0 in
   (* Per-kernel CPU dispatch overhead, so candidate plans with more kernels
      pay for their extra launches in the comparison. *)
   let dispatch_cost = 3.0e-6 in
@@ -103,9 +105,13 @@ let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
      split plan — because kernels couple through the L2 model: a locally
      second-best sub-plan can compose into the globally cheapest plan.
      Memoized on the original-node subset: the recursive exploration
-     revisits the same sub-SMG prefixes many times. *)
-  let memo : (string, kernel_choice list list) Hashtbl.t = Hashtbl.create 32 in
-  let rec schedule_graph g orig =
+     revisits the same sub-SMG prefixes many times.
+
+     [st] and [memo] are per-task: independent components are scheduled on
+     parallel domains, so each worker gets its own stats record (merged
+     deterministically after the join) and its own memo table (components
+     are node-disjoint — a shared table would only buy contention). *)
+  let rec schedule_graph ~st ~memo g orig =
     let key =
       Ir.Graph.nodes g
       |> List.filter_map (fun (n : G.node) ->
@@ -117,30 +123,37 @@ let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
     match Hashtbl.find_opt memo key with
     | Some ks -> ks
     | None ->
-        let ks = schedule_graph_uncached g orig in
+        let ks = schedule_graph_uncached ~st ~memo g orig in
         Hashtbl.replace memo key ks;
         ks
 
-  and schedule_graph_uncached g orig =
+  and schedule_graph_uncached ~st ~memo g orig =
     let tensor_of nid = name_of (orig nid) in
     (* Disconnected fusion groups (no shared tensors at all) have no common
        spatial dimension: schedule each weakly-connected component on its
-       own. Components sharing only a kernel input stay together (split-K
-       style fusion of sibling projections can profit from the shared
-       stream). *)
+       own — concurrently, they share nothing but the read-only device. At
+       nesting depth > 0 (already inside a worker) Parallel.map degrades to
+       serial, bounding the domain count. Components sharing only a kernel
+       input stay together (split-K style fusion of sibling projections can
+       profit from the shared stream). *)
     match components g with
     | first :: (_ :: _ as rest) ->
         let per_comp =
-          List.map
+          Parallel.map
             (fun comp ->
               let part = Partition.subgraph g ~keep:comp ~name_of:tensor_of in
-              best_of
-                (schedule_graph part.Partition.part_graph (fun nid ->
-                     orig (part.Partition.part_orig nid))))
+              let cst = Cstats.create () in
+              let choice =
+                best_of
+                  (schedule_graph ~st:cst ~memo:(Hashtbl.create 16) part.Partition.part_graph
+                     (fun nid -> orig (part.Partition.part_orig nid)))
+              in
+              (choice, cst))
             (first :: rest)
         in
-        [ List.concat per_comp ]
-    | _ -> schedule_connected g orig
+        List.iter (fun (_, cst) -> Cstats.add st cst) per_comp;
+        [ List.concat (List.map fst per_comp) ]
+    | _ -> schedule_connected ~st ~memo g orig
 
   and best_of candidates =
     match candidates with
@@ -148,24 +161,23 @@ let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
     | c :: rest ->
         List.fold_left (fun acc c -> if plan_cost c < plan_cost acc then c else acc) c rest
 
-  and schedule_connected g orig =
+  and schedule_connected ~st ~memo g orig =
     let tensor_of nid = name_of (orig nid) in
     let smg = Smg.build g in
-    let kname = Printf.sprintf "%s.k%d" name !kcount in
+    let kname = Printf.sprintf "%s.k%d" name (Atomic.fetch_and_add kcount 1) in
     let fused =
       (* One beam candidate per schedule family (spatial-only, temporal):
          the tuner's per-kernel metric cannot anticipate cross-kernel cache
          effects, so composition must get to weigh both. *)
-      match Auto_scheduler.run ~variant ~stats arch smg ~name:kname ~tensor_of with
+      match Auto_scheduler.run ~variant ~stats:st arch smg ~name:kname ~tensor_of with
       | [] -> None
       | scheds -> (
           let per_schedule =
             List.filter_map
               (fun sched ->
-                match Tuner.pick_best ~stats arch device ~name:kname ~tensor_of [ sched ] with
+                match Tuner.pick_best ~stats:st arch device ~name:kname ~tensor_of [ sched ] with
                 | None -> None
                 | Some (schedule, cfg, kernel, cost) ->
-                    incr kcount;
                     Some [ { kc_kernel = kernel; kc_schedule = schedule; kc_cfg = cfg; kc_cost = cost } ])
               scheds
           in
@@ -173,12 +185,15 @@ let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
     in
     let compose (gf : Partition.part) (gl : Partition.part option) =
       (* Cartesian product of the two sides' beams. *)
-      let fs = schedule_graph gf.Partition.part_graph (fun nid -> orig (gf.Partition.part_orig nid)) in
+      let fs =
+        schedule_graph ~st ~memo gf.Partition.part_graph (fun nid -> orig (gf.Partition.part_orig nid))
+      in
       let ls =
         match gl with
         | None -> [ [] ]
         | Some gl ->
-            schedule_graph gl.Partition.part_graph (fun nid -> orig (gl.Partition.part_orig nid))
+            schedule_graph ~st ~memo gl.Partition.part_graph
+              (fun nid -> orig (gl.Partition.part_orig nid))
       in
       List.concat_map (fun f -> List.map (fun l -> f @ l) ls) fs
     in
@@ -203,7 +218,7 @@ let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
               | Error msg -> raise (Unschedulable (Printf.sprintf "%s: %s" name msg))
               | Ok candidates -> List.filter (fun (_, glopt) -> glopt <> None) candidates)
         in
-        if candidates <> [] then stats.Cstats.n_partitions <- stats.Cstats.n_partitions + 1;
+        if candidates <> [] then st.Cstats.n_partitions <- st.Cstats.n_partitions + 1;
         let plans =
           List.concat_map
             (fun (gf, glopt) ->
@@ -233,7 +248,7 @@ let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
   in
   let smg = Smg.build graph in
   let choices =
-    let candidates = schedule_graph graph (fun nid -> nid) in
+    let candidates = schedule_graph ~st:stats ~memo:(Hashtbl.create 32) graph (fun nid -> nid) in
     List.fold_left
       (fun acc c -> if plan_cost c < plan_cost acc then c else acc)
       (List.hd candidates) (List.tl candidates)

@@ -5,26 +5,106 @@ let kernel_cost arch device kernel =
   let cache = Gpu.Cost.fresh_cache arch in
   (Gpu.Cost.kernel_time arch cache stats).Gpu.Cost.time
 
-let pick_best ?stats arch device ~name ~tensor_of (scheds : Auto_scheduler.scheduled list) =
+(* Configuration-independent work of the fused graph: GEMM flops, plus every
+   leaf tensor read once and every output written once. Both are lower
+   bounds on what any lowered kernel for this graph must do — intermediates
+   stay on-chip, but leaves and outputs always cross DRAM. *)
+let graph_work g =
+  let gemm = ref 0.0 and bytes = ref 0 in
+  List.iter
+    (fun (n : Ir.Graph.node) ->
+      match n.kind with
+      | Ir.Graph.Input _ | Ir.Graph.Weight _ ->
+          bytes := !bytes + (Shape.numel n.shape * Gpu.Arch.elt_bytes)
+      | Ir.Graph.Matmul { a; _ } ->
+          let sa = (Ir.Graph.node g a).shape in
+          let k = sa.(Array.length sa - 1) in
+          gemm := !gemm +. (2.0 *. float_of_int (Shape.numel n.shape * k))
+      | _ -> ())
+    (Ir.Graph.nodes g);
+  List.iter
+    (fun o -> bytes := !bytes + (Shape.numel (Ir.Graph.node g o).shape * Gpu.Arch.elt_bytes))
+    (Ir.Graph.outputs g);
+  (!gemm, float_of_int !bytes)
+
+(* Grid size the configuration will lower to: batch dims are blocked at 1,
+   tiled dims at the configured block size; temporal/inner dims do not
+   contribute blocks. *)
+let config_blocks (schedule : Schedule.t) (cfg : Schedule.cfg) =
+  let fs = Smg.fused schedule.Schedule.smg in
+  let batch =
+    List.fold_left (fun acc d -> acc * Fusedspace.dim_extent fs d) 1 schedule.Schedule.batch_dims
+  in
+  List.fold_left
+    (fun acc (d, b) ->
+      let e = Fusedspace.dim_extent fs d in
+      acc * ((e + b - 1) / b))
+    batch cfg.Schedule.blocks
+
+let lower_bound arch schedule cfg =
+  let gemm_flops, bytes = graph_work (Smg.graph schedule.Schedule.smg) in
+  Gpu.Cost.time_lower_bound arch ~blocks:(config_blocks schedule cfg) ~gemm_flops ~bytes
+
+type outcome = Pruned | Unlowerable | Costed of Gpu.Kernel.t * float
+
+let pick_best ?stats ?(prune = true) arch device ~name ~tensor_of
+    (scheds : Auto_scheduler.scheduled list) =
   let cstats = match stats with Some s -> s | None -> Cstats.create () in
-  let best = ref None in
-  let best_cost = ref infinity in
   Cstats.timed cstats Cstats.Tune (fun () ->
-      List.iter
-        (fun { Auto_scheduler.schedule; cfgs } ->
-          List.iter
-            (fun cfg ->
+      (* Candidates in the stable enumeration order: schedule order as given,
+         then Schedule.enum_cfgs order. This order is the tie-break rule —
+         of equal-cost candidates the earliest wins — so serial, parallel,
+         pruned and unpruned runs all select the same (schedule, cfg). *)
+      let candidates =
+        List.concat_map
+          (fun { Auto_scheduler.schedule; cfgs } ->
+            let gemm_flops, bytes = graph_work (Smg.graph schedule.Schedule.smg) in
+            List.map (fun cfg -> (schedule, cfg, gemm_flops, bytes)) cfgs)
+          scheds
+      in
+      let arr = Array.of_list candidates in
+      (* Cross-domain incumbent: workers prune against the best cost seen so
+         far by anyone. Pruning only ever skips candidates whose lower bound
+         strictly exceeds the incumbent, and the incumbent only decreases, so
+         a pruned candidate's true cost is strictly above the final best —
+         the selected winner (and any cost tie with it) is never pruned,
+         whatever the interleaving. *)
+      let best_now = Atomic.make infinity in
+      let outcomes =
+        Parallel.map
+          (fun (schedule, cfg, gemm_flops, bytes) ->
+            let lb =
+              if not prune then neg_infinity
+              else
+                Gpu.Cost.time_lower_bound arch ~blocks:(config_blocks schedule cfg) ~gemm_flops
+                  ~bytes
+            in
+            if lb > Atomic.get best_now then Pruned
+            else
               match Lower.lower schedule cfg ~name ~tensor_of with
-              | exception Lower.Unlowerable _ -> ()
+              | exception Lower.Unlowerable _ -> Unlowerable
               | kernel ->
-                  cstats.Cstats.n_cfgs <- cstats.Cstats.n_cfgs + 1;
                   let cost = kernel_cost arch device kernel in
-                  if cost > !best_cost /. alpha then
-                    cstats.Cstats.n_early_quit <- cstats.Cstats.n_early_quit + 1;
-                  if cost < !best_cost then begin
-                    best_cost := cost;
-                    best := Some (schedule, cfg, kernel, cost)
-                  end)
-            cfgs)
-        scheds);
-  !best
+                  let rec relax () =
+                    let cur = Atomic.get best_now in
+                    if cost < cur && not (Atomic.compare_and_set best_now cur cost) then relax ()
+                  in
+                  relax ();
+                  Costed (kernel, cost))
+          (Array.to_list arr)
+      in
+      let best = ref None in
+      List.iteri
+        (fun i outcome ->
+          match outcome with
+          | Pruned -> cstats.Cstats.n_early_quit <- cstats.Cstats.n_early_quit + 1
+          | Unlowerable -> ()
+          | Costed (kernel, cost) ->
+              cstats.Cstats.n_cfgs <- cstats.Cstats.n_cfgs + 1;
+              (match !best with
+              | Some (_, best_cost) when best_cost <= cost -> ()
+              | _ ->
+                  let schedule, cfg, _, _ = arr.(i) in
+                  best := Some ((schedule, cfg, kernel, cost), cost)))
+        outcomes;
+      Option.map fst !best)

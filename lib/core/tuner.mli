@@ -1,18 +1,40 @@
 (** Auto-tuning: pick the best (schedule, configuration) pair by scoring
     lowered kernels on the simulated-GPU cost model (§6.5).
 
-    The early-quit mechanism mirrors the paper's: a candidate is abandoned
-    once its accumulated cost exceeds [best / alpha] (α = 0.25 by default) —
-    with analytic scoring this saves no wall-clock on single-kernel plans
-    but keeps the statistics (and multi-kernel candidate plans benefit). *)
+    Candidates are lowered and costed in parallel ({!Parallel.map}) with a
+    shared atomic incumbent cost used for cross-domain pruning: before
+    lowering a configuration, an analytic lower bound
+    ({!Gpu.Cost.time_lower_bound} over the graph's mandatory DRAM traffic,
+    GEMM flops and the configuration's grid size) is compared against the
+    incumbent, and configurations that provably cannot beat it are skipped
+    without being lowered — these are what {!Cstats.t.n_early_quit} counts.
+
+    Determinism guarantee: the selected (schedule, cfg) is identical across
+    serial, parallel, pruned and unpruned runs. Ties are broken by the
+    stable candidate order (schedule order, then {!Schedule.enum_cfgs}
+    order), never by arrival order; and because pruning requires the lower
+    bound to {i strictly} exceed a monotonically decreasing incumbent, no
+    candidate costing as little as the final best is ever pruned. *)
 
 val alpha : float
+(** α = 0.25, the paper's §6.5 early-quit threshold: sequential hardware
+    tuning abandons a candidate once its accumulated measurement exceeds
+    [best / α]. The 1/α slack compensates for measurements being partial.
+    This reproduction's analytic pruning needs no slack — the bound is a
+    certain lower bound, so it prunes at [bound > best] directly — but α is
+    kept (and swept by [bench --only ablate]) to emulate the paper's rule. *)
 
 val kernel_cost : Gpu.Arch.t -> Gpu.Device.t -> Gpu.Kernel.t -> float
 (** Simulated seconds for one kernel on a fresh L2. *)
 
+val lower_bound : Gpu.Arch.t -> Schedule.t -> Schedule.cfg -> float
+(** The pruning bound for one candidate, computed without lowering it.
+    Never above {!kernel_cost} of the lowered kernel (exposed for tests and
+    the bench ablation). *)
+
 val pick_best :
   ?stats:Cstats.t ->
+  ?prune:bool ->
   Gpu.Arch.t ->
   Gpu.Device.t ->
   name:string ->
@@ -20,4 +42,7 @@ val pick_best :
   Auto_scheduler.scheduled list ->
   (Schedule.t * Schedule.cfg * Gpu.Kernel.t * float) option
 (** Best candidate over every schedule's feasible configurations. The
-    device must have every touched tensor's shape declared. *)
+    device must have every touched tensor's shape declared. [prune]
+    (default true) enables lower-bound pruning; disabling it lowers and
+    costs every candidate (used to validate that pruning never changes the
+    selection). *)

@@ -55,6 +55,25 @@ let touch cache name bytes =
 
 let sector = float_of_int Arch.sector_bytes
 
+let time_lower_bound (arch : Arch.t) ~blocks ~gemm_flops ~bytes =
+  (* Every term is an under-approximation of the corresponding term in
+     [kernel_time]:
+     - utilization is bounded above by 1 once there are at least [sms]
+       blocks; below that the model uses max(blocks/sms, 0.05) exactly;
+     - the GEMM term omits the SIMD flops entirely;
+     - [bytes] must be a lower bound on DRAM traffic (unique bytes of every
+       loaded and stored tensor: on a fresh cache first touches always miss
+       and writes always spill), and bw_util <= 1;
+     - busy >= max(compute, mem), and the 0.2 * min overlap term is
+       dropped. *)
+  let util_ub =
+    if blocks >= arch.sms then 1.0
+    else Float.max 0.05 (float_of_int blocks /. float_of_int arch.sms)
+  in
+  let compute = gemm_flops /. (arch.tensor_flops *. 0.75 *. util_ub) in
+  let mem = bytes /. arch.dram_bw in
+  (arch.launch_us *. 1e-6) +. Float.max compute mem
+
 let kernel_time (arch : Arch.t) cache (ks : Exec.kstats) =
   let l1_access = ref 0.0
   and l1_miss = ref 0.0

@@ -33,5 +33,16 @@ val fresh_cache : Arch.t -> cache
 val kernel_time : Arch.t -> cache -> Exec.kstats -> timing
 (** Scores one kernel and updates the L2 residency state. *)
 
+val time_lower_bound : Arch.t -> blocks:int -> gemm_flops:float -> bytes:float -> float
+(** Optimistic kernel time computable {i before} lowering: [bytes] unique
+    bytes move once at full DRAM bandwidth, [gemm_flops] run at peak
+    tensor-core throughput with utilization capped only by [blocks] (wave
+    quantization, overlap penalty and SIMD work are all dropped). Sound
+    with respect to {!kernel_time} on a fresh cache: never above the
+    modelled time of any kernel with that block count whose DRAM traffic is
+    at least [bytes] and whose GEMM work is at least [gemm_flops]. The
+    auto-tuner uses this to skip configurations that cannot beat the
+    incumbent best. *)
+
 val add : timing -> timing -> timing
 val zero : timing

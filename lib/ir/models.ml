@@ -80,6 +80,16 @@ let layernorm_graph ~m ~n =
   Graph.mark_output g out;
   g
 
+let independent_chains ?(kind = `Layernorm) ~copies ~m ~n () =
+  if copies < 1 then invalid_arg "Models.independent_chains: copies >= 1";
+  let g = Graph.create () in
+  for i = 1 to copies do
+    let x = Graph.input g (Printf.sprintf "x%d" i) [| m; n |] in
+    let out = add_norm g ~tag:(Printf.sprintf "chain%d" i) ~n ~kind x in
+    Graph.mark_output g out
+  done;
+  g
+
 let rmsnorm_graph ~m ~n =
   let g = Graph.create () in
   let x = Graph.input g "x" [| m; n |] in

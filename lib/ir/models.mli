@@ -27,6 +27,13 @@ val layernorm_graph : m:int -> n:int -> Graph.t
 val rmsnorm_graph : m:int -> n:int -> Graph.t
 (** Llama2/T5-style RMSNorm (no mean subtraction). *)
 
+val independent_chains :
+  ?kind:[ `Layernorm | `Rmsnorm ] -> copies:int -> m:int -> n:int -> unit -> Graph.t
+(** [copies] disjoint normalization chains over separate inputs in one
+    graph — no shared tensors, so the compiler sees [copies]
+    weakly-connected components and schedules them concurrently. This is
+    the scheduler-throughput benchmark's multi-component workload. *)
+
 val batchnorm_graph : m:int -> n:int -> Graph.t
 (** Training-style BatchNorm: mean/variance along the batch axis (axis 0) —
     exercises column-direction reductions (Table 1's BatchNorm row). *)

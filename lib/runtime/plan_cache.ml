@@ -1,25 +1,100 @@
-type t = {
-  table : (string, Gpu.Plan.t) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
+type key = {
+  k_backend : string;
+  k_arch : string;
+  k_name : string;
+  k_graph : Digest.t;  (* of the canonical DSL text, not the text itself *)
 }
 
-let create () = { table = Hashtbl.create 32; hits = 0; misses = 0 }
+type entry = { e_plan : Gpu.Plan.t; mutable e_last_use : int }
+
+type t = {
+  table : (key, entry) Hashtbl.t;
+  lock : Mutex.t;
+  capacity : int option;
+  mutable tick : int;  (* logical clock for LRU ordering *)
+  stats : Core.Cstats.t;
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Plan_cache.create: capacity must be >= 1"
+  | _ -> ());
+  { table = Hashtbl.create 64; lock = Mutex.create (); capacity; tick = 0;
+    stats = Core.Cstats.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let evict_over_capacity t =
+  match t.capacity with
+  | None -> ()
+  | Some cap ->
+      while Hashtbl.length t.table > cap do
+        let lru =
+          Hashtbl.fold
+            (fun k e acc ->
+              match acc with
+              | Some (_, stamp) when stamp <= e.e_last_use -> acc
+              | _ -> Some (k, e.e_last_use))
+            t.table None
+        in
+        match lru with
+        | Some (k, _) ->
+            Hashtbl.remove t.table k;
+            t.stats.Core.Cstats.n_cache_evictions <-
+              t.stats.Core.Cstats.n_cache_evictions + 1
+        | None -> ()
+      done
 
 let compile t (backend : Backends.Policy.t) arch ~name graph =
+  (* Hash the canonical DSL outside the lock: it is the expensive part of
+     the key, and it needs no cache state. *)
   let key =
-    String.concat "\x00"
-      [ backend.be_name; arch.Gpu.Arch.name; name; Ir.Parse.to_dsl graph ]
+    {
+      k_backend = backend.be_name;
+      k_arch = arch.Gpu.Arch.name;
+      k_name = name;
+      k_graph = Digest.string (Ir.Parse.to_dsl graph);
+    }
   in
-  match Hashtbl.find_opt t.table key with
-  | Some plan ->
-      t.hits <- t.hits + 1;
-      plan
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some e ->
+            t.tick <- t.tick + 1;
+            e.e_last_use <- t.tick;
+            t.stats.Core.Cstats.n_cache_hits <- t.stats.Core.Cstats.n_cache_hits + 1;
+            Some e.e_plan
+        | None ->
+            t.stats.Core.Cstats.n_cache_misses <- t.stats.Core.Cstats.n_cache_misses + 1;
+            None)
+  in
+  match cached with
+  | Some plan -> plan
   | None ->
-      t.misses <- t.misses + 1;
+      (* Compile outside the lock so concurrent misses on different keys
+         proceed in parallel. Two domains racing on the same key both
+         compile (both were genuine misses); the insert below keeps one. *)
       let plan = backend.compile arch ~name graph in
-      Hashtbl.replace t.table key plan;
-      plan
+      locked t (fun () ->
+          (match Hashtbl.find_opt t.table key with
+          | Some e ->
+              t.tick <- t.tick + 1;
+              e.e_last_use <- t.tick
+          | None ->
+              t.tick <- t.tick + 1;
+              Hashtbl.replace t.table key { e_plan = plan; e_last_use = t.tick };
+              evict_over_capacity t);
+          plan)
 
-let hits t = t.hits
-let misses t = t.misses
+let hits t = locked t (fun () -> t.stats.Core.Cstats.n_cache_hits)
+let misses t = locked t (fun () -> t.stats.Core.Cstats.n_cache_misses)
+let evictions t = locked t (fun () -> t.stats.Core.Cstats.n_cache_evictions)
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let cstats t =
+  locked t (fun () ->
+      let c = Core.Cstats.create () in
+      Core.Cstats.add c t.stats;
+      c)

@@ -1,17 +1,37 @@
-(** Compilation cache — the paper\'s program-preprocessing notes that "most
+(** Compilation cache — the paper's program-preprocessing notes that "most
     of these subprograms are repetitive. SpaceFusion compiles the repetitive
-    ones only once" (§5). Keyed on the policy, the architecture, the plan\'s
-    name prefix (tensor names are baked into plans) and the graph\'s
-    canonical textual form ({!Ir.Parse.to_dsl} is deterministic and
-    name-stable). *)
+    ones only once" (§5).
+
+    Keys are (policy, architecture, plan-name-prefix, graph): tensor names
+    are baked into plans, and {!Ir.Parse.to_dsl} is deterministic and
+    name-stable, so its MD5 digest identifies the graph — the cache stores a
+    16-byte digest per entry instead of the whole DSL text.
+
+    The cache is safe to share across domains (a mutex guards the table;
+    compilation itself runs outside the lock so distinct misses overlap),
+    and optionally bounded: with [capacity] set, the least-recently-used
+    plan is evicted once the table exceeds it. Hit/miss/eviction counters
+    are reported through {!Core.Cstats}. *)
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** Unbounded unless [capacity] is given. Raises [Invalid_argument] on
+    [capacity < 1]. *)
 
 val compile :
   t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t
-(** Like the policy\'s [compile], memoized. *)
+(** Like the policy's [compile], memoized. A lookup that compiles counts as
+    one miss; a lookup served from the table counts as one hit and marks the
+    entry most-recently-used. *)
 
 val hits : t -> int
 val misses : t -> int
+val evictions : t -> int
+val length : t -> int
+(** Plans currently resident (<= capacity when one is set). *)
+
+val cstats : t -> Core.Cstats.t
+(** Snapshot of the cache counters ([n_cache_hits] / [n_cache_misses] /
+    [n_cache_evictions]); merge into a compile-stats record with
+    {!Core.Cstats.add}. *)

@@ -1,0 +1,41 @@
+#!/bin/sh
+# CI entry point: build, run the test suite, then check the parallel
+# tuner's determinism guarantee across process runs — the scheduler
+# throughput bench at SPACEFUSION_JOBS=1 and =4 must select byte-identical
+# (schedule, cfg, cost) picks on every case.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+out1=$(mktemp) && out4=$(mktemp)
+trap 'rm -f "$out1" "$out4"' EXIT
+
+SPACEFUSION_JOBS=1 dune exec bench/main.exe -- --quick --only sched > "$out1"
+SPACEFUSION_JOBS=4 dune exec bench/main.exe -- --quick --only sched > "$out4"
+
+# Each case line carries wall-clock timings too; compare only the case
+# name and its picks digest.
+extract_picks() {
+    sed -n 's/.*"name":\("[^"]*"\).*"picks_md5":\("[^"]*"\).*/\1 \2/p' "$1"
+}
+picks1=$(extract_picks "$out1")
+picks4=$(extract_picks "$out4")
+
+if [ -z "$picks1" ]; then
+    echo "ci: sched bench produced no picks_md5 lines" >&2
+    exit 1
+fi
+
+if [ "$picks1" != "$picks4" ]; then
+    echo "ci: tuner picks diverge between SPACEFUSION_JOBS=1 and =4" >&2
+    echo "--- JOBS=1 ---" >&2
+    echo "$picks1" >&2
+    echo "--- JOBS=4 ---" >&2
+    echo "$picks4" >&2
+    exit 1
+fi
+
+echo "ci: OK (build, tests, and serial/parallel tuner picks identical)"

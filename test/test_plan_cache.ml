@@ -1,0 +1,116 @@
+(* Tests for the thread-safe memoizing plan cache: hit/miss accounting,
+   LRU eviction order, key separation across every key component, and a
+   concurrent-access smoke test from multiple domains. *)
+
+module PC = Runtime.Plan_cache
+module Policy = Backends.Policy
+
+let arch = Gpu.Arch.ampere
+
+(* A real compile wrapped in a call counter, so tests can distinguish
+   "served from the table" from "recompiled". *)
+let stub ?(be_name = "stub") calls =
+  {
+    Policy.be_name;
+    dispatch_us = 0.0;
+    supports = (fun _ -> true);
+    compile =
+      (fun arch ~name g ->
+        Atomic.incr calls;
+        Policy.compile_groups arch ~name g (Policy.singletons g));
+  }
+
+let g_a = Ir.Models.layernorm_graph ~m:32 ~n:32
+let g_b = Ir.Models.rmsnorm_graph ~m:32 ~n:32
+let g_c = Ir.Models.softmax_graph ~m:32 ~n:32
+let g_d = Ir.Models.batchnorm_graph ~m:32 ~n:32
+
+let test_hit_miss () =
+  let calls = Atomic.make 0 in
+  let b = stub calls in
+  let c = PC.create () in
+  let p1 = PC.compile c b arch ~name:"m" g_a in
+  let p2 = PC.compile c b arch ~name:"m" g_a in
+  Alcotest.(check bool) "second lookup returns the cached plan" true (p1 == p2);
+  Alcotest.(check int) "one compile" 1 (Atomic.get calls);
+  Alcotest.(check int) "one hit" 1 (PC.hits c);
+  Alcotest.(check int) "one miss" 1 (PC.misses c);
+  Alcotest.(check int) "one resident plan" 1 (PC.length c);
+  Alcotest.(check int) "no evictions" 0 (PC.evictions c);
+  let s = PC.cstats c in
+  Alcotest.(check int) "cstats mirrors hits" 1 s.Core.Cstats.n_cache_hits;
+  Alcotest.(check int) "cstats mirrors misses" 1 s.Core.Cstats.n_cache_misses
+
+let test_lru_eviction () =
+  let calls = Atomic.make 0 in
+  let b = stub calls in
+  let c = PC.create ~capacity:2 () in
+  ignore (PC.compile c b arch ~name:"m" g_a);
+  ignore (PC.compile c b arch ~name:"m" g_b);
+  (* Touch A so B becomes least-recently-used. *)
+  ignore (PC.compile c b arch ~name:"m" g_a);
+  ignore (PC.compile c b arch ~name:"m" g_c);
+  Alcotest.(check int) "C evicted exactly one entry" 1 (PC.evictions c);
+  Alcotest.(check int) "length stays at capacity" 2 (PC.length c);
+  ignore (PC.compile c b arch ~name:"m" g_a);
+  Alcotest.(check int) "A survived the eviction" 2 (PC.hits c);
+  ignore (PC.compile c b arch ~name:"m" g_b);
+  Alcotest.(check int) "B was the victim (recompiled)" 4 (PC.misses c);
+  Alcotest.(check int) "compiles track misses" 4 (Atomic.get calls)
+
+let test_key_separation () =
+  let calls = Atomic.make 0 in
+  let b = stub calls in
+  let b2 = stub ~be_name:"other-backend" calls in
+  let c = PC.create () in
+  ignore (PC.compile c b arch ~name:"m" g_a);
+  ignore (PC.compile c b2 arch ~name:"m" g_a);
+  ignore (PC.compile c b Gpu.Arch.hopper ~name:"m" g_a);
+  ignore (PC.compile c b arch ~name:"m2" g_a);
+  ignore (PC.compile c b arch ~name:"m" g_b);
+  Alcotest.(check int) "five distinct keys, five misses" 5 (PC.misses c);
+  Alcotest.(check int) "no false hits" 0 (PC.hits c);
+  Alcotest.(check int) "five resident plans" 5 (PC.length c);
+  (* And each key still hits itself. *)
+  ignore (PC.compile c b arch ~name:"m" g_a);
+  ignore (PC.compile c b2 arch ~name:"m" g_a);
+  Alcotest.(check int) "revisits hit" 2 (PC.hits c);
+  Alcotest.(check int) "no extra compiles" 5 (Atomic.get calls)
+
+let test_capacity_validation () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Plan_cache.create: capacity must be >= 1") (fun () ->
+      ignore (PC.create ~capacity:0 ()))
+
+let test_concurrent_smoke () =
+  let calls = Atomic.make 0 in
+  let b = stub calls in
+  let c = PC.create ~capacity:3 () in
+  let graphs = [| g_a; g_b; g_c; g_d |] in
+  let per_domain = 25 in
+  let worker seed () =
+    for i = 0 to per_domain - 1 do
+      let g = graphs.((seed + i) mod Array.length graphs) in
+      ignore (PC.compile c b arch ~name:"m" g)
+    done
+  in
+  let domains = List.init 4 (fun s -> Domain.spawn (worker s)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "every lookup accounted as hit or miss" (4 * per_domain)
+    (PC.hits c + PC.misses c);
+  Alcotest.(check bool) "length within capacity" true (PC.length c <= 3);
+  Alcotest.(check int) "one compile per miss, even racing" (PC.misses c)
+    (Atomic.get calls)
+
+let () =
+  Alcotest.run "plan_cache"
+    [
+      ( "plan_cache",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick test_hit_miss;
+          Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction;
+          Alcotest.test_case "key separation" `Quick test_key_separation;
+          Alcotest.test_case "capacity validation" `Quick test_capacity_validation;
+          Alcotest.test_case "concurrent access smoke" `Quick test_concurrent_smoke;
+        ] );
+    ]
