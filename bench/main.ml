@@ -472,7 +472,7 @@ let ablate () =
       in
       let show = function None -> "n/a" | Some b -> string_of_int (b / 1024) in
       let fits = function
-        | Some b -> if b <= arch.Gpu.Arch.smem_per_block + (arch.Gpu.Arch.regs_per_block * 4) then "yes" else "no"
+        | Some b -> if b <= arch.Gpu.Arch.smem_per_block + arch.Gpu.Arch.regfile_bytes then "yes" else "no"
         | None -> "n/a"
       in
       let p = footprint true and u = footprint false in
@@ -562,6 +562,23 @@ let sched () =
   if not !all_identical then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Differential verification gate                                      *)
+(* ------------------------------------------------------------------ *)
+
+let verify () =
+  (* Fixed seed: the whole run (graphs, inputs, shrinks) is reproducible,
+     so a CI failure replays exactly. *)
+  let config =
+    { Check.Fuzz.default_config with Check.Fuzz.cf_budget = (if !quick then 20 else 60) }
+  in
+  let r = Check.Fuzz.run ~config () in
+  print_endline (Check.Fuzz.report_to_json r);
+  if not (Check.Fuzz.pass r) then begin
+    Check.Fuzz.pp_report Format.err_formatter r;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler itself                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -618,6 +635,7 @@ let experiments =
     ("tab6", "Fusion-pattern census (Table 6)", tab6);
     ("ablate", "Design-choice ablations (early-quit α, buffer pooling)", ablate);
     ("sched", "Scheduler throughput: serial vs parallel auto-tuning (JSON)", sched);
+    ("verify", "Differential verification: fuzz + seeded-defect corpus gate (JSON)", verify);
     ("bechamel", "Compiler micro-benchmarks", bechamel_compile);
   ]
 

@@ -3,6 +3,7 @@
      spacefusion compile --workload mha --seq 512    # show schedule & kernels
      spacefusion run --workload layernorm --rows 2048 # verify + simulate
      spacefusion bench --workload mha --arch hopper  # compare backends
+     spacefusion verify --budget 100                  # differential fuzzing
      spacefusion patterns                             # Table-6 style census *)
 
 open Cmdliner
@@ -183,6 +184,49 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Compare all backends on one workload")
     Term.(const run $ arch_arg $ workload_arg $ m_arg $ n_arg $ seq_arg $ batch_arg $ layers_arg)
 
+(* verify ----------------------------------------------------------------- *)
+
+let verify_cmd =
+  let run arch_opt budget seed max_nodes json =
+    let config =
+      {
+        Check.Fuzz.default_config with
+        Check.Fuzz.cf_budget = budget;
+        cf_seed = seed;
+        cf_max_nodes = max_nodes;
+        cf_archs =
+          (match arch_opt with
+          | Some a -> [ a ]
+          | None -> Check.Fuzz.default_config.Check.Fuzz.cf_archs);
+      }
+    in
+    let r = Check.Fuzz.run ~config () in
+    if json then print_endline (Check.Fuzz.report_to_json r)
+    else Check.Fuzz.pp_report Format.std_formatter r;
+    if not (Check.Fuzz.pass r) then exit 1
+  in
+  let arch_opt =
+    Arg.(
+      value
+      & opt (some arch_conv) None
+      & info [ "arch" ] ~doc:"restrict to one architecture (volta | ampere | hopper); default all three")
+  in
+  let budget = Arg.(value & opt int 50 & info [ "budget" ] ~doc:"random cases to draw") in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"master fuzz seed; fixes the whole run")
+  in
+  let max_nodes =
+    Arg.(value & opt int 12 & info [ "max-nodes" ] ~doc:"maximum ops per random case")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"emit a machine-readable JSON report") in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Differential verification: fuzz every backend against the reference oracles \
+          (interpreter numerics and analytic counters), shrink any failure to a minimal \
+          graph, and run the seeded-defect corpus gate. Exits 1 on any divergence.")
+    Term.(const run $ arch_opt $ budget $ seed $ max_nodes $ json)
+
 (* patterns --------------------------------------------------------------- *)
 
 let patterns_cmd =
@@ -206,4 +250,7 @@ let () =
     Logs.Src.set_level Core.Log.src (Some Logs.Debug)
   end;
   let info = Cmd.info "spacefusion" ~doc:"SpaceFusion operator-fusion scheduler (simulated GPUs)" in
-  exit (Cmd.eval (Cmd.group info [ explain_cmd; compile_cmd; run_cmd; bench_cmd; patterns_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ explain_cmd; compile_cmd; run_cmd; bench_cmd; verify_cmd; patterns_cmd ]))

@@ -1,0 +1,67 @@
+(** Bounded, deterministic fuzzing driver around the differential
+    {!Oracle}, plus the seeded-defect corpus gate of {!Mutation}.
+
+    A run draws [cf_budget] random graph specs from [cf_seed], discards
+    those whose reference outputs are non-finite (comparison would be
+    vacuous), and oracle-checks every remaining graph on every configured
+    architecture x backend pair. Each failure is shrunk to a minimal
+    still-failing trace before being reported. *)
+
+type config = {
+  cf_budget : int;  (** number of random cases to draw *)
+  cf_seed : int;  (** master seed; fixes the whole run *)
+  cf_max_nodes : int;  (** max trace entries per case *)
+  cf_seeds : int list;  (** input seeds swept per numeric comparison *)
+  cf_archs : Gpu.Arch.t list;
+  cf_backends : Backends.Policy.t list;
+}
+
+val default_backends : Backends.Policy.t list
+(** SpaceFusion, Welder, AStitch and the eager baseline. *)
+
+val default_config : config
+(** 50 cases, seed 7, max 12 nodes, {!Runtime.Verify.default_seeds},
+    all three architectures, {!default_backends}. *)
+
+type failure = {
+  f_backend : string;
+  f_arch : string;
+  f_spec : Gen.spec;  (** the original failing case *)
+  f_msg : string;  (** the oracle's divergence message *)
+  f_shrunk : Gen.t;  (** minimal still-failing trace *)
+  f_shrunk_nodes : int;  (** graph nodes after shrinking *)
+}
+
+type corpus_status =
+  | Detected of string  (** the oracle's message *)
+  | Missed
+  | Inapplicable
+
+type corpus_entry = { c_mutation : string; c_base : string; c_status : corpus_status }
+
+type report = {
+  r_cases : int;
+  r_skipped : int;
+  r_checks : int;
+  r_failures : failure list;
+  r_corpus : corpus_entry list;
+}
+
+val fuzz : config -> report
+(** Random-graph fuzzing only ([r_corpus] is empty). *)
+
+val corpus_gate : ?arch:Gpu.Arch.t -> unit -> corpus_entry list
+(** Plant every {!Mutation.corpus} defect into each applicable base plan
+    and record whether the oracle flags it. *)
+
+val corpus_pass : corpus_entry list -> bool
+(** Every mutation detected on at least one base. *)
+
+val pass : report -> bool
+(** No fuzz failures and (when the corpus ran) {!corpus_pass}. *)
+
+val run : ?config:config -> unit -> report
+(** {!fuzz} followed by {!corpus_gate}. *)
+
+val report_to_json : report -> string
+val pp_report : Format.formatter -> report -> unit

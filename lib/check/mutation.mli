@@ -1,0 +1,42 @@
+(** Seeded-defect corpus for oracle sensitivity testing.
+
+    Each mutation plants one realistic compiler bug into a compiled plan;
+    the corpus gate ({!Fuzz.corpus_gate}) requires the differential oracle
+    to flag every planted bug. A mutation returns [None] when the plan has
+    no applicable site (e.g. no temporal loop to make off-by-one). *)
+
+type t = {
+  m_name : string;  (** stable identifier, used in reports *)
+  m_describe : string;
+  m_mutate : Gpu.Plan.t -> Gpu.Plan.t option;
+}
+
+val off_by_one_grid : t
+(** Shrinks the first grid dimension by one element: part of the output is
+    never computed. *)
+
+val off_by_one_tile : t
+(** Shrinks the temporal extent by one: the last loop step is lost. *)
+
+val wrong_identity : t
+(** Replaces a non-zero reduction identity (e.g. -inf for max) with 0.0. *)
+
+val stale_accumulate : t
+(** Drops a cross-step [accumulate] flag, so each step overwrites instead
+    of combining. *)
+
+val drop_store : t
+(** Removes the first store to global memory: an output (or intermediate)
+    is never written. *)
+
+val flip_trans : t
+(** Flips a gemm's operand-B layout flag. *)
+
+val swap_binop : t
+(** Replaces the first binary op with a near-miss (Add↔Sub, Mul→Max...). *)
+
+val swap_reduce : t
+(** Replaces the first reduction op with a near-miss (Rsum→Rmax...). *)
+
+val corpus : t list
+(** All of the above, in a stable order. *)

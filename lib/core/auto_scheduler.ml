@@ -22,7 +22,7 @@ let feasible (arch : Gpu.Arch.t) schedule cfg ~name ~tensor_of =
   | k ->
       if
         Gpu.Kernel.smem_bytes k <= arch.smem_per_block
-        && Gpu.Kernel.reg_bytes k <= arch.regs_per_block * 4
+        && Gpu.Kernel.reg_bytes k <= arch.regfile_bytes
       then Some k
       else None
 

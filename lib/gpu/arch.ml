@@ -3,6 +3,7 @@ type t = {
   sms : int;
   smem_per_block : int;
   regs_per_block : int;
+  regfile_bytes : int;
   l1_size : int;
   l2_size : int;
   dram_bw : float;
@@ -15,12 +16,19 @@ type t = {
 let kib n = n * 1024
 let mib n = n * 1024 * 1024
 
+(* Register-tile byte budget per block. Ampere/Hopper allocate the full
+   65536-register file (x 4 B) to one block; Volta's allocator reserves
+   spill/driver headroom, so its effective tile budget is half. The
+   scheduler's checkRsrc and the executor's guard both read this field —
+   never a hardcoded multiple of [regs_per_block]. *)
+
 let volta =
   {
     name = "Volta";
     sms = 80;
     smem_per_block = kib 96;
     regs_per_block = 65536;
+    regfile_bytes = kib 128;
     l1_size = kib 32;
     l2_size = mib 6;
     dram_bw = 0.90e12;
@@ -36,6 +44,7 @@ let ampere =
     sms = 108;
     smem_per_block = kib 164;
     regs_per_block = 65536;
+    regfile_bytes = kib 256;
     l1_size = kib 64;
     l2_size = mib 40;
     dram_bw = 2.0e12;
@@ -53,6 +62,7 @@ let hopper =
     sms = 114;
     smem_per_block = kib 228;
     regs_per_block = 65536;
+    regfile_bytes = kib 256;
     l1_size = kib 128;
     l2_size = mib 50;
     dram_bw = 2.4e12;

@@ -10,6 +10,9 @@ type t = {
   sms : int;  (** streaming multiprocessors *)
   smem_per_block : int;  (** max shared memory per thread block, bytes *)
   regs_per_block : int;  (** max 32-bit registers per thread block *)
+  regfile_bytes : int;
+      (** register-tile byte budget per block the scheduler and executor
+          enforce (per-arch; Volta is configured tighter than Ampere/Hopper) *)
   l1_size : int;  (** per-SM L1 data cache, bytes *)
   l2_size : int;  (** device-wide L2, bytes *)
   dram_bw : float;  (** bytes/sec *)

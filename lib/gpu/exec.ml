@@ -298,7 +298,7 @@ let exec_instr ~mode ~(k : Kernel.t) ~device ~bufs ~acc ctx instr =
 
 let transfers device (k : Kernel.t) =
   let nsteps = Kernel.num_steps k in
-  let temporal_extent = match k.temporal with Some (_, e, _) -> e | None -> 1 in
+  let step_tile = match k.temporal with Some (_, _, tile) -> tile | None -> 1 in
   let table : (bool * string * Kernel.tindex array, int * int * int) Hashtbl.t =
     Hashtbl.create 16
   in
@@ -315,9 +315,12 @@ let transfers device (k : Kernel.t) =
             requested := !requested * extent;
             per_block := !per_block * extent
         | Kernel.IStep ->
+            (* One pass touches one step tile of this axis, not the whole
+               temporal extent: [tr_per_block] feeds the L1 re-pass model,
+               which asks whether a single traversal's slice is resident. *)
             uses_step := true;
             requested := !requested * extent;
-            per_block := !per_block * temporal_extent
+            per_block := !per_block * min step_tile extent
         | Kernel.IGrid d ->
             used_grid := d :: !used_grid;
             let g = List.find (fun (g : Kernel.grid_dim) -> g.gdim = d) k.grid in
@@ -462,10 +465,11 @@ let run ?(mode = Full) ?arch device (k : Kernel.t) =
           (Resource_exceeded
              (Printf.sprintf "kernel %s: %d B shared memory > %d B budget on %s" k.kname smem
                 a.smem_per_block a.name));
-      if regs > a.regs_per_block * 4 then
+      if regs > a.regfile_bytes then
         raise
           (Resource_exceeded
-             (Printf.sprintf "kernel %s: %d B register tiles > budget on %s" k.kname regs a.name))
+             (Printf.sprintf "kernel %s: %d B register tiles > %d B budget on %s" k.kname regs
+                a.regfile_bytes a.name))
   | None -> ());
   let acc = { gemm_flops = 0.0; simd_flops = 0.0; bytes = 0.0 } in
   (match mode with Full -> run_full device k acc | Analytic -> run_analytic device k acc);

@@ -16,7 +16,8 @@ type transfer = {
   tr_tensor : string;
   tr_requested : int;  (** bytes requested over the whole kernel *)
   tr_unique : int;  (** distinct tensor bytes touched *)
-  tr_per_block : int;  (** bytes one block touches across its serial loop *)
+  tr_per_block : int;  (** bytes one block touches in one pass (IStep axes
+                           count a single step tile, not the loop extent) *)
   tr_passes : int;  (** how many times a block re-traverses that region *)
 }
 

@@ -9,7 +9,9 @@ type entry = { e_plan : Gpu.Plan.t; mutable e_last_use : int }
 
 type t = {
   table : (key, entry) Hashtbl.t;
+  pending : (key, unit) Hashtbl.t;  (* keys whose compile is in flight *)
   lock : Mutex.t;
+  filled : Condition.t;  (* signalled whenever a pending compile resolves *)
   capacity : int option;
   mutable tick : int;  (* logical clock for LRU ordering *)
   stats : Core.Cstats.t;
@@ -19,8 +21,8 @@ let create ?capacity () =
   (match capacity with
   | Some c when c < 1 -> invalid_arg "Plan_cache.create: capacity must be >= 1"
   | _ -> ());
-  { table = Hashtbl.create 64; lock = Mutex.create (); capacity; tick = 0;
-    stats = Core.Cstats.create () }
+  { table = Hashtbl.create 64; pending = Hashtbl.create 8; lock = Mutex.create ();
+    filled = Condition.create (); capacity; tick = 0; stats = Core.Cstats.create () }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -58,35 +60,62 @@ let compile t (backend : Backends.Policy.t) arch ~name graph =
       k_graph = Digest.string (Ir.Parse.to_dsl graph);
     }
   in
-  let cached =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.table key with
-        | Some e ->
-            t.tick <- t.tick + 1;
-            e.e_last_use <- t.tick;
-            t.stats.Core.Cstats.n_cache_hits <- t.stats.Core.Cstats.n_cache_hits + 1;
-            Some e.e_plan
-        | None ->
+  (* Single-flight: the first domain to miss a key claims it in [pending]
+     and compiles outside the lock; domains racing on the same key wait on
+     [filled] and are served the winner's plan as a hit — the expensive
+     compile runs exactly once per resident miss. Distinct keys still
+     compile concurrently. *)
+  let decide () =
+    Mutex.lock t.lock;
+    let rec loop () =
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+          t.tick <- t.tick + 1;
+          e.e_last_use <- t.tick;
+          t.stats.Core.Cstats.n_cache_hits <- t.stats.Core.Cstats.n_cache_hits + 1;
+          Mutex.unlock t.lock;
+          `Hit e.e_plan
+      | None ->
+          if Hashtbl.mem t.pending key then begin
+            Condition.wait t.filled t.lock;
+            loop ()
+          end
+          else begin
+            Hashtbl.replace t.pending key ();
             t.stats.Core.Cstats.n_cache_misses <- t.stats.Core.Cstats.n_cache_misses + 1;
-            None)
+            Mutex.unlock t.lock;
+            `Compile
+          end
+    in
+    loop ()
   in
-  match cached with
-  | Some plan -> plan
-  | None ->
-      (* Compile outside the lock so concurrent misses on different keys
-         proceed in parallel. Two domains racing on the same key both
-         compile (both were genuine misses); the insert below keeps one. *)
-      let plan = backend.compile arch ~name graph in
-      locked t (fun () ->
-          (match Hashtbl.find_opt t.table key with
-          | Some e ->
-              t.tick <- t.tick + 1;
-              e.e_last_use <- t.tick
-          | None ->
-              t.tick <- t.tick + 1;
-              Hashtbl.replace t.table key { e_plan = plan; e_last_use = t.tick };
-              evict_over_capacity t);
-          plan)
+  match decide () with
+  | `Hit plan -> plan
+  | `Compile -> (
+      let resolve f =
+        locked t (fun () ->
+            Hashtbl.remove t.pending key;
+            let r = f () in
+            Condition.broadcast t.filled;
+            r)
+      in
+      match backend.compile arch ~name graph with
+      | exception e ->
+          (* Release the claim so a waiter can retry (and fail) itself
+             rather than block forever on a key that will never fill. *)
+          resolve (fun () -> ());
+          raise e
+      | plan ->
+          resolve (fun () ->
+              (match Hashtbl.find_opt t.table key with
+              | Some e ->
+                  t.tick <- t.tick + 1;
+                  e.e_last_use <- t.tick
+              | None ->
+                  t.tick <- t.tick + 1;
+                  Hashtbl.replace t.table key { e_plan = plan; e_last_use = t.tick };
+                  evict_over_capacity t);
+              plan))
 
 let hits t = locked t (fun () -> t.stats.Core.Cstats.n_cache_hits)
 let misses t = locked t (fun () -> t.stats.Core.Cstats.n_cache_misses)

@@ -1,4 +1,23 @@
-let verify_plan ?(seed = 42) ?(rtol = 1e-6) ?(atol = 1e-8) ~arch ~name graph (plan : Gpu.Plan.t) =
+let default_seeds = [ 42; 137; 9001 ]
+
+let tensor_nonfinite t =
+  let data = Tensor.data t in
+  let bad = ref None in
+  Array.iteri (fun i v -> if !bad = None && not (Float.is_finite v) then bad := Some (i, v)) data;
+  !bad
+
+let reference_finite ?(seeds = default_seeds) graph =
+  List.for_all
+    (fun seed ->
+      let env = Ir.Interp.random_env ~seed graph in
+      List.for_all (fun t -> tensor_nonfinite t = None) (Ir.Interp.eval graph env))
+    seeds
+
+(* Execute [plan] on a fresh device against inputs drawn from [seed] and
+   compare every output tensor to the interpreter. A non-finite value on
+   either side is a failure in its own right: allclose on matching
+   infinities would otherwise report vacuous agreement. *)
+let verify_seed ~rtol ~atol ~arch ~name graph (plan : Gpu.Plan.t) seed =
   let env = Ir.Interp.random_env ~seed graph in
   let expected = Ir.Interp.eval graph env in
   let device = Gpu.Device.create () in
@@ -7,26 +26,46 @@ let verify_plan ?(seed = 42) ?(rtol = 1e-6) ?(atol = 1e-8) ~arch ~name graph (pl
   match
     List.iter (fun k -> ignore (Gpu.Exec.run ~mode:Gpu.Exec.Full ~arch device k)) plan.Gpu.Plan.p_kernels
   with
-  | exception e -> Error (Printf.sprintf "%s: execution failed: %s" name (Printexc.to_string e))
+  | exception e ->
+      Error (Printf.sprintf "%s: execution failed (seed %d): %s" name seed (Printexc.to_string e))
   | () ->
       let rec check i = function
         | [] -> Ok ()
         | expect :: rest -> (
             let tname = Printf.sprintf "%s:out%d" name i in
             match Gpu.Device.tensor device tname with
-            | exception _ -> Error (Printf.sprintf "%s: output %s was never written" name tname)
-            | actual ->
-                if Tensor.allclose ~rtol ~atol expect actual then check (i + 1) rest
-                else
-                  Error
-                    (Printf.sprintf "%s: output %s differs from reference (max abs diff %g)" name
-                       tname (Tensor.max_abs_diff expect actual)))
+            | exception _ ->
+                Error (Printf.sprintf "%s: output %s was never written (seed %d)" name tname seed)
+            | actual -> (
+                match (tensor_nonfinite expect, tensor_nonfinite actual) with
+                | Some (i, v), _ ->
+                    Error
+                      (Printf.sprintf "%s: reference %s is non-finite (%g at %d, seed %d)" name
+                         tname v i seed)
+                | None, Some (i, v) ->
+                    Error
+                      (Printf.sprintf "%s: output %s is non-finite (%g at %d, seed %d)" name tname
+                         v i seed)
+                | None, None ->
+                    if Tensor.allclose ~rtol ~atol expect actual then check (i + 1) rest
+                    else
+                      Error
+                        (Printf.sprintf
+                           "%s: output %s differs from reference (max abs diff %g, seed %d)" name
+                           tname (Tensor.max_abs_diff expect actual) seed)))
       in
       check 0 expected
 
-let verify_backend ?seed ~arch ~name (backend : Backends.Policy.t) graph =
+let verify_plan ?(seeds = default_seeds) ?(rtol = 1e-6) ?(atol = 1e-8) ~arch ~name graph plan =
+  if seeds = [] then invalid_arg "Verify.verify_plan: empty seed list";
+  List.fold_left
+    (fun acc seed ->
+      match acc with Error _ -> acc | Ok () -> verify_seed ~rtol ~atol ~arch ~name graph plan seed)
+    (Ok ()) seeds
+
+let verify_backend ?seeds ~arch ~name (backend : Backends.Policy.t) graph =
   match backend.Backends.Policy.compile arch ~name graph with
   | exception e ->
       Error (Printf.sprintf "%s/%s: compile failed: %s" backend.Backends.Policy.be_name name
            (Printexc.to_string e))
-  | plan -> verify_plan ?seed ~arch ~name graph plan
+  | plan -> verify_plan ?seeds ~arch ~name graph plan

@@ -1,8 +1,18 @@
 (** Correctness oracle: any backend's plan for a subprogram must produce
-    the same outputs as the reference interpreter. *)
+    the same outputs as the reference interpreter, on several independent
+    input draws, with every value finite. *)
+
+val default_seeds : int list
+(** The three input seeds swept when the caller does not choose. *)
+
+val reference_finite : ?seeds:int list -> Ir.Graph.t -> bool
+(** Whether the {e interpreter's} outputs are finite on every seed. Fuzzers
+    use this to discard numerically degenerate graphs (e.g. overflowing
+    [exp] chains) for which differential comparison is vacuous — such a
+    graph is a generator artefact, not a compiler bug. *)
 
 val verify_plan :
-  ?seed:int ->
+  ?seeds:int list ->
   ?rtol:float ->
   ?atol:float ->
   arch:Gpu.Arch.t ->
@@ -10,10 +20,14 @@ val verify_plan :
   Ir.Graph.t ->
   Gpu.Plan.t ->
   (unit, string) result
-(** Binds deterministic random inputs, executes the plan functionally and
-    compares every ["<name>:out<i>"] tensor against the interpreter. *)
+(** Binds deterministic random inputs for every seed in [seeds] (default
+    {!default_seeds}), executes the plan functionally on a fresh device per
+    seed and compares every ["<name>:out<i>"] tensor against the
+    interpreter. Fails — naming the seed — on the first seed whose outputs
+    diverge, contain a non-finite value on either side, or fail to
+    execute. Raises [Invalid_argument] on an empty seed list. *)
 
 val verify_backend :
-  ?seed:int -> arch:Gpu.Arch.t -> name:string -> Backends.Policy.t -> Ir.Graph.t
+  ?seeds:int list -> arch:Gpu.Arch.t -> name:string -> Backends.Policy.t -> Ir.Graph.t
   -> (unit, string) result
 (** Compile with the policy, then {!verify_plan}. *)

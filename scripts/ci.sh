@@ -1,7 +1,9 @@
 #!/bin/sh
-# CI entry point: build, run the test suite, then check the parallel
-# tuner's determinism guarantee across process runs — the scheduler
-# throughput bench at SPACEFUSION_JOBS=1 and =4 must select byte-identical
+# CI entry point: build, run the test suite, run a bounded differential
+# verification pass (fuzz + seeded-defect corpus gate, fixed seed so any
+# failure reproduces exactly), then check the parallel tuner's determinism
+# guarantee across process runs — the scheduler throughput bench at
+# SPACEFUSION_JOBS=1 and =4 must select byte-identical
 # (schedule, cfg, cost) picks on every case.
 set -eu
 
@@ -9,6 +11,10 @@ cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
+
+# Differential oracle gate: exits nonzero if any interp/Full/Analytic
+# divergence is found or a seeded defect goes undetected.
+dune exec bench/main.exe -- --quick --only verify > /dev/null
 
 out1=$(mktemp) && out4=$(mktemp)
 trap 'rm -f "$out1" "$out4"' EXIT

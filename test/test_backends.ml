@@ -10,8 +10,8 @@ module Op = Ir.Op
 
 let arch = Gpu.Arch.ampere
 
-let check_verified ?seed name backend g =
-  match Runtime.Verify.verify_backend ?seed ~arch ~name backend g with
+let check_verified ?seeds name backend g =
+  match Runtime.Verify.verify_backend ?seeds ~arch ~name backend g with
   | Ok () -> ()
   | Error msg -> Alcotest.fail msg
 

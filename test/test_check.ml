@@ -1,0 +1,201 @@
+(* Tests for the differential-verification subsystem itself: generator
+   determinism and closure under shrinking, the oracle on known-good
+   plans, the seeded-defect corpus gate, shrinker minimality, and the
+   non-finite / failing-seed reporting contracts of Runtime.Verify. *)
+
+module G = Ir.Graph
+module Op = Ir.Op
+
+let arch = Gpu.Arch.ampere
+
+let contains ~affix s = Astring.String.is_infix ~affix s
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_deterministic () =
+  let spec = { Check.Gen.sp_nodes = 9; sp_seed = 1234 } in
+  let t1 = Check.Gen.trace_of_spec spec and t2 = Check.Gen.trace_of_spec spec in
+  Alcotest.(check bool) "same spec, same trace" true (t1 = t2);
+  let dsl t = Ir.Parse.to_dsl (Check.Gen.build t) in
+  Alcotest.(check string) "same trace, same graph" (dsl t1) (dsl t2)
+
+let test_gen_sublists_well_typed () =
+  (* The closure property the shrinker relies on: every prefix of a
+     trace's entry list still builds (and the build has an output). *)
+  let t = Check.Gen.trace_of_spec { Check.Gen.sp_nodes = 12; sp_seed = 99 } in
+  let rec prefixes = function [] -> [ [] ] | x :: r -> [] :: List.map (fun p -> x :: p) (prefixes r) in
+  List.iter
+    (fun entries ->
+      let g = Check.Gen.build { t with Check.Gen.g_entries = entries } in
+      Alcotest.(check bool) "has outputs" true (G.outputs g <> []))
+    (prefixes t.Check.Gen.g_entries)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_oracle_accepts_correct_plans () =
+  let zoo =
+    [
+      ("layernorm", Ir.Models.layernorm_graph ~m:16 ~n:32);
+      ("softmax", Ir.Models.softmax_graph ~m:8 ~n:16);
+      ("mha", Ir.Models.mha ~batch_heads:2 ~seq_q:8 ~seq_kv:8 ~head_dim:4 ());
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      match Check.Oracle.check ~arch ~name Backends.Baselines.spacefusion g with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail (name ^ ": " ^ msg))
+    zoo
+
+let test_corpus_gate () =
+  let entries = Check.Fuzz.corpus_gate ~arch () in
+  (* Every seeded defect must be flagged on at least one base plan. *)
+  List.iter
+    (fun (m : Check.Mutation.t) ->
+      let mine = List.filter (fun (e : Check.Fuzz.corpus_entry) -> e.c_mutation = m.m_name) entries in
+      Alcotest.(check bool) (m.m_name ^ " applies somewhere") true
+        (List.exists
+           (fun (e : Check.Fuzz.corpus_entry) -> e.c_status <> Check.Fuzz.Inapplicable)
+           mine);
+      Alcotest.(check bool) (m.m_name ^ " detected") true
+        (List.exists
+           (fun (e : Check.Fuzz.corpus_entry) ->
+             match e.c_status with Check.Fuzz.Detected _ -> true | _ -> false)
+           mine))
+    Check.Mutation.corpus;
+  Alcotest.(check bool) "gate passes" true (Check.Fuzz.corpus_pass entries)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A backend with a planted defect: it compiles correctly, then drops the
+   first store. Every graph it compiles fails verification, so the
+   shrinker should walk any failing case down to a near-empty graph. *)
+let mutant_backend =
+  {
+    Backends.Baselines.spacefusion with
+    Backends.Policy.be_name = "mutant";
+    compile =
+      (fun arch ~name g ->
+        let p = Backends.Baselines.spacefusion.Backends.Policy.compile arch ~name g in
+        match Check.Mutation.drop_store.Check.Mutation.m_mutate p with
+        | Some p' -> p'
+        | None -> p);
+  }
+
+let test_shrinker_minimizes () =
+  let spec = { Check.Gen.sp_nodes = 10; sp_seed = 3 } in
+  let trace = Check.Gen.trace_of_spec spec in
+  let fails t =
+    let g = Check.Gen.build t in
+    Runtime.Verify.reference_finite g
+    && Check.Oracle.check ~arch ~name:"shrink" mutant_backend g <> Ok ()
+  in
+  Alcotest.(check bool) "the original case fails" true (fails trace);
+  let shrunk = Check.Gen.shrink ~still_fails:fails trace in
+  Alcotest.(check bool) "the shrunk case still fails" true (fails shrunk);
+  let n = G.num_nodes (Check.Gen.build shrunk) in
+  Alcotest.(check bool) (Printf.sprintf "shrunk to <= 4 nodes (got %d)" n) true (n <= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Verify reporting contracts                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_verify_names_failing_seed () =
+  let g = Ir.Models.layernorm_graph ~m:8 ~n:16 in
+  let plan =
+    Backends.Baselines.spacefusion.Backends.Policy.compile arch ~name:"v" g
+  in
+  let bad =
+    match Check.Mutation.swap_binop.Check.Mutation.m_mutate plan with
+    | Some p -> p
+    | None -> Alcotest.fail "swap_binop should apply to layernorm"
+  in
+  match Runtime.Verify.verify_plan ~arch ~name:"v" g bad with
+  | Ok () -> Alcotest.fail "mutated plan passed verification"
+  | Error msg ->
+      Alcotest.(check bool) ("message names the seed: " ^ msg) true
+        (contains ~affix:"seed" msg)
+
+let test_verify_rejects_nonfinite () =
+  (* exp(exp(exp(exp x))) overflows for standard-normal inputs, so the
+     reference itself is non-finite: verify must fail rather than compare
+     infinities for equality, and fuzzers must be able to skip the case. *)
+  let g = G.create () in
+  let x = G.input g "x0" [| 4; 4 |] in
+  let rec chain n id = if n = 0 then id else chain (n - 1) (G.unary g Op.Exp id) in
+  G.mark_output g (chain 4 x);
+  Alcotest.(check bool) "reference_finite is false" false
+    (Runtime.Verify.reference_finite g);
+  let plan =
+    Backends.Baselines.spacefusion.Backends.Policy.compile arch ~name:"nf" g
+  in
+  match Runtime.Verify.verify_plan ~arch ~name:"nf" g plan with
+  | Ok () -> Alcotest.fail "non-finite outputs passed verification"
+  | Error msg ->
+      Alcotest.(check bool) ("message flags non-finite: " ^ msg) true
+        (contains ~affix:"non-finite" msg)
+
+let test_verify_sweeps_seeds () =
+  (* A sweep over n seeds executes the plan n times; an empty sweep is a
+     caller bug. *)
+  let g = Ir.Models.softmax_graph ~m:4 ~n:8 in
+  let plan =
+    Backends.Baselines.spacefusion.Backends.Policy.compile arch ~name:"s" g
+  in
+  (match Runtime.Verify.verify_plan ~seeds:[ 1; 2; 3; 4 ] ~arch ~name:"s" g plan with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.check_raises "empty seed list rejected"
+    (Invalid_argument "Verify.verify_plan: empty seed list") (fun () ->
+      ignore (Runtime.Verify.verify_plan ~seeds:[] ~arch ~name:"s" g plan))
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz driver                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_deterministic_and_green () =
+  let config =
+    { Check.Fuzz.default_config with Check.Fuzz.cf_budget = 8; cf_archs = [ arch ] }
+  in
+  let r1 = Check.Fuzz.fuzz config in
+  let r2 = Check.Fuzz.fuzz config in
+  Alcotest.(check int) "same checks both runs" r1.Check.Fuzz.r_checks r2.Check.Fuzz.r_checks;
+  Alcotest.(check int) "no failures" 0 (List.length r1.Check.Fuzz.r_failures);
+  Alcotest.(check bool) "json emits pass" true
+    (contains ~affix:"\"pass\":true" (Check.Fuzz.report_to_json r1))
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "closed under entry sublists" `Quick
+            test_gen_sublists_well_typed;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "accepts correct plans" `Quick
+            test_oracle_accepts_correct_plans;
+          Alcotest.test_case "corpus gate detects every defect" `Quick test_corpus_gate;
+        ] );
+      ( "shrink",
+        [ Alcotest.test_case "minimizes to <= 4 nodes" `Quick test_shrinker_minimizes ] );
+      ( "verify",
+        [
+          Alcotest.test_case "failing seed named" `Quick test_verify_names_failing_seed;
+          Alcotest.test_case "non-finite rejected" `Quick test_verify_rejects_nonfinite;
+          Alcotest.test_case "seed sweep" `Quick test_verify_sweeps_seeds;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "deterministic and green" `Quick
+            test_fuzz_deterministic_and_green;
+        ] );
+    ]

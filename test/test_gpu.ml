@@ -125,6 +125,66 @@ let test_transfer_summary () =
   let w = List.find (fun (t : Exec.transfer) -> t.tr_tensor = "C") s.ks_writes in
   Alcotest.(check int) "C written once" (16 * 8 * Arch.elt_bytes) w.tr_requested
 
+let test_transfer_step_tile () =
+  (* Hand-computed transfer table for a 2x1-block GEMM with K=32 in bk=8
+     steps. IStep axes count one step tile in tr_per_block: one pass of a
+     block touches an 8x8 slice of A (128 B at 2 B/elt), not the whole
+     8x32 K-strip — tr_per_block feeds the L1 single-pass residency
+     check, so overcounting it by the loop extent suppresses re-pass
+     hits. tr_requested still covers the full extent. *)
+  let dev = Device.create () in
+  Device.declare dev "A" [| 16; 32 |];
+  Device.declare dev "B" [| 8; 32 |];
+  Device.declare dev "C" [| 16; 8 |];
+  let k = gemm_kernel ~m:16 ~n:8 ~k:32 ~bm:8 ~bn:8 ~bk:8 in
+  let s = Exec.run ~mode:Exec.Analytic dev k in
+  let tr name = List.find (fun (t : Exec.transfer) -> t.tr_tensor = name) s.ks_reads in
+  let a = tr "A" in
+  Alcotest.(check int) "A requested = full tensor once" (16 * 32 * Arch.elt_bytes)
+    a.tr_requested;
+  Alcotest.(check int) "A unique" (16 * 32 * Arch.elt_bytes) a.tr_unique;
+  Alcotest.(check int) "A per-block pass = bm x bk tile" (8 * 8 * Arch.elt_bytes)
+    a.tr_per_block;
+  Alcotest.(check int) "A one static load site" 1 a.tr_passes;
+  let b = tr "B" in
+  Alcotest.(check int) "B requested = tensor per M-block" (2 * 8 * 32 * Arch.elt_bytes)
+    b.tr_requested;
+  Alcotest.(check int) "B unique" (8 * 32 * Arch.elt_bytes) b.tr_unique;
+  Alcotest.(check int) "B per-block pass = bn x bk tile" (8 * 8 * Arch.elt_bytes)
+    b.tr_per_block;
+  let c = List.find (fun (t : Exec.transfer) -> t.tr_tensor = "C") s.ks_writes in
+  Alcotest.(check int) "C written once" (16 * 8 * Arch.elt_bytes) c.tr_requested;
+  Alcotest.(check int) "C per-block = bm x bn tile" (8 * 8 * Arch.elt_bytes)
+    c.tr_per_block
+
+let test_reg_budget_per_arch () =
+  (* The register-tile budget is a per-arch constant, not a multiple of
+     the thread register count: a 160 KiB accumulator fits Ampere's and
+     Hopper's 256 KiB regfile budget but must be rejected on Volta's
+     128 KiB one. *)
+  let k : Kernel.t =
+    {
+      kname = "reghog";
+      grid = [ { gdim = "M"; extent = 8; block = 8 } ];
+      temporal = None;
+      bufs = [ { bname = "acc"; scope = Reg; brows = Lit 256; bcols = Lit 320 } ];
+      stages = [ Once [ Fill ("acc", 0.0) ] ];
+      tags = [];
+    }
+  in
+  let dev = Device.create () in
+  Alcotest.(check bool) "sized between the volta and ampere budgets" true
+    (Kernel.reg_bytes k > Arch.volta.regfile_bytes
+    && Kernel.reg_bytes k <= Arch.ampere.regfile_bytes
+    && Kernel.reg_bytes k <= Arch.hopper.regfile_bytes);
+  ignore (Exec.run ~mode:Exec.Analytic ~arch:Arch.ampere dev k);
+  ignore (Exec.run ~mode:Exec.Analytic ~arch:Arch.hopper dev k);
+  Alcotest.check_raises "volta rejects the register tile"
+    (Exec.Resource_exceeded
+       (Printf.sprintf "kernel reghog: %d B register tiles > %d B budget on Volta"
+          (Kernel.reg_bytes k) Arch.volta.regfile_bytes))
+    (fun () -> ignore (Exec.run ~mode:Exec.Analytic ~arch:Arch.volta dev k))
+
 let test_resource_exceeded () =
   let dev = Device.create () in
   Device.declare dev "A" [| 4096; 4096 |];
@@ -254,7 +314,9 @@ let suite =
     Alcotest.test_case "softmax full execution" `Quick test_softmax_full;
     Alcotest.test_case "full/analytic counters agree" `Quick test_full_analytic_agree;
     Alcotest.test_case "transfer summary" `Quick test_transfer_summary;
+    Alcotest.test_case "transfer step tile" `Quick test_transfer_step_tile;
     Alcotest.test_case "resource bound enforced" `Quick test_resource_exceeded;
+    Alcotest.test_case "register budget per arch" `Quick test_reg_budget_per_arch;
     Alcotest.test_case "kernel validation" `Quick test_validate_rejects;
     Alcotest.test_case "IStep scoping" `Quick test_validate_istep_outside_loop;
     Alcotest.test_case "cost monotone in traffic" `Quick test_cost_monotone;

@@ -89,13 +89,20 @@ let test_roundtrip_zoo () =
       ("qkv", Ir.Models.qkv_proj ~m:4 ~hidden:8);
     ]
 
+let arbitrary_spec ~max_nodes =
+  QCheck.make ~print:Check.Gen.spec_to_string
+    QCheck.Gen.(
+      map2
+        (fun sp_nodes sp_seed -> { Check.Gen.sp_nodes; sp_seed })
+        (int_range 1 max_nodes) (int_range 0 1_000_000))
+
 let prop_roundtrip_random =
   QCheck.Test.make ~name:"to_dsl/parse roundtrip preserves semantics" ~count:80
-    (Gen_graph.arbitrary ~max_nodes:10)
+    (arbitrary_spec ~max_nodes:10)
     (fun spec ->
-      let g = Gen_graph.build spec in
+      let g = Check.Gen.graph_of_spec spec in
       let g2 = roundtrip g in
-      let env = Ir.Interp.random_env ~seed:spec.Gen_graph.seed g in
+      let env = Ir.Interp.random_env ~seed:spec.Check.Gen.sp_seed g in
       List.for_all2 (fun a b -> Tensor.allclose a b) (Ir.Interp.eval g env)
         (Ir.Interp.eval g2 env))
 

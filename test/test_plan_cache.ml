@@ -102,6 +102,63 @@ let test_concurrent_smoke () =
   Alcotest.(check int) "one compile per miss, even racing" (PC.misses c)
     (Atomic.get calls)
 
+let test_single_flight_same_key () =
+  (* Four domains hammer one key. The first to miss claims the in-flight
+     slot; the stub's compile blocks until every domain has entered the
+     cache, so the losers demonstrably arrive while the compile is still
+     running — and must wait on it rather than compile redundantly. *)
+  let n = 4 in
+  let started = Atomic.make 0 in
+  let calls = Atomic.make 0 in
+  let b =
+    {
+      Policy.be_name = "slow-stub";
+      dispatch_us = 0.0;
+      supports = (fun _ -> true);
+      compile =
+        (fun arch ~name g ->
+          Atomic.incr calls;
+          while Atomic.get started < n do
+            Domain.cpu_relax ()
+          done;
+          Policy.compile_groups arch ~name g (Policy.singletons g));
+    }
+  in
+  let c = PC.create () in
+  let worker () =
+    Atomic.incr started;
+    ignore (PC.compile c b arch ~name:"m" g_a)
+  in
+  let domains = List.init n (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "single compile under same-key race" 1 (Atomic.get calls);
+  Alcotest.(check int) "one miss" 1 (PC.misses c);
+  Alcotest.(check int) "losers served as hits" (n - 1) (PC.hits c);
+  Alcotest.(check int) "one resident plan" 1 (PC.length c)
+
+let test_failed_compile_releases_claim () =
+  (* A compile that raises must release its in-flight claim, or the next
+     lookup of that key would block forever on a slot that never fills. *)
+  let attempts = Atomic.make 0 in
+  let b =
+    {
+      Policy.be_name = "flaky-stub";
+      dispatch_us = 0.0;
+      supports = (fun _ -> true);
+      compile =
+        (fun arch ~name g ->
+          if Atomic.fetch_and_add attempts 1 = 0 then failwith "transient"
+          else Policy.compile_groups arch ~name g (Policy.singletons g));
+    }
+  in
+  let c = PC.create () in
+  (try ignore (PC.compile c b arch ~name:"m" g_a)
+   with Failure _ -> ());
+  ignore (PC.compile c b arch ~name:"m" g_a);
+  Alcotest.(check int) "retry recompiles after the failure" 2 (Atomic.get attempts);
+  Alcotest.(check int) "both lookups were misses" 2 (PC.misses c);
+  Alcotest.(check int) "plan cached on the retry" 1 (PC.length c)
+
 let () =
   Alcotest.run "plan_cache"
     [
@@ -112,5 +169,9 @@ let () =
           Alcotest.test_case "key separation" `Quick test_key_separation;
           Alcotest.test_case "capacity validation" `Quick test_capacity_validation;
           Alcotest.test_case "concurrent access smoke" `Quick test_concurrent_smoke;
+          Alcotest.test_case "single flight on one key" `Quick
+            test_single_flight_same_key;
+          Alcotest.test_case "failed compile releases claim" `Quick
+            test_failed_compile_releases_claim;
         ] );
     ]
