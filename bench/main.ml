@@ -28,7 +28,7 @@ let run_backend arch (b : Policy.t) name g =
   let device = Gpu.Device.create () in
   Runner.run_plan ~arch ~dispatch_us:b.dispatch_us device plan
 
-let time_backend arch b name g = (run_backend arch b name g).Runner.r_time
+let time_backend arch b name g = (run_backend arch b name g).Runtime.Exec_stats.x_time
 
 let header title columns =
   Printf.printf "\n### %s\n%s\n" title (String.concat "  " columns);
@@ -170,14 +170,14 @@ let fig14 () =
                     let su =
                       match !base with
                       | None ->
-                          base := Some r.Runtime.Model_runner.m_latency;
+                          base := Some r.Runtime.Model_runner.m_exec.Runtime.Exec_stats.x_time;
                           1.0
-                      | Some bt -> bt /. r.Runtime.Model_runner.m_latency
+                      | Some bt -> bt /. r.Runtime.Model_runner.m_exec.Runtime.Exec_stats.x_time
                     in
                     Printf.printf "%-7s b=%-3d %-10s %-12s %9.3f %6d  %s\n" arch.Gpu.Arch.name
                       batch model.model_name b.be_name
-                      (r.Runtime.Model_runner.m_latency *. 1e3)
-                      r.Runtime.Model_runner.m_kernels (pct su)
+                      (r.Runtime.Model_runner.m_exec.Runtime.Exec_stats.x_time *. 1e3)
+                      r.Runtime.Model_runner.m_exec.Runtime.Exec_stats.x_kernels (pct su)
                   end)
                 e2e_backends)
             models)
@@ -210,7 +210,7 @@ let fig15 () =
   in
   List.iter
     (fun (label, g, fused_baseline) ->
-      let stats b = (run_backend arch b label g).Runner.r_timing in
+      let stats b = (run_backend arch b label g).Runtime.Exec_stats.x_timing in
       let sf = stats B.spacefusion in
       let show name (t : Gpu.Cost.timing) =
         Printf.printf "%-11s %-13s %12.0f %12.0f %14.0f   %.2f / %.2f / %.2f\n" label name
@@ -252,7 +252,7 @@ let fig16a () =
         (fun (model : Ir.Models.model) ->
           let lat vname variant =
             let b = B.spacefusion_variant ~name:vname variant in
-            (Runtime.Model_runner.run_model ~cache ~arch b model).Runtime.Model_runner.m_latency
+            (Runtime.Model_runner.run_model ~cache ~arch b model).Runtime.Model_runner.m_exec.Runtime.Exec_stats.x_time
           in
           let ls = List.map (fun (vn, v) -> lat vn v) variants in
           let full = List.nth ls 3 in
@@ -288,7 +288,7 @@ let fig16b () =
               (fun seq ->
                 let model = build batch seq in
                 let l b =
-                  (Runtime.Model_runner.run_model ~cache ~arch b model).Runtime.Model_runner.m_latency
+                  (Runtime.Model_runner.run_model ~cache ~arch b model).Runtime.Model_runner.m_exec.Runtime.Exec_stats.x_time
                 in
                 l B.pytorch /. l B.spacefusion)
               seqs
@@ -313,7 +313,7 @@ let fig16c () =
   List.iter
     (fun (model : Ir.Models.model) ->
       let per_arch arch =
-        let l b = (Runtime.Model_runner.run_model ~cache ~arch b model).Runtime.Model_runner.m_latency in
+        let l b = (Runtime.Model_runner.run_model ~cache ~arch b model).Runtime.Model_runner.m_exec.Runtime.Exec_stats.x_time in
         let sf = l B.spacefusion in
         (1.0 /. sf, l B.pytorch /. sf)
       in
@@ -521,7 +521,7 @@ let sched () =
   in
   let sim_time (c : Core.Spacefusion.compiled) =
     let device = Gpu.Device.create () in
-    (Runner.run_plan ~arch ~dispatch_us:3.0 device c.Core.Spacefusion.c_plan).Runner.r_time
+    (Runner.run_plan ~arch ~dispatch_us:3.0 device c.Core.Spacefusion.c_plan).Runtime.Exec_stats.x_time
   in
   let compile_timed ~jobs name g =
     Core.Parallel.with_jobs jobs (fun () ->
@@ -560,6 +560,64 @@ let sched () =
      \"all_identical\":%b}\n"
     jobs_par (String.concat ",\n" rows) !all_identical;
   if not !all_identical then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Observability: tracing overhead + profile export (JSON)             *)
+(* ------------------------------------------------------------------ *)
+
+(* Compiles one workload with tracing disabled, then enabled, and reports
+   both wall-clocks plus the captured profile as one JSON document. The
+   disabled path is the one every other experiment runs under, so the
+   overhead ratio printed here is the observability tax on the numbers in
+   this harness; the document itself is validated structurally the same
+   way scripts/ci.sh gates `spacefusion profile --check`. *)
+let obs () =
+  let arch = Gpu.Arch.ampere in
+  let g =
+    if !quick then Ir.Models.mha ~batch_heads:24 ~seq_q:128 ~seq_kv:128 ~head_dim:64 ()
+    else Ir.Models.mha ~batch_heads:96 ~seq_q:256 ~seq_kv:256 ~head_dim:64 ()
+  in
+  let reps = if !quick then 2 else 5 in
+  let avg_compile () =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      ignore (Core.Spacefusion.compile ~arch ~name:"obs" g);
+      Unix.gettimeofday () -. t0
+    in
+    let ts = List.init reps (fun _ -> once ()) in
+    List.fold_left ( +. ) 0.0 ts /. float_of_int reps
+  in
+  Obs.Trace.set_enabled false;
+  let t_off = avg_compile () in
+  Obs.Metrics.reset ();
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  let t_on = avg_compile () in
+  Obs.Trace.set_enabled false;
+  let report = Obs.Report.capture () in
+  let json =
+    Obs.Report.to_json
+      ~extra:
+        [
+          ("experiment", Obs.Json.Str "obs");
+          ("arch", Obs.Json.Str arch.Gpu.Arch.name);
+          ("reps", Obs.Json.Num (float_of_int reps));
+          ("t_disabled_s", Obs.Json.Num t_off);
+          ("t_enabled_s", Obs.Json.Num t_on);
+          ("overhead_ratio", Obs.Json.Num (if t_off > 0.0 then t_on /. t_off else 0.0));
+        ]
+      report
+  in
+  print_endline (Obs.Json.to_string json);
+  match
+    Obs.Report.validate
+      ~required_spans:[ "compile"; "build"; "schedule"; "auto_schedule"; "tune"; "lower"; "select" ]
+      json
+  with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "obs: emitted profile failed validation: %s\n" msg;
+      exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Differential verification gate                                      *)
@@ -635,6 +693,7 @@ let experiments =
     ("tab6", "Fusion-pattern census (Table 6)", tab6);
     ("ablate", "Design-choice ablations (early-quit α, buffer pooling)", ablate);
     ("sched", "Scheduler throughput: serial vs parallel auto-tuning (JSON)", sched);
+    ("obs", "Observability: tracing overhead + profile export (JSON)", obs);
     ("verify", "Differential verification: fuzz + seeded-defect corpus gate (JSON)", verify);
     ("bechamel", "Compiler micro-benchmarks", bechamel_compile);
   ]

@@ -32,6 +32,13 @@ let seq_arg = Arg.(value & opt int 512 & info [ "seq" ] ~doc:"sequence length")
 let batch_arg = Arg.(value & opt int 8 & info [ "batch" ] ~doc:"batch size")
 let layers_arg = Arg.(value & opt int 4 & info [ "layers" ] ~doc:"MLP depth")
 
+(* One exit path for every typed pipeline error the subcommands hit. *)
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "error: %s\n" (Core.Spacefusion.Error.to_string e);
+      exit 1
+
 let build_workload workload ~m ~n ~seq ~batch ~layers =
   if String.length workload > 5 && String.sub workload 0 5 = "file:" then
     let path = String.sub workload 5 (String.length workload - 5) in
@@ -105,7 +112,7 @@ let explain_cmd =
 let compile_cmd =
   let run arch workload m n seq batch layers verbose triton =
     let g = build_workload workload ~m ~n ~seq ~batch ~layers in
-    let c = Core.Spacefusion.compile ~arch ~name:workload g in
+    let c = or_die (Core.Spacefusion.compile_r ~arch ~name:workload g) in
     Format.printf "== SMG ==@.%a@." Core.Smg.pp c.Core.Spacefusion.c_smg;
     Format.printf "== schedule ==@.";
     List.iteri
@@ -141,7 +148,7 @@ let compile_cmd =
 let run_cmd =
   let run arch workload m n seq batch layers =
     let g = build_workload workload ~m ~n ~seq ~batch ~layers in
-    let c = Core.Spacefusion.compile ~arch ~name:workload g in
+    let c = or_die (Core.Spacefusion.compile_r ~arch ~name:workload g) in
     (match Runtime.Verify.verify_plan ~arch ~name:workload g c.Core.Spacefusion.c_plan with
     | Ok () -> print_endline "verification: OK (fused outputs match the reference interpreter)"
     | Error msg ->
@@ -163,26 +170,119 @@ let bench_cmd =
     let base = ref None in
     List.iter
       (fun (b : Backends.Policy.t) ->
-        if b.supports arch then
-          match b.compile arch ~name:workload g with
-          | exception _ -> Printf.printf "%-22s (compile failed)\n" b.be_name
-          | plan ->
+        match Backends.Policy.compile_r b arch ~name:workload g with
+        | Error (Core.Spacefusion.Error.Unsupported _) -> ()
+        | Error e ->
+            Printf.printf "%-22s (compile failed: %s)\n" b.be_name
+              (Core.Spacefusion.Error.to_string e)
+        | Ok plan ->
               let device = Gpu.Device.create () in
               let r = Runtime.Runner.run_plan ~arch ~dispatch_us:b.dispatch_us device plan in
               let su =
                 match !base with
                 | None ->
-                    base := Some r.Runtime.Runner.r_time;
+                    base := Some r.Runtime.Exec_stats.x_time;
                     1.0
-                | Some t -> t /. r.Runtime.Runner.r_time
+                | Some t -> t /. r.Runtime.Exec_stats.x_time
               in
               Printf.printf "%-22s %10.2f us  %3d kernels  %6.2fx\n" b.be_name
-                (r.Runtime.Runner.r_time *. 1e6) r.Runtime.Runner.r_kernels su)
+                (r.Runtime.Exec_stats.x_time *. 1e6) r.Runtime.Exec_stats.x_kernels su)
       Backends.Baselines.all
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Compare all backends on one workload")
     Term.(const run $ arch_arg $ workload_arg $ m_arg $ n_arg $ seq_arg $ batch_arg $ layers_arg)
+
+(* profile ---------------------------------------------------------------- *)
+
+let profile_cmd =
+  let models =
+    [
+      ("bert", Ir.Models.bert);
+      ("albert", Ir.Models.albert);
+      ("t5", Ir.Models.t5);
+      ("vit", fun ~batch ~seq -> Ir.Models.vit ~batch ~image:seq);
+      ("llama2", Ir.Models.llama2_7b);
+    ]
+  in
+  (* Every phase the instrumented pipeline must have visited for a cached
+     end-to-end model run; --check (and scripts/ci.sh) gates on these. *)
+  let required_spans =
+    [
+      "run_model"; "subprogram"; "cache_compile"; "compile"; "build"; "schedule";
+      "auto_schedule"; "tune"; "lower"; "select"; "execute";
+    ]
+  in
+  let run arch model_name batch seq pretty check =
+    let mk =
+      match List.assoc_opt (String.lowercase_ascii model_name) models with
+      | Some mk -> mk
+      | None ->
+          Printf.eprintf "error: unknown model %S (expected %s)\n" model_name
+            (String.concat " | " (List.map fst models));
+          exit 1
+    in
+    let model = mk ~batch ~seq in
+    Obs.Metrics.reset ();
+    Obs.Trace.set_enabled true;
+    Obs.Trace.reset ();
+    let cache = Runtime.Plan_cache.create () in
+    let r =
+      or_die (Runtime.Model_runner.run_model_r ~cache ~arch Backends.Baselines.spacefusion model)
+    in
+    let report = Obs.Report.capture () in
+    let json =
+      Obs.Report.to_json
+        ~extra:
+          [
+            ("model", Obs.Json.Str r.Runtime.Model_runner.m_model);
+            ("backend", Obs.Json.Str r.Runtime.Model_runner.m_backend);
+            ("arch", Obs.Json.Str r.Runtime.Model_runner.m_arch);
+            ("result", Runtime.Model_runner.to_json r);
+          ]
+        report
+    in
+    if pretty then begin
+      Format.printf "%a@." Runtime.Model_runner.pp r;
+      Format.printf "%a@." Obs.Report.pp report
+    end
+    else print_endline (Obs.Json.to_string json);
+    if check then begin
+      let reparsed =
+        match Obs.Json.parse (Obs.Json.to_string json) with
+        | Ok j -> j
+        | Error msg ->
+            Printf.eprintf "profile --check: emitted JSON does not parse: %s\n" msg;
+            exit 1
+      in
+      match Obs.Report.validate ~required_spans reparsed with
+      | Ok () -> prerr_endline "profile --check: OK"
+      | Error msg ->
+          Printf.eprintf "profile --check: %s\n" msg;
+          exit 1
+    end
+  in
+  let model_arg =
+    Arg.(value & pos 0 string "bert" & info [] ~docv:"MODEL" ~doc:"bert | albert | t5 | vit | llama2")
+  in
+  let batch = Arg.(value & opt int 1 & info [ "batch" ] ~doc:"batch size") in
+  let seq = Arg.(value & opt int 128 & info [ "seq" ] ~doc:"sequence length (image size for vit)") in
+  let pretty =
+    Arg.(value & flag & info [ "pretty" ] ~doc:"human-readable report instead of JSON")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"re-parse the emitted JSON and validate it (all pipeline phases present, no \
+                negative durations); exit 1 on failure")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile and simulate one model with phase tracing enabled, then emit the profile \
+          (flame-style span tree + metrics registry) as JSON on stdout")
+    Term.(const run $ arch_arg $ model_arg $ batch $ seq $ pretty $ check)
 
 (* verify ----------------------------------------------------------------- *)
 
@@ -253,4 +353,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ explain_cmd; compile_cmd; run_cmd; bench_cmd; verify_cmd; patterns_cmd ]))
+          [ explain_cmd; compile_cmd; run_cmd; bench_cmd; profile_cmd; verify_cmd; patterns_cmd ]))

@@ -40,7 +40,7 @@ let () =
   let t (b : Backends.Policy.t) =
     let plan = b.compile arch ~name:"custom" g in
     let device = Gpu.Device.create () in
-    (Runtime.Runner.run_plan ~arch ~dispatch_us:b.dispatch_us device plan).Runtime.Runner.r_time
+    (Runtime.Runner.run_plan ~arch ~dispatch_us:b.dispatch_us device plan).Runtime.Exec_stats.x_time
   in
   let eager = t Backends.Baselines.pytorch in
   let stitch = t Backends.Baselines.astitch in

@@ -60,7 +60,7 @@ let () =
       let t (b : Backends.Policy.t) =
         let plan = b.compile arch ~name:"mha" g in
         let device = Gpu.Device.create () in
-        (Runtime.Runner.run_plan ~arch ~dispatch_us:b.dispatch_us device plan).Runtime.Runner.r_time
+        (Runtime.Runner.run_plan ~arch ~dispatch_us:b.dispatch_us device plan).Runtime.Exec_stats.x_time
         *. 1e6
       in
       Printf.printf "%-8d %10.1fus %10.1fus %10.1fus %10.1fus\n" seq

@@ -45,4 +45,4 @@ let () =
   let fused = simulate Backends.Baselines.spacefusion in
   Printf.printf "eager : %s\n" (Format.asprintf "%a" Runtime.Runner.pp eager);
   Printf.printf "fused : %s\n" (Format.asprintf "%a" Runtime.Runner.pp fused);
-  Printf.printf "speedup: %.2fx\n" (eager.Runtime.Runner.r_time /. fused.Runtime.Runner.r_time)
+  Printf.printf "speedup: %.2fx\n" (eager.Runtime.Exec_stats.x_time /. fused.Runtime.Exec_stats.x_time)

@@ -21,9 +21,9 @@ let () =
             let su =
               match !base with
               | None ->
-                  base := Some r.Runtime.Model_runner.m_latency;
+                  base := Some r.Runtime.Model_runner.m_exec.Runtime.Exec_stats.x_time;
                   1.0
-              | Some t -> t /. r.Runtime.Model_runner.m_latency
+              | Some t -> t /. r.Runtime.Model_runner.m_exec.Runtime.Exec_stats.x_time
             in
             Printf.printf "  %s  %5.2fx\n" (Format.asprintf "%a" Runtime.Model_runner.pp r) su
           end)

@@ -8,6 +8,17 @@ type t = {
   compile : Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t;
 }
 
+let compile_r p arch ~name g =
+  if not (p.supports arch) then
+    Error
+      (Core.Spacefusion.Error.Unsupported
+         { backend = p.be_name; arch = arch.Gpu.Arch.name })
+  else
+    match p.compile arch ~name g with
+    | plan -> Ok plan
+    | exception Core.Spacefusion.Unschedulable msg ->
+        Error (Core.Spacefusion.Error.Unschedulable msg)
+
 let compute_nodes g =
   List.filter_map
     (fun (n : G.node) ->

@@ -12,6 +12,16 @@ type t = {
   compile : Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t;
 }
 
+val compile_r :
+  t ->
+  Gpu.Arch.t ->
+  name:string ->
+  Ir.Graph.t ->
+  (Gpu.Plan.t, Core.Spacefusion.Error.t) result
+(** Typed entry point over a policy's raising [compile]: checks
+    [supports] first (so callers never have to pre-filter) and converts
+    {!Core.Spacefusion.Unschedulable} into [Error (Unschedulable _)]. *)
+
 val compile_groups :
   ?variant:Core.Auto_scheduler.variant ->
   Gpu.Arch.t ->

@@ -163,9 +163,22 @@ let corpus_pass entries =
 
 let pass r = r.r_failures = [] && (r.r_corpus = [] || corpus_pass r.r_corpus)
 
+let m_cases = lazy (Obs.Metrics.counter "fuzz.cases")
+let m_checks = lazy (Obs.Metrics.counter "fuzz.checks")
+let m_skipped = lazy (Obs.Metrics.counter "fuzz.skipped")
+let m_failures = lazy (Obs.Metrics.counter "fuzz.failures")
+
+let publish r =
+  Obs.Metrics.incr ~by:r.r_cases (Lazy.force m_cases);
+  Obs.Metrics.incr ~by:r.r_checks (Lazy.force m_checks);
+  Obs.Metrics.incr ~by:r.r_skipped (Lazy.force m_skipped);
+  Obs.Metrics.incr ~by:(List.length r.r_failures) (Lazy.force m_failures)
+
 let run ?(config = default_config) () =
   let r = fuzz config in
-  { r with r_corpus = corpus_gate ~arch:Gpu.Arch.ampere () }
+  let r = { r with r_corpus = corpus_gate ~arch:Gpu.Arch.ampere () } in
+  publish r;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)

@@ -60,9 +60,15 @@ let check_plan ?(seeds = Runtime.Verify.default_seeds) ~arch ~name graph plan =
       check_counters ~seed ~arch ~name graph plan
 
 let check ?seeds ~arch ?(name = "check") (backend : Backends.Policy.t) graph =
-  match backend.Backends.Policy.compile arch ~name graph with
-  | exception e ->
+  match Backends.Policy.compile_r backend arch ~name graph with
+  | Ok plan -> check_plan ?seeds ~arch ~name graph plan
+  | Error e ->
       Error
         (Printf.sprintf "%s/%s: compile failed: %s" backend.Backends.Policy.be_name name
+           (Core.Spacefusion.Error.to_string e))
+  | exception e ->
+      (* Typed errors cover the expected failures; anything else escaping a
+         backend is itself a divergence worth reporting, not a crash. *)
+      Error
+        (Printf.sprintf "%s/%s: compile raised: %s" backend.Backends.Policy.be_name name
            (Printexc.to_string e))
-  | plan -> check_plan ?seeds ~arch ~name graph plan

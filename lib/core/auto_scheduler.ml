@@ -83,6 +83,7 @@ let analyze_dim variant smg d =
 
 let run ?(variant = full) ?stats arch smg ~name ~tensor_of =
   let stats = match stats with Some s -> s | None -> Cstats.create () in
+  Obs.Trace.with_span "auto_schedule" @@ fun () ->
   if not (Smg.consistent smg) then []
   else begin
     (* Algorithm 1 declares an SMG without sliceable dims unschedulable for

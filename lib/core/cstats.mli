@@ -25,4 +25,13 @@ val add : t -> t -> unit
 (** Accumulate the second argument into the first. *)
 
 val timed : t -> phase -> (unit -> 'a) -> 'a
+
+val publish : t -> unit
+(** Mirror this record into the process-wide {!Obs.Metrics} registry:
+    phase times into the [compile.*_seconds] histograms, candidate counts
+    into [tuner.costed] / [tuner.pruned], Algorithm-2 rounds into
+    [sched.partitions], plus one [compile.count] tick. Cache counters are
+    {e not} published here — {!Runtime.Plan_cache} feeds [cache.*] at
+    event time. Called once per {!Spacefusion.compile}. *)
+
 val pp : Format.formatter -> t -> unit

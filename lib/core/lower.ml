@@ -549,7 +549,7 @@ let pool_buffers (k : K.t) =
 (* Top-level lowering                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let lower ?(pool = true) (sched : Schedule.t) (cfg : Schedule.cfg) ~name ~tensor_of =
+let lower_body ~pool (sched : Schedule.t) (cfg : Schedule.cfg) ~name ~tensor_of =
   let fsp = Smg.fused sched.Schedule.smg in
   let g = Smg.graph sched.Schedule.smg in
   let role d =
@@ -707,3 +707,14 @@ let lower ?(pool = true) (sched : Schedule.t) (cfg : Schedule.cfg) ~name ~tensor
   in
   K.validate kernel;
   if pool then pool_buffers kernel else kernel
+
+let m_calls = lazy (Obs.Metrics.counter "lower.calls")
+let m_unlowerable = lazy (Obs.Metrics.counter "lower.unlowerable")
+
+let lower ?(pool = true) (sched : Schedule.t) (cfg : Schedule.cfg) ~name ~tensor_of =
+  Obs.Metrics.incr (Lazy.force m_calls);
+  Obs.Trace.with_span "lower" @@ fun () ->
+  try lower_body ~pool sched cfg ~name ~tensor_of
+  with Unlowerable _ as e ->
+    Obs.Metrics.incr (Lazy.force m_unlowerable);
+    raise e

@@ -39,6 +39,10 @@ let map ?jobs f l =
     let items = Array.of_list l in
     let results = Array.make n None in
     let next = Atomic.make 0 in
+    (* Keep worker-side spans attached to the logical caller: capture the
+       spawning domain's trace cursor and re-install it around every item.
+       With tracing disabled both calls are a single atomic load. *)
+    let tctx = Obs.Trace.current () in
     let work () =
       Domain.DLS.set in_worker true;
       let rec loop () =
@@ -46,7 +50,7 @@ let map ?jobs f l =
         if i < n then begin
           results.(i) <-
             Some
-              (match f items.(i) with
+              (match Obs.Trace.with_ctx tctx (fun () -> f items.(i)) with
               | v -> Ok v
               | exception e -> Error (e, Printexc.get_raw_backtrace ()));
           loop ()

@@ -37,4 +37,8 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     domains. Every item is always processed; if one or more applications
     raise, the exception of the lowest-indexed failing item is re-raised
     (with its backtrace) after all domains have joined — deterministic
-    regardless of scheduling. *)
+    regardless of scheduling.
+
+    Tracing: the caller's {!Obs.Trace.current} context is re-installed in
+    every worker, so spans opened inside items attach to the span that was
+    open at the [map] call, whatever domain they ran on. *)

@@ -17,6 +17,18 @@ type compiled = {
 
 exception Unschedulable of string
 
+module Error = struct
+  type t =
+    | Unschedulable of string
+    | Unsupported of { backend : string; arch : string }
+
+  (* The Unsupported text matches the historical Invalid_argument message
+     raised by Model_runner.run_model, which tests pin. *)
+  let to_string = function
+    | Unschedulable msg -> "unschedulable: " ^ msg
+    | Unsupported { backend; arch } -> Printf.sprintf "%s does not support %s" backend arch
+end
+
 let tensor_name ~name g node =
   let n = G.node g node in
   match n.kind with
@@ -69,6 +81,8 @@ let declare_all device name_of g =
     (G.nodes g)
 
 let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
+  Obs.Trace.with_span ~attrs:[ ("name", name); ("arch", arch.Gpu.Arch.name) ] "compile"
+  @@ fun () ->
   let stats = Cstats.create () in
   let t_start = Unix.gettimeofday () in
   let name_of =
@@ -163,7 +177,7 @@ let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
 
   and schedule_connected ~st ~memo g orig =
     let tensor_of nid = name_of (orig nid) in
-    let smg = Smg.build g in
+    let smg = Obs.Trace.with_span "build" (fun () -> Smg.build g) in
     let kname = Printf.sprintf "%s.k%d" name (Atomic.fetch_and_add kcount 1) in
     let fused =
       (* One beam candidate per schedule family (spatial-only, temporal):
@@ -246,14 +260,19 @@ let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
     | None, Some ks -> [ ks ]
     | Some kfs, Some ksplit -> kfs @ [ ksplit ]
   in
-  let smg = Smg.build graph in
+  let smg = Obs.Trace.with_span "build" (fun () -> Smg.build graph) in
   let choices =
-    let candidates = schedule_graph ~st:stats ~memo:(Hashtbl.create 32) graph (fun nid -> nid) in
-    List.fold_left
-      (fun acc c -> if plan_cost c < plan_cost acc then c else acc)
-      (List.hd candidates) (List.tl candidates)
+    let candidates =
+      Obs.Trace.with_span "schedule" (fun () ->
+          schedule_graph ~st:stats ~memo:(Hashtbl.create 32) graph (fun nid -> nid))
+    in
+    Obs.Trace.with_span "select" (fun () ->
+        List.fold_left
+          (fun acc c -> if plan_cost c < plan_cost acc then c else acc)
+          (List.hd candidates) (List.tl candidates))
   in
   stats.Cstats.t_total <- Unix.gettimeofday () -. t_start;
+  Cstats.publish stats;
   let decls =
     List.filter_map
       (fun (n : G.node) ->
@@ -267,6 +286,11 @@ let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
     c_stats = stats;
     c_smg = smg;
   }
+
+let compile_r ?variant ?tensor_names ~arch ~name graph =
+  match compile ?variant ?tensor_names ~arch ~name graph with
+  | c -> Ok c
+  | exception Unschedulable msg -> Result.Error (Error.Unschedulable msg)
 
 let output_names c =
   List.mapi (fun i _ -> Printf.sprintf "%s:out%d" c.c_name i) (G.outputs (Smg.graph c.c_smg))

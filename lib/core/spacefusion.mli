@@ -23,6 +23,37 @@ type compiled = {
 
 exception Unschedulable of string
 
+(** Typed pipeline errors: the one error surface shared by {!compile_r},
+    {!Backends.Policy.compile_r} and {!Runtime.Model_runner.run_model_r},
+    so call sites match on constructors instead of catching exceptions. *)
+module Error : sig
+  type t =
+    | Unschedulable of string
+        (** no lowerable configuration exists for some subgraph *)
+    | Unsupported of { backend : string; arch : string }
+        (** the selected backend does not run on this architecture *)
+
+  val to_string : t -> string
+end
+
+val compile_r :
+  ?variant:Auto_scheduler.variant ->
+  ?tensor_names:(Ir.Graph.node_id -> string) ->
+  arch:Gpu.Arch.t ->
+  name:string ->
+  Ir.Graph.t ->
+  (compiled, Error.t) result
+(** Compile one subprogram. [name] prefixes intermediate tensor names.
+    Graph inputs and weights keep their declared names; output [i] is
+    published as ["<name>:out<i>"]. [tensor_names] overrides the naming
+    scheme entirely (used when compiling an extracted fusion group whose
+    tensors must keep the enclosing program's names).
+
+    When {!Obs.Trace} is enabled, the whole pipeline is traced: a
+    [compile] span with [build] / [schedule] (containing [auto_schedule],
+    [tune] and [lower] spans) / [select] children; compile statistics are
+    mirrored into {!Obs.Metrics} either way. *)
+
 val compile :
   ?variant:Auto_scheduler.variant ->
   ?tensor_names:(Ir.Graph.node_id -> string) ->
@@ -30,11 +61,9 @@ val compile :
   name:string ->
   Ir.Graph.t ->
   compiled
-(** Compile one subprogram. [name] prefixes intermediate tensor names.
-    Graph inputs and weights keep their declared names; output [i] is
-    published as ["<name>:out<i>"]. [tensor_names] overrides the naming
-    scheme entirely (used when compiling an extracted fusion group whose
-    tensors must keep the enclosing program's names). *)
+(** {!compile_r}, raising {!Unschedulable} instead of returning
+    [Error (Error.Unschedulable _)] — the historical entry point, kept as
+    a thin wrapper for call sites inside exception-based control flow. *)
 
 val output_names : compiled -> string list
 val tensor_name : name:string -> Ir.Graph.t -> Ir.Graph.node_id -> string

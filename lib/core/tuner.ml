@@ -50,6 +50,7 @@ type outcome = Pruned | Unlowerable | Costed of Gpu.Kernel.t * float
 let pick_best ?stats ?(prune = true) arch device ~name ~tensor_of
     (scheds : Auto_scheduler.scheduled list) =
   let cstats = match stats with Some s -> s | None -> Cstats.create () in
+  Obs.Trace.with_span "tune" @@ fun () ->
   Cstats.timed cstats Cstats.Tune (fun () ->
       (* Candidates in the stable enumeration order: schedule order as given,
          then Schedule.enum_cfgs order. This order is the tie-break rule —

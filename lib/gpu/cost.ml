@@ -36,6 +36,32 @@ let add a b =
     mem_time = a.mem_time +. b.mem_time;
   }
 
+let scale t c =
+  {
+    time = t.time *. c;
+    l1_access = t.l1_access *. c;
+    l1_miss = t.l1_miss *. c;
+    l2_access = t.l2_access *. c;
+    l2_miss = t.l2_miss *. c;
+    dram_read = t.dram_read *. c;
+    dram_write = t.dram_write *. c;
+    compute_time = t.compute_time *. c;
+    mem_time = t.mem_time *. c;
+  }
+
+let timing_fields t =
+  [
+    ("time_s", t.time);
+    ("l1_access", t.l1_access);
+    ("l1_miss", t.l1_miss);
+    ("l2_access", t.l2_access);
+    ("l2_miss", t.l2_miss);
+    ("dram_read_bytes", t.dram_read);
+    ("dram_write_bytes", t.dram_write);
+    ("compute_time_s", t.compute_time);
+    ("mem_time_s", t.mem_time);
+  ]
+
 (* LRU of tensors resident in L2, most recent first. *)
 type cache = { arch : Arch.t; mutable resident : (string * int) list }
 

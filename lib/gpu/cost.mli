@@ -46,3 +46,11 @@ val time_lower_bound : Arch.t -> blocks:int -> gemm_flops:float -> bytes:float -
 
 val add : timing -> timing -> timing
 val zero : timing
+
+val scale : timing -> float -> timing
+(** Every counter multiplied by the factor (repetition-count weighting). *)
+
+val timing_fields : timing -> (string * float) list
+(** Stable [(label, value)] view of every counter, in declaration order —
+    the single source of truth for serializers (JSON export, reports), so
+    adding a counter here updates every consumer at once. *)

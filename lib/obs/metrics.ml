@@ -1,0 +1,136 @@
+type histo = {
+  h_lock : Mutex.t;
+  mutable hm_count : int;
+  mutable hm_sum : float;
+  mutable hm_min : float;
+  mutable hm_max : float;
+}
+
+type cell = MCounter of int Atomic.t | MGauge of float Atomic.t | MHisto of histo
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
+type histogram = histo
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { h_count : int; h_sum : float; h_min : float; h_max : float }
+
+(* The registry mutex guards creation and snapshots only; updates go
+   straight to the cells. *)
+let lock = Mutex.create ()
+let registry : (string, cell) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function MCounter _ -> "counter" | MGauge _ -> "gauge" | MHisto _ -> "histogram"
+
+let intern name make select =
+  Mutex.lock lock;
+  let cell =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = make () in
+        Hashtbl.add registry name c;
+        c
+  in
+  Mutex.unlock lock;
+  match select cell with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %S is already registered as a %s" name (kind_name cell))
+
+let counter name =
+  intern name
+    (fun () -> MCounter (Atomic.make 0))
+    (function MCounter a -> Some a | _ -> None)
+
+let gauge name =
+  intern name
+    (fun () -> MGauge (Atomic.make 0.0))
+    (function MGauge a -> Some a | _ -> None)
+
+let histogram name =
+  intern name
+    (fun () ->
+      MHisto { h_lock = Mutex.create (); hm_count = 0; hm_sum = 0.0; hm_min = infinity; hm_max = neg_infinity })
+    (function MHisto h -> Some h | _ -> None)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+let counter_value c = Atomic.get c
+let set g v = Atomic.set g v
+
+let observe h v =
+  Mutex.lock h.h_lock;
+  h.hm_count <- h.hm_count + 1;
+  h.hm_sum <- h.hm_sum +. v;
+  if v < h.hm_min then h.hm_min <- v;
+  if v > h.hm_max then h.hm_max <- v;
+  Mutex.unlock h.h_lock
+
+let read_cell = function
+  | MCounter a -> Counter (Atomic.get a)
+  | MGauge a -> Gauge (Atomic.get a)
+  | MHisto h ->
+      Mutex.lock h.h_lock;
+      let v = Histogram { h_count = h.hm_count; h_sum = h.hm_sum; h_min = h.hm_min; h_max = h.hm_max } in
+      Mutex.unlock h.h_lock;
+      v
+
+let snapshot () =
+  Mutex.lock lock;
+  let all = Hashtbl.fold (fun name cell acc -> (name, cell) :: acc) registry [] in
+  Mutex.unlock lock;
+  List.map (fun (name, cell) -> (name, read_cell cell)) all
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let find name =
+  Mutex.lock lock;
+  let cell = Hashtbl.find_opt registry name in
+  Mutex.unlock lock;
+  Option.map read_cell cell
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter
+    (fun _ cell ->
+      match cell with
+      | MCounter a -> Atomic.set a 0
+      | MGauge a -> Atomic.set a 0.0
+      | MHisto h ->
+          Mutex.lock h.h_lock;
+          h.hm_count <- 0;
+          h.hm_sum <- 0.0;
+          h.hm_min <- infinity;
+          h.hm_max <- neg_infinity;
+          Mutex.unlock h.h_lock)
+    registry;
+  Mutex.unlock lock
+
+let value_to_json = function
+  | Counter n -> Json.Num (float_of_int n)
+  | Gauge v -> Json.Num v
+  | Histogram { h_count; h_sum; h_min; h_max } ->
+      Json.Obj
+        [
+          ("count", Json.Num (float_of_int h_count));
+          ("sum", Json.Num h_sum);
+          ("min", Json.Num (if h_count = 0 then 0.0 else h_min));
+          ("max", Json.Num (if h_count = 0 then 0.0 else h_max));
+        ]
+
+let to_json () = Json.Obj (List.map (fun (name, v) -> (name, value_to_json v)) (snapshot ()))
+
+let pp fmt () =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> Format.fprintf fmt "%-36s %d@." name n
+      | Gauge x -> Format.fprintf fmt "%-36s %g@." name x
+      | Histogram { h_count; h_sum; h_min; h_max } ->
+          if h_count = 0 then Format.fprintf fmt "%-36s (empty)@." name
+          else
+            Format.fprintf fmt "%-36s n=%d sum=%.6f min=%.6f max=%.6f@." name h_count h_sum h_min
+              h_max)
+    (snapshot ())

@@ -1,0 +1,81 @@
+type t = {
+  rp_spans : Trace.agg list;
+  rp_metrics : (string * Metrics.value) list;
+}
+
+let capture () = { rp_spans = Trace.aggregate (Trace.roots ()); rp_metrics = Metrics.snapshot () }
+
+let to_json ?(extra = []) r =
+  Json.Obj
+    (extra
+    @ [
+        ("spans", Trace.agg_to_json r.rp_spans);
+        ("metrics", Json.Obj (List.map (fun (n, v) -> (n, Metrics.value_to_json v)) r.rp_metrics));
+      ])
+
+let pp fmt r =
+  Format.fprintf fmt "== spans (folded, count x total) ==@.";
+  Trace.pp_agg fmt r.rp_spans;
+  Format.fprintf fmt "== metrics ==@.";
+  List.iter
+    (fun (name, v) ->
+      match (v : Metrics.value) with
+      | Metrics.Counter n -> Format.fprintf fmt "%-36s %d@." name n
+      | Metrics.Gauge x -> Format.fprintf fmt "%-36s %g@." name x
+      | Metrics.Histogram { h_count; h_sum; h_min; h_max } ->
+          if h_count = 0 then Format.fprintf fmt "%-36s (empty)@." name
+          else
+            Format.fprintf fmt "%-36s n=%d sum=%.6f min=%.6f max=%.6f@." name h_count h_sum h_min
+              h_max)
+    r.rp_metrics
+
+let validate ?(required_spans = []) json =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec check_spans path = function
+    | Json.Arr nodes ->
+        let rec go = function
+          | [] -> Ok ()
+          | node :: rest ->
+              let* () = check_node path node in
+              go rest
+        in
+        go nodes
+    | _ -> Error (Printf.sprintf "%s: spans must be an array" path)
+  and check_node path node =
+    let* name =
+      match Json.member "name" node with
+      | Some (Json.Str s) -> Ok s
+      | _ -> Error (Printf.sprintf "%s: span without a string name" path)
+    in
+    let path = path ^ "/" ^ name in
+    Hashtbl.replace seen name ();
+    let* () =
+      match Json.member "count" node with
+      | Some (Json.Num c) when c >= 1.0 -> Ok ()
+      | _ -> Error (Printf.sprintf "%s: span count must be >= 1" path)
+    in
+    let* () =
+      match Json.member "total_s" node with
+      | Some (Json.Num d) when d >= 0.0 -> Ok ()
+      | Some (Json.Num d) -> Error (Printf.sprintf "%s: negative duration %g" path d)
+      | _ -> Error (Printf.sprintf "%s: span without a numeric total_s" path)
+    in
+    match Json.member "children" node with
+    | Some kids -> check_spans path kids
+    | None -> Error (Printf.sprintf "%s: span without children" path)
+  in
+  let* spans =
+    match Json.member "spans" json with
+    | Some s -> Ok s
+    | None -> Error "profile: no \"spans\" field"
+  in
+  let* () = check_spans "" spans in
+  let* () =
+    match Json.member "metrics" json with
+    | Some (Json.Obj _) -> Ok ()
+    | _ -> Error "profile: no \"metrics\" object"
+  in
+  let missing = List.filter (fun n -> not (Hashtbl.mem seen n)) required_spans in
+  if missing = [] then Ok ()
+  else Error (Printf.sprintf "profile: missing span(s): %s" (String.concat ", " missing))

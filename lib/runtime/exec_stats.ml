@@ -1,0 +1,57 @@
+type t = {
+  x_time : float;
+  x_gpu_time : float;
+  x_dispatch : float;
+  x_kernels : int;
+  x_flops : float;
+  x_timing : Gpu.Cost.timing;
+}
+
+let zero =
+  {
+    x_time = 0.0;
+    x_gpu_time = 0.0;
+    x_dispatch = 0.0;
+    x_kernels = 0;
+    x_flops = 0.0;
+    x_timing = Gpu.Cost.zero;
+  }
+
+let add a b =
+  {
+    x_time = a.x_time +. b.x_time;
+    x_gpu_time = a.x_gpu_time +. b.x_gpu_time;
+    x_dispatch = a.x_dispatch +. b.x_dispatch;
+    x_kernels = a.x_kernels + b.x_kernels;
+    x_flops = a.x_flops +. b.x_flops;
+    x_timing = Gpu.Cost.add a.x_timing b.x_timing;
+  }
+
+let scale s c =
+  let f = float_of_int c in
+  {
+    x_time = s.x_time *. f;
+    x_gpu_time = s.x_gpu_time *. f;
+    x_dispatch = s.x_dispatch *. f;
+    x_kernels = s.x_kernels * c;
+    x_flops = s.x_flops *. f;
+    x_timing = Gpu.Cost.scale s.x_timing f;
+  }
+
+let to_json s =
+  Obs.Json.Obj
+    [
+      ("time_s", Obs.Json.Num s.x_time);
+      ("gpu_time_s", Obs.Json.Num s.x_gpu_time);
+      ("dispatch_s", Obs.Json.Num s.x_dispatch);
+      ("kernels", Obs.Json.Num (float_of_int s.x_kernels));
+      ("flops", Obs.Json.Num s.x_flops);
+      ( "timing",
+        Obs.Json.Obj
+          (List.map (fun (k, v) -> (k, Obs.Json.Num v)) (Gpu.Cost.timing_fields s.x_timing)) );
+    ]
+
+let pp fmt s =
+  Format.fprintf fmt "%d kernels, %.3f us (gpu %.3f + dispatch %.3f), dram %.0f B" s.x_kernels
+    (s.x_time *. 1e6) (s.x_gpu_time *. 1e6) (s.x_dispatch *. 1e6)
+    (s.x_timing.Gpu.Cost.dram_read +. s.x_timing.Gpu.Cost.dram_write)

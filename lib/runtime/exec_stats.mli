@@ -1,0 +1,29 @@
+(** The one execution-statistics record shared by every layer that reports
+    simulated runs: {!Runner.run_plan} produces one per plan,
+    {!Model_runner} aggregates them over subprogram repetition counts, and
+    the bench harness / CLI serialize them — all through the same
+    [to_json] / [pp], so a latency number means the same thing wherever it
+    is printed. *)
+
+type t = {
+  x_time : float;  (** total simulated seconds, including dispatch *)
+  x_gpu_time : float;  (** simulated GPU-side seconds *)
+  x_dispatch : float;  (** CPU dispatch seconds ([kernels * dispatch_us]) *)
+  x_kernels : int;  (** kernel launches *)
+  x_flops : float;  (** GEMM + SIMD flops executed *)
+  x_timing : Gpu.Cost.timing;  (** summed cache/memory counters *)
+}
+
+val zero : t
+
+val add : t -> t -> t
+
+val scale : t -> int -> t
+(** Weight by a repetition count: every field, including the timing
+    counters, multiplied by the count. *)
+
+val to_json : t -> Obs.Json.t
+(** Flat object with a nested ["timing"] object mirroring
+    {!Gpu.Cost.timing_fields}. *)
+
+val pp : Format.formatter -> t -> unit

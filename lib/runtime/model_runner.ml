@@ -2,63 +2,97 @@ type result = {
   m_model : string;
   m_backend : string;
   m_arch : string;
-  m_latency : float;
-  m_kernels : int;
+  m_exec : Exec_stats.t;
   m_compile_s : float;
-  m_timing : Gpu.Cost.timing;
+  m_cache_hits : int;
+  m_cache_misses : int;
 }
 
 let supported ~arch (b : Backends.Policy.t) = b.supports arch
 
-let scale_timing (t : Gpu.Cost.timing) c =
-  let c = float_of_int c in
-  {
-    Gpu.Cost.time = t.time *. c;
-    l1_access = t.l1_access *. c;
-    l1_miss = t.l1_miss *. c;
-    l2_access = t.l2_access *. c;
-    l2_miss = t.l2_miss *. c;
-    dram_read = t.dram_read *. c;
-    dram_write = t.dram_write *. c;
-    compute_time = t.compute_time *. c;
-    mem_time = t.mem_time *. c;
-  }
+let m_runs = lazy (Obs.Metrics.counter "model.runs")
+let m_latency = lazy (Obs.Metrics.histogram "model.latency_seconds")
+let m_compile = lazy (Obs.Metrics.histogram "model.compile_seconds")
 
 (* Plans are cached across calls when [cache] is supplied: the paper's
    program-preprocessing compiles each distinct (repetitive) subprogram
    once, and e.g. Bert and Albert share every block. *)
-let run_model ?cache ~arch (backend : Backends.Policy.t) (model : Ir.Models.model) =
+let run_model_r ?cache ~arch (backend : Backends.Policy.t) (model : Ir.Models.model) =
   if not (backend.supports arch) then
-    invalid_arg
-      (Printf.sprintf "%s does not support %s" backend.be_name arch.Gpu.Arch.name);
-  let latency = ref 0.0 and kernels = ref 0 and compile_s = ref 0.0 in
-  let timing = ref Gpu.Cost.zero in
-  List.iter
-    (fun (sp : Ir.Models.subprogram) ->
-      let t0 = Unix.gettimeofday () in
-      let plan =
-        let name = model.model_name ^ "." ^ sp.sp_name in
-        match cache with
-        | None -> backend.compile arch ~name sp.graph
-        | Some c -> Plan_cache.compile c backend arch ~name sp.graph
-      in
-      compile_s := !compile_s +. (Unix.gettimeofday () -. t0);
-      let device = Gpu.Device.create () in
-      let r = Runner.run_plan ~arch ~dispatch_us:backend.dispatch_us device plan in
-      latency := !latency +. (r.Runner.r_time *. float_of_int sp.count);
-      kernels := !kernels + (r.Runner.r_kernels * sp.count);
-      timing := Gpu.Cost.add !timing (scale_timing r.Runner.r_timing sp.count))
-    model.subprograms;
-  {
-    m_model = model.model_name;
-    m_backend = backend.be_name;
-    m_arch = arch.Gpu.Arch.name;
-    m_latency = !latency;
-    m_kernels = !kernels;
-    m_compile_s = !compile_s;
-    m_timing = !timing;
-  }
+    Error
+      (Core.Spacefusion.Error.Unsupported
+         { backend = backend.be_name; arch = arch.Gpu.Arch.name })
+  else
+    let body () =
+      Obs.Trace.with_span
+        ~attrs:[ ("model", model.model_name); ("backend", backend.be_name) ]
+        "run_model"
+      @@ fun () ->
+      let exec = ref Exec_stats.zero in
+      let compile_s = ref 0.0 and hits = ref 0 and misses = ref 0 in
+      List.iter
+        (fun (sp : Ir.Models.subprogram) ->
+          Obs.Trace.with_span ~attrs:[ ("name", sp.sp_name) ] "subprogram" @@ fun () ->
+          let name = model.model_name ^ "." ^ sp.sp_name in
+          let t0 = Unix.gettimeofday () in
+          let plan, hit =
+            match cache with
+            | None -> (backend.compile arch ~name sp.graph, false)
+            | Some c -> Plan_cache.compile_hit c backend arch ~name sp.graph
+          in
+          (* A hit's wall-clock is a table lookup, not compilation: report
+             it as zero so cached latencies do not inflate compile time. *)
+          if hit then incr hits
+          else begin
+            incr misses;
+            compile_s := !compile_s +. (Unix.gettimeofday () -. t0)
+          end;
+          let device = Gpu.Device.create () in
+          let r = Runner.run_plan ~arch ~dispatch_us:backend.dispatch_us device plan in
+          exec := Exec_stats.add !exec (Exec_stats.scale r sp.count))
+        model.subprograms;
+      Obs.Metrics.incr (Lazy.force m_runs);
+      Obs.Metrics.observe (Lazy.force m_latency) !exec.Exec_stats.x_time;
+      Obs.Metrics.observe (Lazy.force m_compile) !compile_s;
+      {
+        m_model = model.model_name;
+        m_backend = backend.be_name;
+        m_arch = arch.Gpu.Arch.name;
+        m_exec = !exec;
+        m_compile_s = !compile_s;
+        m_cache_hits = !hits;
+        m_cache_misses = !misses;
+      }
+    in
+    match body () with
+    | r -> Ok r
+    | exception Core.Spacefusion.Unschedulable msg ->
+        Error (Core.Spacefusion.Error.Unschedulable msg)
+
+let run_model ?cache ~arch backend model =
+  match run_model_r ?cache ~arch backend model with
+  | Ok r -> r
+  | Error (Core.Spacefusion.Error.Unsupported _ as e) ->
+      invalid_arg (Core.Spacefusion.Error.to_string e)
+  | Error (Core.Spacefusion.Error.Unschedulable msg) ->
+      raise (Core.Spacefusion.Unschedulable msg)
+
+let to_json r =
+  Obs.Json.Obj
+    [
+      ("model", Obs.Json.Str r.m_model);
+      ("backend", Obs.Json.Str r.m_backend);
+      ("arch", Obs.Json.Str r.m_arch);
+      ("exec", Exec_stats.to_json r.m_exec);
+      ("compile_s", Obs.Json.Num r.m_compile_s);
+      ("cache_hits", Obs.Json.Num (float_of_int r.m_cache_hits));
+      ("cache_misses", Obs.Json.Num (float_of_int r.m_cache_misses));
+    ]
 
 let pp fmt r =
   Format.fprintf fmt "%-10s %-14s %-7s %9.3f ms  %5d kernels  compile %.2f s" r.m_model
-    r.m_backend r.m_arch (r.m_latency *. 1e3) r.m_kernels r.m_compile_s
+    r.m_backend r.m_arch
+    (r.m_exec.Exec_stats.x_time *. 1e3)
+    r.m_exec.Exec_stats.x_kernels r.m_compile_s;
+  if r.m_cache_hits > 0 then
+    Format.fprintf fmt "  (%d/%d cached)" r.m_cache_hits (r.m_cache_hits + r.m_cache_misses)

@@ -6,18 +6,35 @@ type result = {
   m_model : string;
   m_backend : string;
   m_arch : string;
-  m_latency : float;  (** simulated seconds per forward pass *)
-  m_kernels : int;  (** total launches per forward pass *)
-  m_compile_s : float;  (** wall-clock compile time (distinct subprograms) *)
-  m_timing : Gpu.Cost.timing;  (** summed counters per forward pass *)
+  m_exec : Exec_stats.t;
+      (** per-forward-pass totals (latency, launches, flops, counters) in
+          the same record {!Runner.run_plan} returns per plan *)
+  m_compile_s : float;
+      (** wall-clock spent compiling; cache hits contribute zero *)
+  m_cache_hits : int;  (** subprogram lookups served from the plan cache *)
+  m_cache_misses : int;  (** subprogram lookups that compiled *)
 }
+
+val run_model_r :
+  ?cache:Plan_cache.t ->
+  arch:Gpu.Arch.t ->
+  Backends.Policy.t ->
+  Ir.Models.model ->
+  (result, Core.Spacefusion.Error.t) Stdlib.result
+(** Typed entry point: [Error (Unsupported _)] when the backend does not
+    run on [arch], [Error (Unschedulable _)] when compilation fails. With
+    [cache], repeated subprograms (within or across models — e.g. Bert and
+    Albert share every block shape) compile once; a cache hit reports zero
+    compile time. Emits a [run_model] span with one [subprogram] child per
+    distinct subprogram when tracing is enabled. *)
 
 val run_model :
   ?cache:Plan_cache.t -> arch:Gpu.Arch.t -> Backends.Policy.t -> Ir.Models.model -> result
-(** Raises if the backend does not support the architecture
-    ([Invalid_argument]). With [cache], repeated subprograms (within or
-    across models — e.g. Bert and Albert share every block shape) compile
-    once. *)
+(** {!run_model_r}, raising: [Invalid_argument] for [Unsupported] (message
+    unchanged from the historical API) and {!Core.Spacefusion.Unschedulable}
+    for [Unschedulable]. *)
 
 val supported : arch:Gpu.Arch.t -> Backends.Policy.t -> bool
+
+val to_json : result -> Obs.Json.t
 val pp : Format.formatter -> result -> unit

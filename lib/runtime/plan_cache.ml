@@ -17,10 +17,21 @@ type t = {
   stats : Core.Cstats.t;
 }
 
+let m_hits = lazy (Obs.Metrics.counter "cache.hits")
+let m_misses = lazy (Obs.Metrics.counter "cache.misses")
+let m_evictions = lazy (Obs.Metrics.counter "cache.evictions")
+let m_size = lazy (Obs.Metrics.gauge "cache.size")
+
 let create ?capacity () =
   (match capacity with
   | Some c when c < 1 -> invalid_arg "Plan_cache.create: capacity must be >= 1"
   | _ -> ());
+  (* Register the cache metrics up front so a profile of an all-miss (or
+     never-evicting) run still shows them at zero. *)
+  ignore (Lazy.force m_hits);
+  ignore (Lazy.force m_misses);
+  ignore (Lazy.force m_evictions);
+  ignore (Lazy.force m_size);
   { table = Hashtbl.create 64; pending = Hashtbl.create 8; lock = Mutex.create ();
     filled = Condition.create (); capacity; tick = 0; stats = Core.Cstats.create () }
 
@@ -45,11 +56,12 @@ let evict_over_capacity t =
         | Some (k, _) ->
             Hashtbl.remove t.table k;
             t.stats.Core.Cstats.n_cache_evictions <-
-              t.stats.Core.Cstats.n_cache_evictions + 1
+              t.stats.Core.Cstats.n_cache_evictions + 1;
+            Obs.Metrics.incr (Lazy.force m_evictions)
         | None -> ()
       done
 
-let compile t (backend : Backends.Policy.t) arch ~name graph =
+let compile_hit t (backend : Backends.Policy.t) arch ~name graph =
   (* Hash the canonical DSL outside the lock: it is the expensive part of
      the key, and it needs no cache state. *)
   let key =
@@ -74,6 +86,7 @@ let compile t (backend : Backends.Policy.t) arch ~name graph =
           e.e_last_use <- t.tick;
           t.stats.Core.Cstats.n_cache_hits <- t.stats.Core.Cstats.n_cache_hits + 1;
           Mutex.unlock t.lock;
+          Obs.Metrics.incr (Lazy.force m_hits);
           `Hit e.e_plan
       | None ->
           if Hashtbl.mem t.pending key then begin
@@ -84,22 +97,29 @@ let compile t (backend : Backends.Policy.t) arch ~name graph =
             Hashtbl.replace t.pending key ();
             t.stats.Core.Cstats.n_cache_misses <- t.stats.Core.Cstats.n_cache_misses + 1;
             Mutex.unlock t.lock;
+            Obs.Metrics.incr (Lazy.force m_misses);
             `Compile
           end
     in
     loop ()
   in
   match decide () with
-  | `Hit plan -> plan
+  | `Hit plan -> (plan, true)
   | `Compile -> (
       let resolve f =
         locked t (fun () ->
             Hashtbl.remove t.pending key;
             let r = f () in
+            Obs.Metrics.set (Lazy.force m_size) (float_of_int (Hashtbl.length t.table));
             Condition.broadcast t.filled;
             r)
       in
-      match backend.compile arch ~name graph with
+      match
+        Obs.Trace.with_span
+          ~attrs:[ ("name", name); ("backend", backend.Backends.Policy.be_name) ]
+          "cache_compile"
+          (fun () -> backend.compile arch ~name graph)
+      with
       | exception e ->
           (* Release the claim so a waiter can retry (and fail) itself
              rather than block forever on a key that will never fill. *)
@@ -115,7 +135,9 @@ let compile t (backend : Backends.Policy.t) arch ~name graph =
                   t.tick <- t.tick + 1;
                   Hashtbl.replace t.table key { e_plan = plan; e_last_use = t.tick };
                   evict_over_capacity t);
-              plan))
+              (plan, false)))
+
+let compile t backend arch ~name graph = fst (compile_hit t backend arch ~name graph)
 
 let hits t = locked t (fun () -> t.stats.Core.Cstats.n_cache_hits)
 let misses t = locked t (fun () -> t.stats.Core.Cstats.n_cache_misses)

@@ -23,7 +23,17 @@ val compile :
   t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t
 (** Like the policy's [compile], memoized. A lookup that compiles counts as
     one miss; a lookup served from the table counts as one hit and marks the
-    entry most-recently-used. *)
+    entry most-recently-used. Events are mirrored into {!Obs.Metrics}
+    ([cache.hits] / [cache.misses] / [cache.evictions] counters, the
+    [cache.size] gauge) and the compile itself runs under a
+    [cache_compile] span. *)
+
+val compile_hit :
+  t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t * bool
+(** {!compile}, also reporting whether this lookup was served from the
+    table ([true] = hit, including being handed another domain's in-flight
+    result). {!Model_runner} uses this to attribute compile wall-clock only
+    to lookups that actually compiled. *)
 
 val hits : t -> int
 val misses : t -> int

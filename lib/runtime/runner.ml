@@ -1,13 +1,11 @@
-type result = {
-  r_time : float;
-  r_gpu_time : float;
-  r_dispatch : float;
-  r_kernels : int;
-  r_flops : float;
-  r_timing : Gpu.Cost.timing;
-}
+type result = Exec_stats.t
+
+let m_plans = lazy (Obs.Metrics.counter "run.plans")
+let m_kernels = lazy (Obs.Metrics.counter "run.kernels")
+let m_sim = lazy (Obs.Metrics.histogram "run.sim_seconds")
 
 let run_plan ?(mode = Gpu.Exec.Analytic) ~arch ~dispatch_us device (plan : Gpu.Plan.t) =
+  Obs.Trace.with_span ~attrs:[ ("plan", plan.Gpu.Plan.p_name) ] "execute" @@ fun () ->
   Gpu.Plan.declare_all plan device;
   let cache = Gpu.Cost.fresh_cache arch in
   let timing = ref Gpu.Cost.zero in
@@ -20,16 +18,17 @@ let run_plan ?(mode = Gpu.Exec.Analytic) ~arch ~dispatch_us device (plan : Gpu.P
     plan.Gpu.Plan.p_kernels;
   let kernels = Gpu.Plan.num_kernels plan in
   let dispatch = float_of_int kernels *. dispatch_us *. 1e-6 in
+  let time = !timing.Gpu.Cost.time +. dispatch in
+  Obs.Metrics.incr (Lazy.force m_plans);
+  Obs.Metrics.incr ~by:kernels (Lazy.force m_kernels);
+  Obs.Metrics.observe (Lazy.force m_sim) time;
   {
-    r_time = !timing.Gpu.Cost.time +. dispatch;
-    r_gpu_time = !timing.Gpu.Cost.time;
-    r_dispatch = dispatch;
-    r_kernels = kernels;
-    r_flops = !flops;
-    r_timing = !timing;
+    Exec_stats.x_time = time;
+    x_gpu_time = !timing.Gpu.Cost.time;
+    x_dispatch = dispatch;
+    x_kernels = kernels;
+    x_flops = !flops;
+    x_timing = !timing;
   }
 
-let pp fmt r =
-  Format.fprintf fmt "%d kernels, %.3f us (gpu %.3f + dispatch %.3f), dram %.0f B" r.r_kernels
-    (r.r_time *. 1e6) (r.r_gpu_time *. 1e6) (r.r_dispatch *. 1e6)
-    (r.r_timing.Gpu.Cost.dram_read +. r.r_timing.Gpu.Cost.dram_write)
+let pp = Exec_stats.pp

@@ -3,14 +3,10 @@
     memory counters (one L2 residency state spans the whole plan, so
     producer→consumer reuse between adjacent kernels is captured). *)
 
-type result = {
-  r_time : float;  (** total simulated seconds, including dispatch *)
-  r_gpu_time : float;
-  r_dispatch : float;
-  r_kernels : int;
-  r_flops : float;
-  r_timing : Gpu.Cost.timing;
-}
+type result = Exec_stats.t
+(** One {!Exec_stats.t} per executed plan — the same record
+    {!Model_runner} aggregates, so per-plan and per-model numbers share
+    their serialization. *)
 
 val run_plan :
   ?mode:Gpu.Exec.mode ->
@@ -20,6 +16,8 @@ val run_plan :
   Gpu.Plan.t ->
   result
 (** [mode] defaults to [Analytic] (benchmarking); use [Full] to also
-    compute real values on the device. Declares the plan's tensors. *)
+    compute real values on the device. Declares the plan's tensors.
+    Emits an [execute] span when tracing is enabled and feeds the
+    [run.plans] / [run.kernels] / [run.sim_seconds] metrics. *)
 
 val pp : Format.formatter -> result -> unit

@@ -16,6 +16,11 @@ dune runtest
 # divergence is found or a seeded defect goes undetected.
 dune exec bench/main.exe -- --quick --only verify > /dev/null
 
+# Observability smoke: a profiled run must emit JSON that parses and
+# contains every pipeline phase span (--check makes the CLI re-validate
+# its own output and exit nonzero otherwise).
+dune exec bin/spacefusion_cli.exe -- profile bert --arch ampere --batch 1 --seq 64 --check > /dev/null
+
 out1=$(mktemp) && out4=$(mktemp)
 trap 'rm -f "$out1" "$out4"' EXIT
 

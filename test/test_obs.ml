@@ -1,0 +1,191 @@
+(* Tests for the observability subsystem: span nesting determinism under
+   the domain pool, the disabled-mode hot path, metrics registry
+   concurrency, and JSON round-tripping of a captured profile. *)
+
+let arch = Gpu.Arch.ampere
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let traced_compile_paths ~jobs g =
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_enabled false)
+    (fun () ->
+      Core.Parallel.with_jobs jobs (fun () ->
+          ignore (Core.Spacefusion.compile ~arch ~name:"obs" g));
+      Obs.Trace.agg_paths (Obs.Trace.aggregate (Obs.Trace.roots ())))
+
+let test_parallel_span_determinism () =
+  (* Independent components fan out over the domain pool; worker spans must
+     attach under the logical parent, so the aggregated path set is the
+     same however the work was scheduled — and the same as a serial run.
+     Path *sets* are the guarantee: per-candidate span counts may differ
+     because the tuner's cross-domain pruning is timing-dependent. *)
+  let g = Ir.Models.independent_chains ~copies:4 ~m:64 ~n:64 () in
+  let p1 = traced_compile_paths ~jobs:4 g in
+  let p2 = traced_compile_paths ~jobs:4 g in
+  let ps = traced_compile_paths ~jobs:1 g in
+  Alcotest.(check (list string)) "two parallel runs agree" p1 p2;
+  Alcotest.(check (list string)) "serial run agrees" ps p1;
+  List.iter
+    (fun path ->
+      Alcotest.(check bool) (path ^ " present") true (List.mem path p1))
+    [
+      "compile";
+      "compile/build";
+      "compile/schedule";
+      "compile/schedule/auto_schedule";
+      "compile/schedule/tune";
+      "compile/schedule/tune/lower";
+      "compile/select";
+    ]
+
+let test_disabled_no_alloc () =
+  Obs.Trace.set_enabled false;
+  let f () = 42 in
+  for _ = 1 to 10 do
+    ignore (Obs.Trace.with_span "warmup" f)
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Obs.Trace.with_span "hot" f)
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled with_span allocates nothing (%.0f words / 1000 calls)" dw)
+    true (dw < 256.0)
+
+let test_span_nesting_and_attrs () =
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_enabled false)
+    (fun () ->
+      Obs.Trace.with_span ~attrs:[ ("k", "v") ] "outer" (fun () ->
+          Obs.Trace.with_span "inner" (fun () -> ());
+          Obs.Trace.with_span "inner" (fun () -> ()));
+      (match Obs.Trace.roots () with
+      | [ root ] ->
+          Alcotest.(check string) "root name" "outer" root.Obs.Trace.sp_name;
+          Alcotest.(check (list (pair string string))) "attrs kept" [ ("k", "v") ]
+            root.Obs.Trace.sp_attrs;
+          Alcotest.(check int) "two children" 2 (List.length root.Obs.Trace.sp_children)
+      | roots -> Alcotest.failf "expected one root, got %d" (List.length roots));
+      match Obs.Trace.aggregate (Obs.Trace.roots ()) with
+      | [ agg ] -> (
+          Alcotest.(check int) "root count" 1 agg.Obs.Trace.a_count;
+          Alcotest.(check bool) "duration non-negative" true (agg.Obs.Trace.a_total_s >= 0.0);
+          match agg.Obs.Trace.a_children with
+          | [ child ] ->
+              Alcotest.(check string) "folded child" "inner" child.Obs.Trace.a_name;
+              Alcotest.(check int) "siblings folded" 2 child.Obs.Trace.a_count
+          | kids -> Alcotest.failf "expected one folded child, got %d" (List.length kids))
+      | aggs -> Alcotest.failf "expected one aggregate root, got %d" (List.length aggs))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_concurrency () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "test.obs.counter" in
+  let h = Obs.Metrics.histogram "test.obs.histo" in
+  let per_worker = 10_000 in
+  ignore
+    (Core.Parallel.map ~jobs:4
+       (fun _ ->
+         for i = 1 to per_worker do
+           Obs.Metrics.incr c;
+           Obs.Metrics.observe h (float_of_int i)
+         done)
+       [ 0; 1; 2; 3 ]);
+  Alcotest.(check int) "every increment lands" (4 * per_worker) (Obs.Metrics.counter_value c);
+  (match Obs.Metrics.find "test.obs.histo" with
+  | Some (Obs.Metrics.Histogram { h_count; h_min; h_max; _ }) ->
+      Alcotest.(check int) "every observation lands" (4 * per_worker) h_count;
+      Alcotest.(check (float 0.0)) "min" 1.0 h_min;
+      Alcotest.(check (float 0.0)) "max" (float_of_int per_worker) h_max
+  | _ -> Alcotest.fail "histogram missing from registry");
+  (* Interning: the same name yields the same cell; a kind clash raises. *)
+  Obs.Metrics.incr (Obs.Metrics.counter "test.obs.counter");
+  Alcotest.(check int) "interned handle shares the cell" ((4 * per_worker) + 1)
+    (Obs.Metrics.counter_value c);
+  Alcotest.(check bool) "kind mismatch raises" true
+    (match Obs.Metrics.gauge "test.obs.counter" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* Reset zeroes in place: stale handles stay attached. *)
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Metrics.counter_value c);
+  Obs.Metrics.incr c;
+  Alcotest.(check int) "old handle still live after reset" 1 (Obs.Metrics.counter_value c)
+
+(* ------------------------------------------------------------------ *)
+(* Report JSON round-trip                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_roundtrip () =
+  Obs.Metrics.reset ();
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_enabled false)
+    (fun () -> ignore (Core.Spacefusion.compile ~arch ~name:"rt" (Ir.Models.layernorm_graph ~m:32 ~n:32)));
+  let json = Obs.Report.to_json ~extra:[ ("model", Obs.Json.Str "ln") ] (Obs.Report.capture ()) in
+  let s = Obs.Json.to_string json in
+  match Obs.Json.parse s with
+  | Error msg -> Alcotest.failf "emitted JSON does not parse: %s" msg
+  | Ok parsed ->
+      (match
+         Obs.Report.validate
+           ~required_spans:[ "compile"; "build"; "schedule"; "tune"; "lower"; "select" ]
+           parsed
+       with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "validation failed: %s" msg);
+      Alcotest.(check string) "byte-stable re-serialization" s (Obs.Json.to_string parsed);
+      (match Obs.Json.member "model" parsed with
+      | Some (Obs.Json.Str "ln") -> ()
+      | _ -> Alcotest.fail "extra field lost in round-trip");
+      (* Negative-duration and missing-phase documents must be rejected. *)
+      let bad_span =
+        Obs.Json.Obj
+          [
+            ( "spans",
+              Obs.Json.Arr
+                [
+                  Obs.Json.Obj
+                    [
+                      ("name", Obs.Json.Str "compile");
+                      ("count", Obs.Json.Num 1.0);
+                      ("total_s", Obs.Json.Num (-1.0));
+                      ("children", Obs.Json.Arr []);
+                    ];
+                ] );
+            ("metrics", Obs.Json.Obj []);
+          ]
+      in
+      (match Obs.Report.validate bad_span with
+      | Error msg ->
+          Alcotest.(check bool) "names the negative duration" true
+            (Astring.String.is_infix ~affix:"negative" msg)
+      | Ok () -> Alcotest.fail "negative duration accepted");
+      match Obs.Report.validate ~required_spans:[ "execute" ] parsed with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "missing required span accepted"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "parallel span determinism" `Quick test_parallel_span_determinism;
+          Alcotest.test_case "disabled hot path is allocation-free" `Quick test_disabled_no_alloc;
+          Alcotest.test_case "nesting, attrs, aggregation" `Quick test_span_nesting_and_attrs;
+        ] );
+      ("metrics", [ Alcotest.test_case "concurrent updates" `Quick test_metrics_concurrency ]);
+      ("report", [ Alcotest.test_case "json round-trip" `Quick test_report_roundtrip ]);
+    ]

@@ -17,23 +17,26 @@ let run (b : Backends.Policy.t) name g =
 let test_runner_accounting () =
   let g = Ir.Models.layernorm_graph ~m:64 ~n:64 in
   let r, plan = run B.pytorch "ln" g in
-  Alcotest.(check int) "kernel count matches plan" (Gpu.Plan.num_kernels plan) r.Runtime.Runner.r_kernels;
+  Alcotest.(check int) "kernel count matches plan" (Gpu.Plan.num_kernels plan)
+    r.Runtime.Exec_stats.x_kernels;
   Alcotest.(check (float 1e-12)) "dispatch = kernels x overhead"
-    (float_of_int r.r_kernels *. 8.0e-6)
-    r.r_dispatch;
+    (float_of_int r.x_kernels *. 8.0e-6)
+    r.x_dispatch;
   Alcotest.(check bool) "total = gpu + dispatch" true
-    (Float.abs (r.r_time -. (r.r_gpu_time +. r.r_dispatch)) < 1e-12);
-  Alcotest.(check bool) "flops positive" true (r.r_flops > 0.0)
+    (Float.abs (r.x_time -. (r.x_gpu_time +. r.x_dispatch)) < 1e-12);
+  Alcotest.(check bool) "flops positive" true (r.x_flops > 0.0)
 
 let test_fusion_reduces_traffic () =
   (* The headline claim: fusion cuts DRAM traffic (Fig 15). *)
   let g = Ir.Models.layernorm_graph ~m:512 ~n:512 in
   let unfused, _ = run B.pytorch "ln" g in
   let fused, _ = run B.spacefusion "ln" g in
-  let dram (r : Runtime.Runner.result) = r.r_timing.Gpu.Cost.dram_read +. r.r_timing.Gpu.Cost.dram_write in
+  let dram (r : Runtime.Runner.result) =
+    r.Runtime.Exec_stats.x_timing.Gpu.Cost.dram_read +. r.x_timing.Gpu.Cost.dram_write
+  in
   Alcotest.(check bool) "fused moves at least 2x less data" true (dram unfused >= 2.0 *. dram fused);
   Alcotest.(check bool) "fused launches fewer kernels" true
-    (fused.Runtime.Runner.r_kernels < unfused.Runtime.Runner.r_kernels)
+    (fused.Runtime.Exec_stats.x_kernels < unfused.Runtime.Exec_stats.x_kernels)
 
 let test_l2_reuse_between_kernels () =
   (* A split plan's consumer kernel should hit its producer's output in L2:
@@ -52,20 +55,23 @@ let test_l2_reuse_between_kernels () =
       0.0 plan.Gpu.Plan.p_kernels
   in
   Alcotest.(check bool) "shared L2 reads <= cold reads" true
-    (shared.Runtime.Runner.r_timing.Gpu.Cost.dram_read <= cold)
+    (shared.Runtime.Exec_stats.x_timing.Gpu.Cost.dram_read <= cold)
 
 (* ------------------------------------------------------------------ *)
 (* Model runner                                                        *)
 (* ------------------------------------------------------------------ *)
 
+let latency (r : Runtime.Model_runner.result) = r.m_exec.Runtime.Exec_stats.x_time
+
 let test_model_runner () =
   let model = Ir.Models.bert ~batch:1 ~seq:64 in
   let r = Runtime.Model_runner.run_model ~arch B.spacefusion model in
   Alcotest.(check string) "model name" "Bert" r.Runtime.Model_runner.m_model;
-  Alcotest.(check bool) "positive latency" true (r.m_latency > 0.0);
-  Alcotest.(check bool) "kernels scale with layer count" true (r.m_kernels >= 48);
+  Alcotest.(check bool) "positive latency" true (latency r > 0.0);
+  Alcotest.(check bool) "kernels scale with layer count" true
+    (r.m_exec.Runtime.Exec_stats.x_kernels >= 48);
   let r2 = Runtime.Model_runner.run_model ~arch B.pytorch model in
-  Alcotest.(check bool) "spacefusion beats eager" true (r.m_latency < r2.m_latency)
+  Alcotest.(check bool) "spacefusion beats eager" true (latency r < latency r2)
 
 let test_model_runner_unsupported () =
   let model = Ir.Models.bert ~batch:1 ~seq:32 in
@@ -79,7 +85,7 @@ let test_latency_scales_with_count () =
   let mk count =
     { Ir.Models.model_name = "m"; subprograms = [ { sp_name = "ln"; graph = g; count } ] }
   in
-  let l count = (Runtime.Model_runner.run_model ~arch B.spacefusion (mk count)).Runtime.Model_runner.m_latency in
+  let l count = latency (Runtime.Model_runner.run_model ~arch B.spacefusion (mk count)) in
   Alcotest.(check bool) "x2" true (Float.abs ((2.0 *. l 1) -. l 2) < 1e-12)
 
 (* ------------------------------------------------------------------ *)
@@ -93,12 +99,14 @@ let test_plan_cache () =
   let r1 = Runtime.Model_runner.run_model ~cache ~arch B.spacefusion bert in
   Alcotest.(check int) "first model: all misses" 0 (Runtime.Plan_cache.hits cache);
   Alcotest.(check int) "four distinct subprograms" 4 (Runtime.Plan_cache.misses cache);
+  Alcotest.(check int) "result reports the misses" 4 r1.Runtime.Model_runner.m_cache_misses;
+  Alcotest.(check int) "result reports no hits" 0 r1.Runtime.Model_runner.m_cache_hits;
   let r1b = Runtime.Model_runner.run_model ~cache ~arch B.spacefusion bert in
   Alcotest.(check int) "rerun: all hits" 4 (Runtime.Plan_cache.hits cache);
-  Alcotest.(check (float 1e-12)) "cached result identical" r1.Runtime.Model_runner.m_latency
-    r1b.Runtime.Model_runner.m_latency;
-  Alcotest.(check bool) "cached compile is near-free" true
-    (r1b.Runtime.Model_runner.m_compile_s < r1.Runtime.Model_runner.m_compile_s /. 10.0);
+  Alcotest.(check int) "rerun result reports the hits" 4 r1b.Runtime.Model_runner.m_cache_hits;
+  Alcotest.(check (float 1e-12)) "cached result identical" (latency r1) (latency r1b);
+  Alcotest.(check (float 0.0)) "cached compile time is zero" 0.0
+    r1b.Runtime.Model_runner.m_compile_s;
   (* Albert's blocks are identical shapes but a different name prefix:
      tensor names are baked into plans, so these are misses by design. *)
   ignore (Runtime.Model_runner.run_model ~cache ~arch B.spacefusion albert);

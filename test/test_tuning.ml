@@ -36,7 +36,7 @@ let signature (c : SF.compiled) =
 let sim_time arch (c : SF.compiled) =
   let device = Gpu.Device.create () in
   (Runtime.Runner.run_plan ~arch ~dispatch_us:3.0 device c.SF.c_plan)
-    .Runtime.Runner.r_time
+    .Runtime.Exec_stats.x_time
 
 let test_parallel_matches_serial () =
   List.iter
