@@ -620,6 +620,124 @@ let obs () =
       exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Serving runtime: throughput and tail latency vs worker count (JSON) *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives lib/serve with a mixed closed-loop storm at 1, 2 and 4 worker
+   domains: ~70% of requests replay a small warm set over a pre-warmed
+   Plan_cache (cache hits, coalescing under concurrency) and ~30% are
+   cold — each a uniquely-named model whose SpaceFusion compile (~tens of
+   ms) is the heavy, parallelizable unit the worker pool exists for.
+   Reports throughput, p50/p99 latency and the warm-path share (requests
+   served without a fresh compile: plan-cache hits plus coalesced
+   followers). Accounting conservation, zero failures and the >50%
+   warm-path share are hard gates; the 1->4 scaling ratio is reported
+   alongside the machine's core count and only meaningful when cores > 1
+   (on a single-core host extra domains can only add GC-sync overhead). *)
+let serve_bench () =
+  let arch = Gpu.Arch.ampere in
+  let backends = [ B.pytorch; B.cublas; B.cublaslt ] in
+  let one name g =
+    { Ir.Models.model_name = name; subprograms = [ { Ir.Models.sp_name = "g"; graph = g; count = 1 } ] }
+  in
+  let size = if !quick then 128 else 256 in
+  let models =
+    [
+      one "ln" (Ir.Models.layernorm_graph ~m:size ~n:size);
+      one "rms" (Ir.Models.rmsnorm_graph ~m:size ~n:size);
+      one "softmax" (Ir.Models.softmax_graph ~m:size ~n:size);
+      one "mlp" (Ir.Models.mlp ~layers:2 ~m:(size / 4) ~n:128 ~k:128);
+      one "sm-gemm" (Ir.Models.softmax_gemm ~m:(size / 4) ~l:128 ~n:64);
+      one "bn" (Ir.Models.batchnorm_graph ~m:size ~n:size);
+    ]
+  in
+  let cold_graph = Ir.Models.layernorm_graph ~m:size ~n:size in
+  let n = if !quick then 120 else 300 in
+  let serve_cache = Runtime.Plan_cache.create () in
+  (* Warm-up: compile every (model, backend) combination once, outside the
+     measured window, so the storms run entirely on the warm path. *)
+  let warm = Serve.Server.start ~cache:serve_cache ~config:{ (Serve.Server.default_config ()) with Serve.Server.workers = 2 } () in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun b ->
+          match Serve.Server.await (Serve.Server.submit warm ~arch b m) with
+          | Serve.Server.Done _ -> ()
+          | _ ->
+              Printf.eprintf "serve: warm-up request not served\n";
+              exit 1)
+        backends)
+    models;
+  Serve.Server.shutdown warm;
+  let storm workers =
+    let cfg =
+      { (Serve.Server.default_config ()) with Serve.Server.workers; queue_capacity = n }
+    in
+    let s = Serve.Server.start ~cache:serve_cache ~config:cfg () in
+    let rng = Random.State.make [| 42; workers |] in
+    let misses0 = Runtime.Plan_cache.misses serve_cache in
+    let t0 = Unix.gettimeofday () in
+    let tickets =
+      List.init n (fun i ->
+          if i mod 10 < 3 then
+            (* Cold 30%: unique model name -> guaranteed plan-cache miss;
+               the SpaceFusion compile is this request's real work. *)
+            Serve.Server.submit s ~arch B.spacefusion
+              (one (Printf.sprintf "cold-w%d-%d" workers i) cold_graph)
+          else
+            let m = List.nth models (Random.State.int rng (List.length models)) in
+            let b = List.nth backends (Random.State.int rng (List.length backends)) in
+            Serve.Server.submit s ~arch b m)
+    in
+    List.iter
+      (fun tk ->
+        match Serve.Server.await tk with
+        | Serve.Server.Done _ -> ()
+        | _ ->
+            Printf.eprintf "serve: storm request not served (workers=%d)\n" workers;
+            exit 1)
+      tickets;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Serve.Server.shutdown s;
+    let st = Serve.Server.stats s in
+    if not (Serve.Stats.conserved st) || st.Serve.Stats.s_failed > 0 then begin
+      Printf.eprintf "serve: accounting violated (workers=%d): %s\n" workers
+        (Format.asprintf "%a" Serve.Stats.pp_snapshot st);
+      exit 1
+    end;
+    let lat = Serve.Server.latencies s in
+    let miss_requests = Runtime.Plan_cache.misses serve_cache - misses0 in
+    let warm_share = float_of_int (st.Serve.Stats.s_done - miss_requests) /. float_of_int st.Serve.Stats.s_done in
+    ( workers,
+      float_of_int st.Serve.Stats.s_done /. elapsed,
+      Serve.Stats.percentile lat 50.0 *. 1e3,
+      Serve.Stats.percentile lat 99.0 *. 1e3,
+      st.Serve.Stats.s_coalesced,
+      warm_share )
+  in
+  let rows = List.map storm [ 1; 2; 4 ] in
+  let row_json (w, thr, p50, p99, coalesced, share) =
+    Printf.sprintf
+      "{\"workers\":%d,\"throughput_rps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"coalesced\":%d,\"warm_share\":%.3f}"
+      w thr p50 p99 coalesced share
+  in
+  let thr_of (_, thr, _, _, _, _) = thr in
+  let scaling = thr_of (List.nth rows 2) /. thr_of (List.hd rows) in
+  let min_share =
+    List.fold_left (fun acc (_, _, _, _, _, share) -> Float.min acc share) infinity rows
+  in
+  Printf.printf
+    "{\"experiment\":\"serve\",\"requests_per_run\":%d,\"cores\":%d,\"rows\":[\n%s\n],\n\"scaling_1_to_4\":%.2f,\"min_warm_share\":%.3f}\n"
+    n
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" (List.map row_json rows))
+    scaling min_share;
+  if min_share < 0.5 then begin
+    Printf.eprintf "serve: warm-path share %.3f below 0.5 — cache/coalescing not engaging\n" min_share;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Differential verification gate                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -694,6 +812,7 @@ let experiments =
     ("ablate", "Design-choice ablations (early-quit α, buffer pooling)", ablate);
     ("sched", "Scheduler throughput: serial vs parallel auto-tuning (JSON)", sched);
     ("obs", "Observability: tracing overhead + profile export (JSON)", obs);
+    ("serve", "Serving runtime: throughput & tail latency vs workers (JSON)", serve_bench);
     ("verify", "Differential verification: fuzz + seeded-defect corpus gate (JSON)", verify);
     ("bechamel", "Compiler micro-benchmarks", bechamel_compile);
   ]

@@ -3,6 +3,7 @@
      spacefusion compile --workload mha --seq 512    # show schedule & kernels
      spacefusion run --workload layernorm --rows 2048 # verify + simulate
      spacefusion bench --workload mha --arch hopper  # compare backends
+     spacefusion serve --rps 200 --duration 5        # serving-load report
      spacefusion verify --budget 100                  # differential fuzzing
      spacefusion patterns                             # Table-6 style census *)
 
@@ -327,6 +328,137 @@ let verify_cmd =
           graph, and run the seeded-defect corpus gate. Exits 1 on any divergence.")
     Term.(const run $ arch_opt $ budget $ seed $ max_nodes $ json)
 
+(* serve ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  (* Open-loop load generator over lib/serve: paced mixed-model traffic at
+     a target rate for a fixed duration, then a JSON load report (config,
+     request accounting, throughput, latency percentiles, plan-cache
+     counters). Exits 1 when the accounting conservation law is violated
+     or any request failed — scripts/ci.sh uses a short run of this as the
+     serving smoke gate. *)
+  let run arch rps duration workers deadline_ms capacity seed pretty =
+    let backends =
+      [ Backends.Baselines.pytorch; Backends.Baselines.cublas; Backends.Baselines.cublaslt ]
+    in
+    let one name g =
+      { Ir.Models.model_name = name; subprograms = [ { Ir.Models.sp_name = "g"; graph = g; count = 1 } ] }
+    in
+    let models =
+      [
+        one "ln" (Ir.Models.layernorm_graph ~m:128 ~n:128);
+        one "rms" (Ir.Models.rmsnorm_graph ~m:128 ~n:128);
+        one "softmax" (Ir.Models.softmax_graph ~m:128 ~n:128);
+        one "mlp" (Ir.Models.mlp ~layers:2 ~m:32 ~n:128 ~k:128);
+        one "sm-gemm" (Ir.Models.softmax_gemm ~m:32 ~l:128 ~n:64);
+        one "bn" (Ir.Models.batchnorm_graph ~m:128 ~n:128);
+      ]
+    in
+    let cache = Runtime.Plan_cache.create () in
+    let config =
+      { (Serve.Server.default_config ()) with Serve.Server.workers; queue_capacity = capacity }
+    in
+    let s = Serve.Server.start ~cache ~config () in
+    let rng = Random.State.make [| seed |] in
+    let deadline_s = Option.map (fun ms -> ms /. 1e3) deadline_ms in
+    let period = 1.0 /. float_of_int (max 1 rps) in
+    let t0 = Unix.gettimeofday () in
+    let rec drive count tickets =
+      let elapsed = Unix.gettimeofday () -. t0 in
+      if elapsed >= duration then (count, tickets)
+      else begin
+        let m = List.nth models (Random.State.int rng (List.length models)) in
+        let b = List.nth backends (Random.State.int rng (List.length backends)) in
+        let tk = Serve.Server.submit s ?deadline_s ~arch b m in
+        let next = t0 +. (float_of_int (count + 1) *. period) in
+        let now = Unix.gettimeofday () in
+        if next > now then Unix.sleepf (next -. now);
+        drive (count + 1) (tk :: tickets)
+      end
+    in
+    let submitted, tickets = drive 0 [] in
+    List.iter (fun tk -> ignore (Serve.Server.await tk)) tickets;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Serve.Server.shutdown s;
+    let st = Serve.Server.stats s in
+    let lat = Serve.Server.latencies s in
+    let p q = Serve.Stats.percentile lat q *. 1e3 in
+    let json =
+      Obs.Json.Obj
+        [
+          ( "config",
+            Obs.Json.Obj
+              [
+                ("arch", Obs.Json.Str arch.Gpu.Arch.name);
+                ("rps", Obs.Json.Num (float_of_int rps));
+                ("duration_s", Obs.Json.Num duration);
+                ("workers", Obs.Json.Num (float_of_int workers));
+                ( "deadline_ms",
+                  match deadline_ms with Some ms -> Obs.Json.Num ms | None -> Obs.Json.Null );
+                ("queue_capacity", Obs.Json.Num (float_of_int capacity));
+                ("seed", Obs.Json.Num (float_of_int seed));
+              ] );
+          ("requests", Serve.Stats.snapshot_to_json st);
+          ("elapsed_s", Obs.Json.Num elapsed);
+          ("throughput_rps", Obs.Json.Num (float_of_int st.Serve.Stats.s_done /. elapsed));
+          ( "latency_ms",
+            Obs.Json.Obj
+              [ ("p50", Obs.Json.Num (p 50.0)); ("p90", Obs.Json.Num (p 90.0)); ("p99", Obs.Json.Num (p 99.0)) ] );
+          ( "plan_cache",
+            Obs.Json.Obj
+              [
+                ("hits", Obs.Json.Num (float_of_int (Runtime.Plan_cache.hits cache)));
+                ("misses", Obs.Json.Num (float_of_int (Runtime.Plan_cache.misses cache)));
+              ] );
+        ]
+    in
+    if pretty then begin
+      Format.printf "%a@." Serve.Stats.pp_snapshot st;
+      Format.printf "throughput: %.1f req/s  p50 %.2f ms  p99 %.2f ms@."
+        (float_of_int st.Serve.Stats.s_done /. elapsed)
+        (p 50.0) (p 99.0)
+    end
+    else print_endline (Obs.Json.to_string json);
+    if submitted <> st.Serve.Stats.s_submitted || not (Serve.Stats.conserved st) then begin
+      Printf.eprintf "serve: request accounting violated\n";
+      exit 1
+    end;
+    if st.Serve.Stats.s_failed > 0 then begin
+      Printf.eprintf "serve: %d request(s) failed\n" st.Serve.Stats.s_failed;
+      exit 1
+    end
+  in
+  let rps = Arg.(value & opt int 200 & info [ "rps" ] ~doc:"target request rate per second") in
+  let duration =
+    Arg.(value & opt float 5.0 & info [ "duration" ] ~doc:"seconds to keep submitting")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt int (Core.Parallel.default_jobs ())
+      & info [ "workers" ] ~doc:"worker domains (default: SPACEFUSION_JOBS or the core count)")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~doc:"per-request deadline; expired backlog entries time out")
+  in
+  let capacity =
+    Arg.(value & opt int 256 & info [ "queue-capacity" ] ~doc:"admission queue bound")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"traffic-mix seed") in
+  let pretty =
+    Arg.(value & flag & info [ "pretty" ] ~doc:"human-readable summary instead of JSON")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the concurrent serving runtime under paced mixed-model load and emit a JSON load \
+          report; exits 1 on accounting violations or failed requests")
+    Term.(
+      const run $ arch_arg $ rps $ duration $ workers $ deadline_ms $ capacity $ seed $ pretty)
+
 (* patterns --------------------------------------------------------------- *)
 
 let patterns_cmd =
@@ -353,4 +485,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ explain_cmd; compile_cmd; run_cmd; bench_cmd; profile_cmd; verify_cmd; patterns_cmd ]))
+          [
+            explain_cmd; compile_cmd; run_cmd; bench_cmd; profile_cmd; serve_cmd; verify_cmd;
+            patterns_cmd;
+          ]))

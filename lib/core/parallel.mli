@@ -31,6 +31,22 @@ val inside_worker : unit -> bool
     domain's own work loop). Nested {!map} calls use this to degrade to
     serial execution. *)
 
+val as_worker : (unit -> 'a) -> 'a
+(** [as_worker f] runs [f] with the calling domain marked as a pool worker
+    (restoring the previous mark afterwards, also on raise), so every
+    {!map} reached from [f] degrades to serial execution. Long-lived
+    domains that are themselves a parallelism axis — the serve runtime's
+    request workers — run their work loop under this so a request's
+    compile cannot multiply domain pools underneath them. *)
+
+val helper_slots : unit -> int
+(** Helper-domain slots currently free in the process-wide spawn budget.
+    Every {!map} call draws its helpers from this budget (non-blocking: a
+    call granted fewer slots than [jobs - 1] runs the remainder itself),
+    so concurrent pools from independent domains can never exceed the
+    OCaml runtime's live-domain cap nor block each other. Exposed for the
+    regression tests, which assert the budget is conserved. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map. Work is distributed by atomic
     work-stealing over the items, so uneven item costs balance across

@@ -61,17 +61,22 @@ let evict_over_capacity t =
         | None -> ()
       done
 
+let key_of (backend : Backends.Policy.t) arch ~name graph =
+  {
+    k_backend = backend.be_name;
+    k_arch = arch.Gpu.Arch.name;
+    k_name = name;
+    k_graph = Digest.string (Ir.Parse.to_dsl graph);
+  }
+
+let mem t backend arch ~name graph =
+  let key = key_of backend arch ~name graph in
+  locked t (fun () -> Hashtbl.mem t.table key)
+
 let compile_hit t (backend : Backends.Policy.t) arch ~name graph =
   (* Hash the canonical DSL outside the lock: it is the expensive part of
      the key, and it needs no cache state. *)
-  let key =
-    {
-      k_backend = backend.be_name;
-      k_arch = arch.Gpu.Arch.name;
-      k_name = name;
-      k_graph = Digest.string (Ir.Parse.to_dsl graph);
-    }
-  in
+  let key = key_of backend arch ~name graph in
   (* Single-flight: the first domain to miss a key claims it in [pending]
      and compiles outside the lock; domains racing on the same key wait on
      [filled] and are served the winner's plan as a hit — the expensive

@@ -35,6 +35,12 @@ val compile_hit :
     result). {!Model_runner} uses this to attribute compile wall-clock only
     to lookups that actually compiled. *)
 
+val mem : t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> bool
+(** Whether a plan for this key is resident right now. Pure probe: no LRU
+    touch, no hit/miss accounting, no compile. The serve runtime uses it
+    to decide whether a request known to blow its compile budget can still
+    take the fused path (another request has compiled it since). *)
+
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int

@@ -1,0 +1,34 @@
+type 'r t = {
+  lock : Mutex.t;
+  pending : (string, ('r -> unit) list ref) Hashtbl.t;  (* callbacks, newest first *)
+}
+
+let create () = { lock = Mutex.create (); pending = Hashtbl.create 16 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let join t ~key callback =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.pending key with
+      | None ->
+          Hashtbl.replace t.pending key (ref []);
+          `Leader
+      | Some followers ->
+          followers := callback :: !followers;
+          `Follower)
+
+let resolve t ~key r =
+  let followers =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.pending key with
+        | None -> invalid_arg "Serve.Coalesce.resolve: key is not in flight"
+        | Some followers ->
+            Hashtbl.remove t.pending key;
+            List.rev !followers)
+  in
+  List.iter (fun cb -> cb r) followers;
+  List.length followers
+
+let in_flight t = locked t (fun () -> Hashtbl.length t.pending)

@@ -1,0 +1,39 @@
+(** In-flight request coalescing (single-flight at the {e request} level).
+
+    {!Runtime.Plan_cache}'s single-flight already guarantees one compile
+    per distinct subprogram; this layer goes one step further and makes N
+    identical in-flight requests cost one {e run} end to end. The first
+    request to [join] a key becomes the leader and actually executes;
+    requests joining while the leader is in flight register a callback and
+    are {e not} executed — their worker moves straight on to the next
+    queue item, and the leader delivers the shared result to every
+    registered follower when it resolves the key.
+
+    Followers therefore never block a worker domain, which is what makes
+    the scheme deadlock-free by construction: no worker ever waits on
+    another worker's request.
+
+    Keys are opaque strings; the server derives them from a digest of
+    (model, architecture, policy) so "identical request" means the same
+    thing as a plan-cache hit, per the paper's repetitive-subprogram
+    observation (§5). *)
+
+type 'r t
+
+val create : unit -> 'r t
+
+val join : 'r t -> key:string -> ('r -> unit) -> [ `Leader | `Follower ]
+(** [`Leader]: the caller owns the key and {b must} eventually call
+    {!resolve} on it, on every path including failure (resolve with a
+    failure value). The leader's callback is not stored. [`Follower]: the
+    callback was registered and will run, on the leader's domain, when the
+    leader resolves. *)
+
+val resolve : 'r t -> key:string -> 'r -> int
+(** Release the key and deliver [r] to every registered follower, in
+    registration order; returns how many there were. Callbacks run outside
+    the internal lock (a callback may [join] again). Raises
+    [Invalid_argument] if the key is not in flight. *)
+
+val in_flight : 'r t -> int
+(** Keys currently owned by a leader. *)

@@ -1,0 +1,357 @@
+module Error = Core.Spacefusion.Error
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  priorities : int;
+  max_retries : int;
+  backoff_s : float;
+  backoff_cap_s : float;
+  compile_budget_s : float option;
+  clock : unit -> float;
+}
+
+let default_config () =
+  {
+    workers = Core.Parallel.default_jobs ();
+    queue_capacity = 256;
+    priorities = 2;
+    max_retries = 2;
+    backoff_s = 1e-3;
+    backoff_cap_s = 0.05;
+    compile_budget_s = None;
+    clock = Unix.gettimeofday;
+  }
+
+type response = {
+  r_result : Runtime.Model_runner.result;
+  r_latency_s : float;
+  r_queue_s : float;
+  r_coalesced : bool;
+  r_degraded : bool;
+  r_retries : int;
+}
+
+type outcome =
+  | Done of response
+  | Rejected of string
+  | Timed_out
+  | Failed of string
+
+type ticket = {
+  tk_lock : Mutex.t;
+  tk_cond : Condition.t;
+  mutable tk_outcome : outcome option;
+}
+
+type request = {
+  rq_arch : Gpu.Arch.t;
+  rq_backend : Backends.Policy.t;
+  rq_model : Ir.Models.model;
+  rq_submit_at : float;
+  rq_ticket : ticket;
+}
+
+(* What a coalescing leader hands to its followers: the shared serving
+   result, stripped of per-request metadata (each follower stamps its own
+   latency / coalesced flag when the callback delivers it). *)
+type served =
+  | S_done of Runtime.Model_runner.result * bool * int  (* result, degraded, retries *)
+  | S_rejected of string
+  | S_failed of string
+
+type t = {
+  cfg : config;
+  cache : Runtime.Plan_cache.t;
+  queue : request Queue.t;
+  coalesce : served Coalesce.t;
+  stats : Stats.t;
+  blown_lock : Mutex.t;
+  blown : (string, unit) Hashtbl.t;  (* request keys whose fused compile blew the budget *)
+  join_lock : Mutex.t;
+  mutable worker_domains : unit Domain.t list;
+}
+
+exception Budget_exceeded of float
+
+(* ------------------------------------------------------------------ *)
+(* Tickets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let new_ticket () =
+  { tk_lock = Mutex.create (); tk_cond = Condition.create (); tk_outcome = None }
+
+(* Returns whether this call was the resolving one, so terminal stats are
+   recorded exactly once per request no matter which path races here. *)
+let resolve_ticket tk outcome =
+  Mutex.lock tk.tk_lock;
+  let fresh = tk.tk_outcome = None in
+  if fresh then begin
+    tk.tk_outcome <- Some outcome;
+    Condition.broadcast tk.tk_cond
+  end;
+  Mutex.unlock tk.tk_lock;
+  fresh
+
+let await tk =
+  Mutex.lock tk.tk_lock;
+  let rec wait () =
+    match tk.tk_outcome with
+    | Some o -> o
+    | None ->
+        Condition.wait tk.tk_cond tk.tk_lock;
+        wait ()
+  in
+  let o = wait () in
+  Mutex.unlock tk.tk_lock;
+  o
+
+let peek tk =
+  Mutex.lock tk.tk_lock;
+  let o = tk.tk_outcome in
+  Mutex.unlock tk.tk_lock;
+  o
+
+(* ------------------------------------------------------------------ *)
+(* Outcome delivery                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let finish t rq outcome =
+  if resolve_ticket rq.rq_ticket outcome then begin
+    match outcome with
+    | Done r ->
+        Stats.record t.stats Stats.Done;
+        if r.r_degraded then Stats.record t.stats Stats.Degraded;
+        Stats.observe_latency t.stats ~queue_s:r.r_queue_s ~total_s:r.r_latency_s
+    | Rejected _ -> Stats.record t.stats Stats.Rejected
+    | Timed_out -> Stats.record t.stats Stats.Timed_out
+    | Failed _ -> Stats.record t.stats Stats.Failed
+  end
+
+let finish_served t rq ~queue_s ~coalesced = function
+  | S_done (result, degraded, retries) ->
+      let latency = Float.max 0.0 (t.cfg.clock () -. rq.rq_submit_at) in
+      finish t rq
+        (Done
+           {
+             r_result = result;
+             r_latency_s = latency;
+             r_queue_s = queue_s;
+             r_coalesced = coalesced;
+             r_degraded = degraded;
+             r_retries = retries;
+           })
+  | S_rejected msg -> finish t rq (Rejected msg)
+  | S_failed msg -> finish t rq (Failed msg)
+
+(* ------------------------------------------------------------------ *)
+(* Request identity                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Same identity a warm plan cache sees: policy, architecture and the
+   digest of every subprogram — two requests with equal keys are
+   interchangeable end to end, which is what licenses coalescing them. *)
+let request_key rq =
+  let b = Buffer.create 256 in
+  Buffer.add_string b rq.rq_backend.Backends.Policy.be_name;
+  Buffer.add_char b '\x00';
+  Buffer.add_string b rq.rq_arch.Gpu.Arch.name;
+  Buffer.add_char b '\x00';
+  Buffer.add_string b rq.rq_model.Ir.Models.model_name;
+  List.iter
+    (fun (sp : Ir.Models.subprogram) ->
+      Buffer.add_char b '\x00';
+      Buffer.add_string b sp.sp_name;
+      Buffer.add_string b (string_of_int sp.count);
+      Buffer.add_string b (Digest.string (Ir.Parse.to_dsl sp.graph)))
+    rq.rq_model.Ir.Models.subprograms;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ------------------------------------------------------------------ *)
+(* Serving one request (leader path)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mark_blown t key =
+  Mutex.lock t.blown_lock;
+  Hashtbl.replace t.blown key ();
+  Mutex.unlock t.blown_lock
+
+let is_blown t key =
+  Mutex.lock t.blown_lock;
+  let b = Hashtbl.mem t.blown key in
+  Mutex.unlock t.blown_lock;
+  b
+
+(* Every fused plan for this request already resident? Then the fused path
+   costs a table lookup even for a key that once blew its budget. *)
+let fused_ready t rq =
+  List.for_all
+    (fun (sp : Ir.Models.subprogram) ->
+      Runtime.Plan_cache.mem t.cache rq.rq_backend rq.rq_arch
+        ~name:(rq.rq_model.Ir.Models.model_name ^ "." ^ sp.sp_name)
+        sp.graph)
+    rq.rq_model.Ir.Models.subprograms
+
+(* The budget only bites on cache misses: hits never reach the policy's
+   [compile]. A tripped compile is abandoned mid-model (the claim is
+   released, nothing is cached for that subprogram) and the request falls
+   back to the baseline — like a serving tier killing a straggler. *)
+let budgeted t (b : Backends.Policy.t) =
+  match t.cfg.compile_budget_s with
+  | None -> b
+  | Some budget ->
+      {
+        b with
+        Backends.Policy.compile =
+          (fun arch ~name g ->
+            let t0 = t.cfg.clock () in
+            let plan = b.Backends.Policy.compile arch ~name g in
+            let dt = t.cfg.clock () -. t0 in
+            if dt > budget then raise (Budget_exceeded dt);
+            plan);
+      }
+
+let baseline_run t rq =
+  match
+    Runtime.Model_runner.run_model_r ~cache:t.cache ~arch:rq.rq_arch Backends.Baselines.pytorch
+      rq.rq_model
+  with
+  | Ok r -> `Served (r, true)
+  | Error e -> `Reject (Error.to_string e)
+  | exception e -> `Transient e
+
+let serve_once t rq ~key =
+  if is_blown t key && not (fused_ready t rq) then baseline_run t rq
+  else
+    match
+      Runtime.Model_runner.run_model_r ~cache:t.cache ~arch:rq.rq_arch
+        (budgeted t rq.rq_backend) rq.rq_model
+    with
+    | Ok r -> `Served (r, false)
+    | Error (Error.Unsupported _ as e) -> `Reject (Error.to_string e)
+    | Error (Error.Unschedulable _) -> baseline_run t rq
+    | exception Budget_exceeded _ ->
+        mark_blown t key;
+        baseline_run t rq
+    | exception e -> `Transient e
+
+let serve_with_retries t rq ~key =
+  let rec go attempt =
+    match serve_once t rq ~key with
+    | `Served (r, degraded) -> S_done (r, degraded, attempt)
+    | `Reject msg -> S_rejected msg
+    | `Transient e ->
+        if attempt >= t.cfg.max_retries then S_failed (Printexc.to_string e)
+        else begin
+          Stats.record t.stats Stats.Retried;
+          Unix.sleepf
+            (Float.min t.cfg.backoff_cap_s (t.cfg.backoff_s *. (2.0 ** float_of_int attempt)));
+          go (attempt + 1)
+        end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Worker loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let handle t (p : request Queue.popped) =
+  let rq = p.p_payload in
+  Obs.Trace.with_span
+    ~attrs:
+      [
+        ("model", rq.rq_model.Ir.Models.model_name);
+        ("backend", rq.rq_backend.Backends.Policy.be_name);
+        ("arch", rq.rq_arch.Gpu.Arch.name);
+      ]
+    "serve.request"
+  @@ fun () ->
+  let key = request_key rq in
+  let follower served = finish_served t rq ~queue_s:p.p_queued_s ~coalesced:true served in
+  match Coalesce.join t.coalesce ~key follower with
+  | `Follower ->
+      (* Registered onto the in-flight leader; this worker is free for the
+         next queue item, and the leader will deliver. *)
+      Stats.record t.stats Stats.Coalesced
+  | `Leader ->
+      let served =
+        try serve_with_retries t rq ~key with e -> S_failed (Printexc.to_string e)
+      in
+      ignore (Coalesce.resolve t.coalesce ~key served);
+      finish_served t rq ~queue_s:p.p_queued_s ~coalesced:false served
+
+let rec worker_loop t =
+  match Queue.pop t.queue with
+  | `Closed -> ()
+  | `Expired p ->
+      Stats.set_queue_depth t.stats (Queue.length t.queue);
+      finish t p.Queue.p_payload Timed_out;
+      worker_loop t
+  | `Item p ->
+      Stats.set_queue_depth t.stats (Queue.length t.queue);
+      handle t p;
+      worker_loop t
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let start ?cache ?config () =
+  let cfg = match config with Some c -> c | None -> default_config () in
+  let workers = max 1 (min 24 cfg.workers) in
+  let cfg = { cfg with workers } in
+  let t =
+    {
+      cfg;
+      cache = (match cache with Some c -> c | None -> Runtime.Plan_cache.create ());
+      queue =
+        Queue.create ~clock:cfg.clock ~priorities:cfg.priorities ~capacity:cfg.queue_capacity ();
+      coalesce = Coalesce.create ();
+      stats = Stats.create ();
+      blown_lock = Mutex.create ();
+      blown = Hashtbl.create 16;
+      join_lock = Mutex.create ();
+      worker_domains = [];
+    }
+  in
+  (* The request pool is the parallelism axis: workers run marked as pool
+     workers so a request's compile degrades to serial instead of spawning
+     a nested domain pool per worker (see Core.Parallel.as_worker). *)
+  t.worker_domains <-
+    List.init workers (fun _ ->
+        Domain.spawn (fun () -> Core.Parallel.as_worker (fun () -> worker_loop t)));
+  t
+
+let submit t ?(priority = 0) ?deadline_s ~arch backend model =
+  let tk = new_ticket () in
+  Stats.record t.stats Stats.Submitted;
+  let now = t.cfg.clock () in
+  let rq =
+    { rq_arch = arch; rq_backend = backend; rq_model = model; rq_submit_at = now; rq_ticket = tk }
+  in
+  let deadline = Option.map (fun d -> now +. d) deadline_s in
+  if Queue.push t.queue ~priority ?deadline rq then begin
+    Stats.record t.stats Stats.Admitted;
+    Stats.set_queue_depth t.stats (Queue.length t.queue)
+  end
+  else finish t rq (Rejected "queue full");
+  tk
+
+let stats t = Stats.snapshot t.stats
+let latencies t = Stats.latencies t.stats
+let queue_depth t = Queue.length t.queue
+
+let shutdown ?(drain = true) t =
+  Queue.close t.queue;
+  if not drain then
+    List.iter (fun (p : request Queue.popped) -> finish t p.p_payload (Rejected "shutdown"))
+    (Queue.flush t.queue);
+  let workers =
+    Mutex.lock t.join_lock;
+    let w = t.worker_domains in
+    t.worker_domains <- [];
+    Mutex.unlock t.join_lock;
+    w
+  in
+  List.iter Domain.join workers;
+  Stats.set_queue_depth t.stats 0

@@ -1,0 +1,102 @@
+(** Concurrent inference server over {!Runtime.Model_runner}.
+
+    The runtime the ROADMAP's "heavy traffic" north star needs on top of
+    the one-shot entry points: a bounded admission {!Queue} feeding a pool
+    of worker domains, each request compiled through a shared
+    {!Runtime.Plan_cache} (the paper's §5 repetitive-subprogram caching is
+    exactly what makes a serving workload cheap after warm-up) and
+    simulated on its own device.
+
+    Request lifecycle — every submitted request resolves to {e exactly
+    one} outcome:
+    - [Rejected] at admission when the queue is full or the server is
+      shutting down, or after admission when the (backend, arch) pair is
+      unsupported;
+    - [Timed_out] when its deadline passed while it sat in the backlog
+      (decided by the worker that dequeues it);
+    - [Done] with the shared result when it was served — possibly
+      coalesced onto an identical in-flight request ({!Coalesce}), and
+      possibly degraded;
+    - [Failed] when transient errors survived every retry.
+
+    Degradation: a fused compile that exceeds the configured budget is
+    abandoned (the request is served from the unfused
+    {!Backends.Baselines.pytorch} plan instead of failing), and the key is
+    remembered so later identical requests skip straight to the baseline —
+    unless the fused plans have meanwhile landed in the cache
+    ({!Runtime.Plan_cache.mem}), in which case the fused path is cheap
+    again. An [Unschedulable] fused compile degrades the same way.
+
+    Transient failures (any exception that is not a typed pipeline error
+    or the budget trip) are retried with capped exponential backoff.
+
+    Worker domains run under {!Core.Parallel.as_worker}: the pool of
+    requests is the parallelism axis, so a request's compile never spawns
+    a nested domain pool underneath a worker. *)
+
+type config = {
+  workers : int;  (** worker domains, clamped to [\[1, 24\]] *)
+  queue_capacity : int;
+  priorities : int;  (** admission classes, 0 = most urgent *)
+  max_retries : int;  (** transient-failure retries per request *)
+  backoff_s : float;  (** retry [k] sleeps [backoff_s * 2^k] ... *)
+  backoff_cap_s : float;  (** ... capped at this *)
+  compile_budget_s : float option;  (** per-subprogram fused-compile cap *)
+  clock : unit -> float;  (** injectable for deterministic tests *)
+}
+
+val default_config : unit -> config
+(** [workers = Core.Parallel.default_jobs ()] (so [SPACEFUSION_JOBS]
+    sizes the pool), [queue_capacity = 256], [priorities = 2],
+    [max_retries = 2], [backoff_s = 1e-3], [backoff_cap_s = 0.05],
+    [compile_budget_s = None], [clock = Unix.gettimeofday]. *)
+
+type response = {
+  r_result : Runtime.Model_runner.result;
+  r_latency_s : float;  (** submit to resolution, on the server clock *)
+  r_queue_s : float;  (** of which: backlog wait *)
+  r_coalesced : bool;  (** served by an identical in-flight request *)
+  r_degraded : bool;  (** served from the unfused baseline *)
+  r_retries : int;  (** transient-failure retries the serving run needed *)
+}
+
+type outcome =
+  | Done of response
+  | Rejected of string
+  | Timed_out
+  | Failed of string
+
+type t
+type ticket
+
+val start : ?cache:Runtime.Plan_cache.t -> ?config:config -> unit -> t
+(** Spawn the worker pool. Without [cache] the server creates its own
+    unbounded one; pass a shared cache to pool plans across servers (or
+    pre-warm it). *)
+
+val submit :
+  t ->
+  ?priority:int ->
+  ?deadline_s:float ->
+  arch:Gpu.Arch.t ->
+  Backends.Policy.t ->
+  Ir.Models.model ->
+  ticket
+(** Never blocks: either admits the request or resolves the ticket
+    [Rejected] immediately. [deadline_s] is relative to now. *)
+
+val await : ticket -> outcome
+(** Block until the request resolves. Idempotent. *)
+
+val peek : ticket -> outcome option
+
+val stats : t -> Stats.snapshot
+val latencies : t -> float list
+(** Submit-to-done latency of every [Done] request so far. *)
+
+val queue_depth : t -> int
+
+val shutdown : ?drain:bool -> t -> unit
+(** Stop admitting and join the workers. [drain] (default [true]) serves
+    the backlog first; [drain:false] resolves the backlog [Rejected].
+    Idempotent; in-flight requests always finish either way. *)

@@ -1,0 +1,154 @@
+type event =
+  | Submitted
+  | Admitted
+  | Rejected
+  | Timed_out
+  | Done
+  | Failed
+  | Coalesced
+  | Degraded
+  | Retried
+
+type snapshot = {
+  s_submitted : int;
+  s_admitted : int;
+  s_rejected : int;
+  s_timed_out : int;
+  s_done : int;
+  s_failed : int;
+  s_coalesced : int;
+  s_degraded : int;
+  s_retries : int;
+}
+
+type t = {
+  submitted : int Atomic.t;
+  admitted : int Atomic.t;
+  rejected : int Atomic.t;
+  timed_out : int Atomic.t;
+  done_ : int Atomic.t;
+  failed : int Atomic.t;
+  coalesced : int Atomic.t;
+  degraded : int Atomic.t;
+  retries : int Atomic.t;
+  lat_lock : Mutex.t;
+  mutable lat : float list;
+}
+
+(* Process-wide mirrors, shared by every server in the process. *)
+let m_submitted = lazy (Obs.Metrics.counter "serve.submitted")
+let m_admitted = lazy (Obs.Metrics.counter "serve.admitted")
+let m_rejected = lazy (Obs.Metrics.counter "serve.rejected")
+let m_timed_out = lazy (Obs.Metrics.counter "serve.timed_out")
+let m_done = lazy (Obs.Metrics.counter "serve.done")
+let m_failed = lazy (Obs.Metrics.counter "serve.failed")
+let m_coalesced = lazy (Obs.Metrics.counter "serve.coalesced")
+let m_degraded = lazy (Obs.Metrics.counter "serve.degraded")
+let m_retries = lazy (Obs.Metrics.counter "serve.retries")
+let m_queue_depth = lazy (Obs.Metrics.gauge "serve.queue_depth")
+let m_latency = lazy (Obs.Metrics.histogram "serve.latency_seconds")
+let m_queue_wait = lazy (Obs.Metrics.histogram "serve.queue_wait_seconds")
+
+let create () =
+  ignore (Lazy.force m_queue_depth);
+  ignore (Lazy.force m_latency);
+  ignore (Lazy.force m_queue_wait);
+  List.iter
+    (fun m -> ignore (Lazy.force m))
+    [
+      m_submitted; m_admitted; m_rejected; m_timed_out; m_done; m_failed; m_coalesced;
+      m_degraded; m_retries;
+    ];
+  {
+    submitted = Atomic.make 0;
+    admitted = Atomic.make 0;
+    rejected = Atomic.make 0;
+    timed_out = Atomic.make 0;
+    done_ = Atomic.make 0;
+    failed = Atomic.make 0;
+    coalesced = Atomic.make 0;
+    degraded = Atomic.make 0;
+    retries = Atomic.make 0;
+    lat_lock = Mutex.create ();
+    lat = [];
+  }
+
+let cell t = function
+  | Submitted -> (t.submitted, m_submitted)
+  | Admitted -> (t.admitted, m_admitted)
+  | Rejected -> (t.rejected, m_rejected)
+  | Timed_out -> (t.timed_out, m_timed_out)
+  | Done -> (t.done_, m_done)
+  | Failed -> (t.failed, m_failed)
+  | Coalesced -> (t.coalesced, m_coalesced)
+  | Degraded -> (t.degraded, m_degraded)
+  | Retried -> (t.retries, m_retries)
+
+let record t ev =
+  let local, global = cell t ev in
+  Atomic.incr local;
+  Obs.Metrics.incr (Lazy.force global)
+
+let observe_latency t ~queue_s ~total_s =
+  Obs.Metrics.observe (Lazy.force m_queue_wait) queue_s;
+  Obs.Metrics.observe (Lazy.force m_latency) total_s;
+  Mutex.lock t.lat_lock;
+  t.lat <- total_s :: t.lat;
+  Mutex.unlock t.lat_lock
+
+let set_queue_depth _t depth = Obs.Metrics.set (Lazy.force m_queue_depth) (float_of_int depth)
+
+let snapshot t =
+  {
+    s_submitted = Atomic.get t.submitted;
+    s_admitted = Atomic.get t.admitted;
+    s_rejected = Atomic.get t.rejected;
+    s_timed_out = Atomic.get t.timed_out;
+    s_done = Atomic.get t.done_;
+    s_failed = Atomic.get t.failed;
+    s_coalesced = Atomic.get t.coalesced;
+    s_degraded = Atomic.get t.degraded;
+    s_retries = Atomic.get t.retries;
+  }
+
+let conserved s = s.s_submitted = s.s_done + s.s_rejected + s.s_timed_out + s.s_failed
+
+let latencies t =
+  Mutex.lock t.lat_lock;
+  let l = t.lat in
+  Mutex.unlock t.lat_lock;
+  l
+
+let percentile xs p =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      a.(max 0 (min (n - 1) (rank - 1)))
+
+let snapshot_to_json s =
+  let num n = Obs.Json.Num (float_of_int n) in
+  Obs.Json.Obj
+    [
+      ("submitted", num s.s_submitted);
+      ("admitted", num s.s_admitted);
+      ("rejected", num s.s_rejected);
+      ("timed_out", num s.s_timed_out);
+      ("done", num s.s_done);
+      ("failed", num s.s_failed);
+      ("coalesced", num s.s_coalesced);
+      ("degraded", num s.s_degraded);
+      ("retries", num s.s_retries);
+      ("conserved", Obs.Json.Bool (conserved s));
+    ]
+
+let pp_snapshot fmt s =
+  Format.fprintf fmt
+    "submitted %d  admitted %d  done %d  rejected %d  timed_out %d  failed %d  coalesced %d  \
+     degraded %d  retries %d%s"
+    s.s_submitted s.s_admitted s.s_done s.s_rejected s.s_timed_out s.s_failed s.s_coalesced
+    s.s_degraded s.s_retries
+    (if conserved s then "" else "  (NOT CONSERVED)")

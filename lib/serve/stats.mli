@@ -1,0 +1,80 @@
+(** Per-server request accounting, mirrored into the process-wide
+    {!Obs.Metrics} registry under the [serve.*] namespace.
+
+    Every request resolves to exactly one terminal event, so the snapshot
+    obeys a conservation law ({!conserved}) that the stress suite and the
+    CI smoke gate assert:
+
+    {v submitted = done + rejected + timed_out + failed v}
+
+    Event taxonomy (one terminal event per request, plus annotations):
+    - [Submitted] — {!Serve.Server.submit} was called (counted always).
+    - [Admitted] — the request entered the queue (complement: an
+      admission-time [Rejected]).
+    - terminal: [Done] | [Rejected] (queue full, shutdown, or unsupported
+      backend/arch) | [Timed_out] (deadline passed in the backlog) |
+      [Failed] (retries exhausted).
+    - annotations (orthogonal to the terminal event): [Coalesced] (served
+      by a leader's in-flight run), [Degraded] (served from the unfused
+      baseline), [Retried] (one per retry attempt).
+
+    Global metric names: [serve.submitted], [serve.admitted],
+    [serve.rejected], [serve.timed_out], [serve.done], [serve.failed],
+    [serve.coalesced], [serve.degraded], [serve.retries] (counters);
+    [serve.queue_depth] (gauge); [serve.latency_seconds],
+    [serve.queue_wait_seconds] (histograms). The registry is process-wide
+    and additive across servers; per-server numbers come from
+    {!snapshot}. *)
+
+type t
+
+type event =
+  | Submitted
+  | Admitted
+  | Rejected
+  | Timed_out
+  | Done
+  | Failed
+  | Coalesced
+  | Degraded
+  | Retried
+
+type snapshot = {
+  s_submitted : int;
+  s_admitted : int;
+  s_rejected : int;
+  s_timed_out : int;
+  s_done : int;
+  s_failed : int;
+  s_coalesced : int;
+  s_degraded : int;
+  s_retries : int;
+}
+
+val create : unit -> t
+(** Also interns every [serve.*] metric so an idle server still shows them
+    at zero in a profile. *)
+
+val record : t -> event -> unit
+
+val observe_latency : t -> queue_s:float -> total_s:float -> unit
+(** Record one completed request's backlog wait and submit-to-done
+    latency, both into the global histograms and the per-server latency
+    list ({!latencies}). *)
+
+val set_queue_depth : t -> int -> unit
+
+val snapshot : t -> snapshot
+
+val conserved : snapshot -> bool
+(** [submitted = done + rejected + timed_out + failed]. *)
+
+val latencies : t -> float list
+(** Every latency passed to {!observe_latency}, unordered. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0, 100], by nearest-rank on a sorted
+    copy; 0 on the empty list. *)
+
+val snapshot_to_json : snapshot -> Obs.Json.t
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -21,6 +21,26 @@ dune exec bench/main.exe -- --quick --only verify > /dev/null
 # its own output and exit nonzero otherwise).
 dune exec bin/spacefusion_cli.exe -- profile bert --arch ampere --batch 1 --seq 64 --check > /dev/null
 
+# Serving smoke: a short paced run must emit a JSON load report whose
+# accounting conserves (the CLI exits nonzero on a violation or on any
+# failed request), and the report itself must declare zero failures.
+serve_out=$(mktemp)
+dune exec bin/spacefusion_cli.exe -- serve --duration 2 --rps 100 --workers 2 > "$serve_out"
+grep -q '"conserved":true' "$serve_out" || {
+    echo "ci: serve report not conserved" >&2; cat "$serve_out" >&2; exit 1; }
+grep -q '"failed":0' "$serve_out" || {
+    echo "ci: serve report has failures" >&2; cat "$serve_out" >&2; exit 1; }
+rm -f "$serve_out"
+
+# Serving soak: the seeded stress test must pass three consecutive runs
+# (same fixed seed each time, so a scheduling-dependent failure that
+# slips through once still has two more chances to surface — and any
+# failure names the seed for replay).
+for i in 1 2 3; do
+    SPACEFUSION_STRESS_SEED=42 dune exec test/test_serve_stress.exe > /dev/null 2>&1 || {
+        echo "ci: serve stress soak failed on run $i (seed 42)" >&2; exit 1; }
+done
+
 out1=$(mktemp) && out4=$(mktemp)
 trap 'rm -f "$out1" "$out4"' EXIT
 
@@ -49,4 +69,4 @@ if [ "$picks1" != "$picks4" ]; then
     exit 1
 fi
 
-echo "ci: OK (build, tests, and serial/parallel tuner picks identical)"
+echo "ci: OK (build, tests, serve smoke + 3x soak, serial/parallel tuner picks identical)"

@@ -496,6 +496,56 @@ let test_parallel_nested_in_worker_serial () =
   Alcotest.(check bool) "inner applications ran inside a worker" true
     (Atomic.get saw_worker)
 
+let test_parallel_as_worker_serial () =
+  (* as_worker marks the calling domain as a pool worker: maps issued under
+     it degrade to serial in-domain execution (the serving runtime relies
+     on this so a request's compile never spawns a nested pool per serve
+     worker), and the flag is restored on exit. *)
+  let self = Domain.self () in
+  Alcotest.(check bool) "not a worker outside" false (Parallel.inside_worker ());
+  let result =
+    Parallel.as_worker (fun () ->
+        Alcotest.(check bool) "marked inside" true (Parallel.inside_worker ());
+        Parallel.map
+          ~jobs:8
+          (fun i ->
+            Alcotest.(check bool) "ran in the calling domain" true (Domain.self () = self);
+            i * 2)
+          [ 1; 2; 3; 4 ])
+  in
+  Alcotest.(check (list int)) "serial map correct and ordered" [ 2; 4; 6; 8 ] result;
+  Alcotest.(check bool) "flag restored" false (Parallel.inside_worker ());
+  (* Restored even when the body raises. *)
+  (try Parallel.as_worker (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "flag restored after raise" false (Parallel.inside_worker ())
+
+let test_parallel_helper_budget () =
+  (* Regression for the serving runtime's crash mode: several independent
+     domains (serve workers used to be exactly this before as_worker) each
+     opening a Parallel.map at once must share the process-wide helper
+     budget — never racing past the OCaml runtime's domain cap — and every
+     slot must come back, including when a map raises. *)
+  let free0 = Parallel.helper_slots () in
+  let outer = 6 in
+  let domains =
+    List.init outer (fun d ->
+        Domain.spawn (fun () ->
+            Parallel.map ~jobs:16 (fun i -> (d * 100) + (i * i)) (List.init 32 Fun.id)))
+  in
+  let results = List.map Domain.join domains in
+  List.iteri
+    (fun d r ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "domain %d results intact" d)
+        (List.init 32 (fun i -> (d * 100) + (i * i)))
+        r)
+    results;
+  Alcotest.(check int) "all helper slots returned" free0 (Parallel.helper_slots ());
+  (* A failing map must also release what it took. *)
+  (try ignore (Parallel.map ~jobs:8 (fun i -> if i = 5 then failwith "boom" else i) (List.init 16 Fun.id))
+   with Failure _ -> ());
+  Alcotest.(check int) "slots returned after a failing map" free0 (Parallel.helper_slots ())
+
 let props =
   List.map QCheck_alcotest.to_alcotest [ prop_mha_fused_matches_reference; prop_schedules_fit_budget ]
 
@@ -561,6 +611,10 @@ let () =
             test_parallel_nested_with_jobs1;
           Alcotest.test_case "nested map in worker is serial" `Quick
             test_parallel_nested_in_worker_serial;
+          Alcotest.test_case "as_worker scope degrades maps to serial" `Quick
+            test_parallel_as_worker_serial;
+          Alcotest.test_case "cross-domain helper budget conserved" `Quick
+            test_parallel_helper_budget;
         ] );
       ("properties", props);
     ]

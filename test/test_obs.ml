@@ -123,6 +123,34 @@ let test_metrics_concurrency () =
   Obs.Metrics.incr c;
   Alcotest.(check int) "old handle still live after reset" 1 (Obs.Metrics.counter_value c)
 
+let test_histogram_parallel_consistency () =
+  (* 8 raw domains (twice the pool test above, and no Parallel harness in
+     between) hammer one histogram with integer-valued observations whose
+     aggregate is exactly representable in a float — so count, sum, min and
+     max must all be *exact* afterwards: a lost update, torn read or
+     non-atomic (count, sum) pair would show up as a wrong number, not as
+     rounding noise. *)
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.histogram "test.obs.histo8" in
+  let domains = 8 and per_domain = 5_000 in
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs.Metrics.observe h (float_of_int (((d * per_domain) + i) mod 100))
+            done))
+  in
+  List.iter Domain.join spawned;
+  match Obs.Metrics.find "test.obs.histo8" with
+  | Some (Obs.Metrics.Histogram { h_count; h_sum; h_min; h_max }) ->
+      Alcotest.(check int) "exact count" (domains * per_domain) h_count;
+      (* Every domain's residues mod 100 cover 0..99 in equal proportion:
+         40_000 observations -> 400 full cycles of sum 4950. *)
+      Alcotest.(check (float 0.0)) "exact sum" (float_of_int (domains * per_domain / 100 * 4950)) h_sum;
+      Alcotest.(check (float 0.0)) "exact min" 0.0 h_min;
+      Alcotest.(check (float 0.0)) "exact max" 99.0 h_max
+  | _ -> Alcotest.fail "histogram missing from registry"
+
 (* ------------------------------------------------------------------ *)
 (* Report JSON round-trip                                              *)
 (* ------------------------------------------------------------------ *)
@@ -186,6 +214,11 @@ let () =
           Alcotest.test_case "disabled hot path is allocation-free" `Quick test_disabled_no_alloc;
           Alcotest.test_case "nesting, attrs, aggregation" `Quick test_span_nesting_and_attrs;
         ] );
-      ("metrics", [ Alcotest.test_case "concurrent updates" `Quick test_metrics_concurrency ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "concurrent updates" `Quick test_metrics_concurrency;
+          Alcotest.test_case "histogram exact under 8 domains" `Quick
+            test_histogram_parallel_consistency;
+        ] );
       ("report", [ Alcotest.test_case "json round-trip" `Quick test_report_roundtrip ]);
     ]

@@ -136,6 +136,70 @@ let test_single_flight_same_key () =
   Alcotest.(check int) "losers served as hits" (n - 1) (PC.hits c);
   Alcotest.(check int) "one resident plan" 1 (PC.length c)
 
+let test_single_flight_eight_way () =
+  (* The serving runtime's regression shape: 8 worker domains (twice the
+     old test's pressure) race identical misses. All eight must be inside
+     the cache before the one claimed compile is allowed to finish, so
+     seven waiters demonstrably queue on the in-flight slot; everyone must
+     then share one physically identical plan. *)
+  let n = 8 in
+  let started = Atomic.make 0 in
+  let calls = Atomic.make 0 in
+  let b =
+    {
+      Policy.be_name = "slow-stub-8";
+      dispatch_us = 0.0;
+      supports = (fun _ -> true);
+      compile =
+        (fun arch ~name g ->
+          Atomic.incr calls;
+          while Atomic.get started < n do
+            Domain.cpu_relax ()
+          done;
+          Policy.compile_groups arch ~name g (Policy.singletons g));
+    }
+  in
+  let c = PC.create () in
+  let plans = Array.make n None in
+  let worker i () =
+    Atomic.incr started;
+    plans.(i) <- Some (PC.compile c b arch ~name:"m" g_a)
+  in
+  let domains = List.init n (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "single compile under 8-way race" 1 (Atomic.get calls);
+  Alcotest.(check int) "one miss" 1 (PC.misses c);
+  Alcotest.(check int) "seven waiters served as hits" (n - 1) (PC.hits c);
+  Alcotest.(check int) "one resident plan" 1 (PC.length c);
+  let first = Option.get plans.(0) in
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d shares the one plan" i)
+        true
+        (Option.get p == first))
+    plans
+
+let test_mem_probe () =
+  (* [mem] is a pure probe: it neither compiles, nor counts as a hit, nor
+     refreshes LRU recency — the serving runtime uses it to ask "is the
+     fused path cheap now?" without perturbing the cache. *)
+  let calls = Atomic.make 0 in
+  let b = stub calls in
+  let c = PC.create ~capacity:2 () in
+  Alcotest.(check bool) "absent before compile" false (PC.mem c b arch ~name:"m" g_a);
+  ignore (PC.compile c b arch ~name:"m" g_a);
+  Alcotest.(check bool) "present after compile" true (PC.mem c b arch ~name:"m" g_a);
+  Alcotest.(check bool) "name is part of the key" false (PC.mem c b arch ~name:"other" g_a);
+  Alcotest.(check (pair int int)) "probe counts neither hit nor miss" (0, 1)
+    (PC.hits c, PC.misses c);
+  (* Probing A must not refresh it: after B and C, A is the LRU victim. *)
+  ignore (PC.compile c b arch ~name:"m" g_b);
+  Alcotest.(check bool) "probe does not touch recency" true (PC.mem c b arch ~name:"m" g_a);
+  ignore (PC.compile c b arch ~name:"m" g_c);
+  Alcotest.(check bool) "A evicted despite the probe" false (PC.mem c b arch ~name:"m" g_a);
+  Alcotest.(check bool) "B survived" true (PC.mem c b arch ~name:"m" g_b)
+
 let test_failed_compile_releases_claim () =
   (* A compile that raises must release its in-flight claim, or the next
      lookup of that key would block forever on a slot that never fills. *)
@@ -171,6 +235,9 @@ let () =
           Alcotest.test_case "concurrent access smoke" `Quick test_concurrent_smoke;
           Alcotest.test_case "single flight on one key" `Quick
             test_single_flight_same_key;
+          Alcotest.test_case "single flight, 8 concurrent misses" `Quick
+            test_single_flight_eight_way;
+          Alcotest.test_case "mem is a pure probe" `Quick test_mem_probe;
           Alcotest.test_case "failed compile releases claim" `Quick
             test_failed_compile_releases_claim;
         ] );

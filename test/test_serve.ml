@@ -1,0 +1,453 @@
+(* Tests for the serving runtime: admission-queue invariants (capacity
+   bound, FIFO within priority, deadline expiry), request coalescing
+   (N identical in-flight requests -> one execution), and the server's
+   exactly-once outcome guarantee across the Done / Rejected / Timed_out /
+   Failed terminal states, including degrade and retry paths. *)
+
+module Q = Serve.Queue
+module Policy = Backends.Policy
+
+let arch = Gpu.Arch.ampere
+
+let model_of name g =
+  { Ir.Models.model_name = name; subprograms = [ { Ir.Models.sp_name = "g"; graph = g; count = 1 } ] }
+
+let ln n = model_of (Printf.sprintf "ln%d" n) (Ir.Models.layernorm_graph ~m:n ~n)
+
+(* A real compile behind a call counter and an optional gate, so tests can
+   hold a worker inside a compile deterministically. *)
+let stub ?(be_name = "stub") ?gate ?(fail_first = 0) calls =
+  let attempts = Atomic.make 0 in
+  {
+    Policy.be_name;
+    dispatch_us = 0.0;
+    supports = (fun _ -> true);
+    compile =
+      (fun arch ~name g ->
+        Atomic.incr calls;
+        (match gate with
+        | Some gate ->
+            while not (Atomic.get gate) do
+              Domain.cpu_relax ()
+            done
+        | None -> ());
+        if Atomic.fetch_and_add attempts 1 < fail_first then failwith "transient stub failure";
+        Policy.compile_groups arch ~name g (Policy.singletons g));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Queue                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_priority_fifo () =
+  let q = Q.create ~priorities:3 ~capacity:16 () in
+  Alcotest.(check bool) "push a1" true (Q.push q ~priority:1 "a1");
+  Alcotest.(check bool) "push a2" true (Q.push q ~priority:1 "a2");
+  Alcotest.(check bool) "push b1" true (Q.push q ~priority:0 "b1");
+  Alcotest.(check bool) "push c1" true (Q.push q ~priority:2 "c1");
+  Alcotest.(check bool) "push a3" true (Q.push q ~priority:1 "a3");
+  let popped () =
+    match Q.pop q with
+    | `Item p -> p.Q.p_payload
+    | `Expired _ -> Alcotest.fail "unexpected expiry"
+    | `Closed -> Alcotest.fail "unexpected close"
+  in
+  Alcotest.(check (list string))
+    "most urgent class first, FIFO within class"
+    [ "b1"; "a1"; "a2"; "a3"; "c1" ]
+    (List.init 5 (fun _ -> popped ()));
+  Q.close q;
+  Alcotest.(check bool) "push after close refused" false (Q.push q "late");
+  Alcotest.(check bool) "pop after close+empty" true (Q.pop q = `Closed)
+
+let test_queue_capacity () =
+  let q = Q.create ~capacity:3 () in
+  Alcotest.(check (list bool)) "fourth arrival refused"
+    [ true; true; true; false ]
+    (List.init 4 (fun i -> Q.push q i));
+  Alcotest.(check int) "backlog capped" 3 (Q.length q);
+  (match Q.pop q with `Item _ -> () | _ -> Alcotest.fail "expected an item");
+  Alcotest.(check bool) "slot freed" true (Q.push q 4);
+  (* Out-of-range priorities clamp instead of raising. *)
+  Alcotest.(check bool) "priority clamped high" false (Q.push q ~priority:99 5);
+  Alcotest.(check int) "still capped" 3 (Q.length q)
+
+let test_queue_deadline_expiry () =
+  let now = ref 0.0 in
+  let q = Q.create ~clock:(fun () -> !now) ~capacity:8 () in
+  Alcotest.(check bool) "push with deadline" true (Q.push q ~deadline:5.0 "d5");
+  Alcotest.(check bool) "push without deadline" true (Q.push q "live");
+  now := 10.0;
+  (match Q.pop q with
+  | `Expired p ->
+      Alcotest.(check string) "expired payload surfaced" "d5" p.Q.p_payload;
+      Alcotest.(check (float 1e-9)) "queued time measured on the fake clock" 10.0 p.Q.p_queued_s
+  | _ -> Alcotest.fail "deadline 5 at clock 10 must expire");
+  (match Q.pop q with
+  | `Item p -> Alcotest.(check string) "deadline-free item lives" "live" p.Q.p_payload
+  | _ -> Alcotest.fail "expected a live item");
+  Alcotest.(check bool) "fresh deadline not expired" true (Q.push q ~deadline:20.0 "d20");
+  match Q.pop q with
+  | `Item p -> Alcotest.(check string) "deadline in the future is live" "d20" p.Q.p_payload
+  | _ -> Alcotest.fail "deadline 20 at clock 10 must not expire"
+
+(* Model-based property: against a reference (array of FIFO queues), the
+   real queue accepts exactly when the model is under capacity, never
+   exceeds capacity, and pops in priority-then-FIFO order. *)
+let prop_queue_model =
+  QCheck.Test.make ~count:300 ~name:"queue model: capacity + priority-FIFO"
+    QCheck.(list (pair bool (int_bound 2)))
+    (fun ops ->
+      let cap = 4 in
+      let q = Q.create ~priorities:3 ~capacity:cap () in
+      let model = Array.init 3 (fun _ -> Stdlib.Queue.create ()) in
+      let mlen () = Array.fold_left (fun a c -> a + Stdlib.Queue.length c) 0 model in
+      let next = ref 0 in
+      List.for_all
+        (fun (is_push, prio) ->
+          if is_push then begin
+            let id = !next in
+            incr next;
+            let accepted = Q.push q ~priority:prio id in
+            let should = mlen () < cap in
+            if accepted then Stdlib.Queue.add id model.(prio);
+            accepted = should && Q.length q = mlen () && Q.length q <= cap
+          end
+          else if mlen () = 0 then true (* a pop would block; the op is a no-op *)
+          else
+            match Q.pop q with
+            | `Item p ->
+                let expected =
+                  let rec first i =
+                    if Stdlib.Queue.is_empty model.(i) then first (i + 1)
+                    else Stdlib.Queue.pop model.(i)
+                  in
+                  first 0
+                in
+                p.Q.p_payload = expected && Q.length q = mlen ()
+            | `Expired _ | `Closed -> false)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Coalesce                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_coalesce_single_flight () =
+  let c = Serve.Coalesce.create () in
+  let got = ref [] in
+  Alcotest.(check bool) "first join leads" true (Serve.Coalesce.join c ~key:"k" (fun _ -> ()) = `Leader);
+  Alcotest.(check int) "key in flight" 1 (Serve.Coalesce.in_flight c);
+  Alcotest.(check bool) "second join follows" true
+    (Serve.Coalesce.join c ~key:"k" (fun r -> got := ("f1", r) :: !got) = `Follower);
+  Alcotest.(check bool) "third join follows" true
+    (Serve.Coalesce.join c ~key:"k" (fun r -> got := ("f2", r) :: !got) = `Follower);
+  Alcotest.(check bool) "distinct key leads independently" true
+    (Serve.Coalesce.join c ~key:"other" (fun _ -> ()) = `Leader);
+  Alcotest.(check int) "two followers notified" 2 (Serve.Coalesce.resolve c ~key:"k" 42);
+  Alcotest.(check (list (pair string int))) "registration order preserved"
+    [ ("f1", 42); ("f2", 42) ] (List.rev !got);
+  Alcotest.(check int) "resolved key released" 1 (Serve.Coalesce.in_flight c);
+  Alcotest.(check bool) "released key can lead again" true
+    (Serve.Coalesce.join c ~key:"k" (fun _ -> ()) = `Leader);
+  Alcotest.check_raises "resolving an unowned key is a bug"
+    (Invalid_argument "Serve.Coalesce.resolve: key is not in flight") (fun () ->
+      ignore (Serve.Coalesce.resolve c ~key:"never" 0))
+
+let test_coalesce_concurrent () =
+  (* 8 domains race onto one key: exactly one leads; the leader holds the
+     result until every loser has registered, so all 7 are demonstrably
+     coalesced onto an in-flight execution. *)
+  let n = 8 in
+  let c = Serve.Coalesce.create () in
+  let followers = Atomic.make 0 in
+  let leaders = Atomic.make 0 in
+  let results = Array.make n (-1) in
+  let worker i () =
+    match Serve.Coalesce.join c ~key:"k" (fun r -> results.(i) <- r) with
+    | `Follower -> Atomic.incr followers
+    | `Leader ->
+        Atomic.incr leaders;
+        while Atomic.get followers < n - 1 do
+          Domain.cpu_relax ()
+        done;
+        results.(i) <- 42;
+        Alcotest.(check int) "leader delivered to all losers" (n - 1)
+          (Serve.Coalesce.resolve c ~key:"k" 42)
+  in
+  let domains = List.init n (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "exactly one leader" 1 (Atomic.get leaders);
+  Alcotest.(check int) "everyone else coalesced" (n - 1) (Atomic.get followers);
+  Array.iteri (fun i r -> Alcotest.(check int) (Printf.sprintf "slot %d served" i) 42 r) results;
+  Alcotest.(check int) "nothing left in flight" 0 (Serve.Coalesce.in_flight c)
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let config ?(workers = 2) ?(capacity = 64) ?budget ?(retries = 2) () =
+  {
+    (Serve.Server.default_config ()) with
+    Serve.Server.workers;
+    queue_capacity = capacity;
+    compile_budget_s = budget;
+    max_retries = retries;
+    backoff_s = 1e-6;
+    backoff_cap_s = 1e-5;
+  }
+
+let expect_done = function
+  | Serve.Server.Done r -> r
+  | Rejected m -> Alcotest.failf "rejected: %s" m
+  | Timed_out -> Alcotest.fail "timed out"
+  | Failed m -> Alcotest.failf "failed: %s" m
+
+let test_server_serves () =
+  let calls = Atomic.make 0 in
+  let b = stub calls in
+  let s = Serve.Server.start ~config:(config ()) () in
+  let tickets = List.init 5 (fun i -> Serve.Server.submit s ~arch b (ln (32 + (8 * i)))) in
+  let rs = List.map (fun tk -> expect_done (Serve.Server.await tk)) tickets in
+  Serve.Server.shutdown s;
+  List.iter
+    (fun (r : Serve.Server.response) ->
+      Alcotest.(check bool) "not degraded" false r.r_degraded;
+      Alcotest.(check bool) "latency covers the queue wait" true (r.r_latency_s >= r.r_queue_s))
+    rs;
+  let st = Serve.Server.stats s in
+  Alcotest.(check int) "all admitted" 5 st.Serve.Stats.s_admitted;
+  Alcotest.(check int) "all done" 5 st.Serve.Stats.s_done;
+  Alcotest.(check bool) "accounting conserved" true (Serve.Stats.conserved st);
+  Alcotest.(check int) "a latency per done request" 5 (List.length (Serve.Server.latencies s))
+
+let test_server_exactly_once_outcomes () =
+  (* One worker, capacity 2, leader held inside its compile: while it is
+     blocked we can fill the backlog (admitted), overflow it (rejected)
+     and park an already-expired request (timed out) — then release and
+     check every ticket resolved exactly once, conserving the counts. *)
+  let gate = Atomic.make false in
+  let calls = Atomic.make 0 in
+  let gated = stub ~be_name:"gated" ~gate calls in
+  let plain = stub (Atomic.make 0) in
+  let s = Serve.Server.start ~config:(config ~workers:1 ~capacity:2 ()) () in
+  let t_a = Serve.Server.submit s ~arch gated (ln 32) in
+  while Atomic.get calls < 1 do
+    Domain.cpu_relax ()
+  done;
+  (* Worker is inside A's compile; the queue is empty again. *)
+  let t_expired = Serve.Server.submit s ~deadline_s:(-1.0) ~arch plain (ln 40) in
+  let t_b = Serve.Server.submit s ~arch plain (ln 48) in
+  let t_over = Serve.Server.submit s ~arch plain (ln 56) in
+  (match Serve.Server.peek t_over with
+  | Some (Serve.Server.Rejected _) -> ()
+  | _ -> Alcotest.fail "overflow must reject immediately");
+  Atomic.set gate true;
+  ignore (expect_done (Serve.Server.await t_a));
+  (match Serve.Server.await t_expired with
+  | Serve.Server.Timed_out -> ()
+  | _ -> Alcotest.fail "expired-in-backlog request must time out");
+  ignore (expect_done (Serve.Server.await t_b));
+  Serve.Server.shutdown s;
+  (* Awaiting again returns the same outcome: resolution is sticky. *)
+  Alcotest.(check bool) "second await identical" true
+    (Serve.Server.await t_expired = Serve.Server.Timed_out);
+  let st = Serve.Server.stats s in
+  Alcotest.(check int) "submitted" 4 st.Serve.Stats.s_submitted;
+  Alcotest.(check int) "admitted" 3 st.Serve.Stats.s_admitted;
+  Alcotest.(check int) "done" 2 st.Serve.Stats.s_done;
+  Alcotest.(check int) "rejected" 1 st.Serve.Stats.s_rejected;
+  Alcotest.(check int) "timed out" 1 st.Serve.Stats.s_timed_out;
+  Alcotest.(check bool) "conserved" true (Serve.Stats.conserved st)
+
+let test_server_coalesces_identical () =
+  (* Leader blocked in its compile, three identical requests arrive: all
+     three must coalesce (observable before release), and the whole batch
+     must cost exactly one compile. *)
+  let gate = Atomic.make false in
+  let calls = Atomic.make 0 in
+  let gated = stub ~be_name:"gated" ~gate calls in
+  let m = ln 32 in
+  let s = Serve.Server.start ~config:(config ~workers:2 ()) () in
+  let tickets = List.init 4 (fun _ -> Serve.Server.submit s ~arch gated m) in
+  while (Serve.Server.stats s).Serve.Stats.s_coalesced < 3 do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set gate true;
+  let rs = List.map (fun tk -> expect_done (Serve.Server.await tk)) tickets in
+  Serve.Server.shutdown s;
+  Alcotest.(check int) "one compile for four requests" 1 (Atomic.get calls);
+  Alcotest.(check int) "exactly one leader" 1
+    (List.length (List.filter (fun (r : Serve.Server.response) -> not r.r_coalesced) rs));
+  List.iter
+    (fun (r : Serve.Server.response) ->
+      if r.r_coalesced then
+        Alcotest.(check bool) "followers share the leader's result" true
+          (r.r_result == (List.find (fun (l : Serve.Server.response) -> not l.r_coalesced) rs).r_result))
+    rs;
+  let st = Serve.Server.stats s in
+  Alcotest.(check int) "all four done" 4 st.Serve.Stats.s_done;
+  Alcotest.(check int) "three coalesced" 3 st.Serve.Stats.s_coalesced;
+  Alcotest.(check bool) "conserved" true (Serve.Stats.conserved st)
+
+let test_server_degrades_on_budget () =
+  (* A compile that overruns its budget is abandoned and the request is
+     served from the unfused baseline; the key is remembered, so the next
+     identical request skips the doomed compile entirely. *)
+  let calls = Atomic.make 0 in
+  let slow =
+    {
+      Policy.be_name = "slow";
+      dispatch_us = 0.0;
+      supports = (fun _ -> true);
+      compile =
+        (fun arch ~name g ->
+          Atomic.incr calls;
+          Unix.sleepf 0.02;
+          Policy.compile_groups arch ~name g (Policy.singletons g));
+    }
+  in
+  let m = ln 32 in
+  let s = Serve.Server.start ~config:(config ~workers:1 ~budget:0.001 ()) () in
+  let r1 = expect_done (Serve.Server.await (Serve.Server.submit s ~arch slow m)) in
+  let r2 = expect_done (Serve.Server.await (Serve.Server.submit s ~arch slow m)) in
+  Serve.Server.shutdown s;
+  Alcotest.(check bool) "first request degraded" true r1.Serve.Server.r_degraded;
+  Alcotest.(check bool) "second request degraded" true r2.Serve.Server.r_degraded;
+  Alcotest.(check int) "doomed compile attempted exactly once" 1 (Atomic.get calls);
+  let st = Serve.Server.stats s in
+  Alcotest.(check int) "both served" 2 st.Serve.Stats.s_done;
+  Alcotest.(check int) "both degraded" 2 st.Serve.Stats.s_degraded;
+  Alcotest.(check int) "nothing failed" 0 st.Serve.Stats.s_failed
+
+let test_server_degrades_on_unschedulable () =
+  let b =
+    {
+      Policy.be_name = "unsched";
+      dispatch_us = 0.0;
+      supports = (fun _ -> true);
+      compile = (fun _ ~name:_ _ -> raise (Core.Spacefusion.Unschedulable "no schedule"));
+    }
+  in
+  let s = Serve.Server.start ~config:(config ~workers:1 ()) () in
+  let r = expect_done (Serve.Server.await (Serve.Server.submit s ~arch b (ln 32))) in
+  Serve.Server.shutdown s;
+  Alcotest.(check bool) "served from the baseline" true r.Serve.Server.r_degraded;
+  Alcotest.(check int) "degrade recorded" 1 (Serve.Server.stats s).Serve.Stats.s_degraded
+
+let test_server_rejects_unsupported () =
+  let b = { (stub (Atomic.make 0)) with Policy.be_name = "volta-only"; supports = (fun _ -> false) } in
+  let s = Serve.Server.start ~config:(config ~workers:1 ()) () in
+  let tk = Serve.Server.submit s ~arch b (ln 32) in
+  (match Serve.Server.await tk with
+  | Serve.Server.Rejected msg ->
+      Alcotest.(check bool) "names the backend" true
+        (Astring.String.is_infix ~affix:"volta-only" msg)
+  | _ -> Alcotest.fail "unsupported (backend, arch) must reject");
+  Serve.Server.shutdown s;
+  Alcotest.(check bool) "conserved" true (Serve.Stats.conserved (Serve.Server.stats s))
+
+let test_server_retries_transient () =
+  let calls = Atomic.make 0 in
+  let flaky = stub ~be_name:"flaky" ~fail_first:2 calls in
+  let s = Serve.Server.start ~config:(config ~workers:1 ~retries:2 ()) () in
+  let r = expect_done (Serve.Server.await (Serve.Server.submit s ~arch flaky (ln 32))) in
+  Serve.Server.shutdown s;
+  Alcotest.(check int) "two retries recorded on the response" 2 r.Serve.Server.r_retries;
+  Alcotest.(check int) "three attempts" 3 (Atomic.get calls);
+  let st = Serve.Server.stats s in
+  Alcotest.(check int) "retry counter" 2 st.Serve.Stats.s_retries;
+  Alcotest.(check int) "no failure" 0 st.Serve.Stats.s_failed
+
+let test_server_fails_after_retry_budget () =
+  let calls = Atomic.make 0 in
+  let doomed = stub ~be_name:"doomed" ~fail_first:max_int calls in
+  let s = Serve.Server.start ~config:(config ~workers:1 ~retries:1 ()) () in
+  (match Serve.Server.await (Serve.Server.submit s ~arch doomed (ln 32)) with
+  | Serve.Server.Failed msg ->
+      Alcotest.(check bool) "carries the exception" true
+        (Astring.String.is_infix ~affix:"transient stub failure" msg)
+  | _ -> Alcotest.fail "exhausted retries must fail");
+  Serve.Server.shutdown s;
+  Alcotest.(check int) "initial attempt + one retry" 2 (Atomic.get calls);
+  let st = Serve.Server.stats s in
+  Alcotest.(check int) "failure recorded" 1 st.Serve.Stats.s_failed;
+  Alcotest.(check bool) "conserved" true (Serve.Stats.conserved st)
+
+let test_server_shutdown_no_drain () =
+  (* Non-draining shutdown fails the backlog explicitly instead of
+     serving it; the in-flight request still completes. *)
+  let gate = Atomic.make false in
+  let calls = Atomic.make 0 in
+  let gated = stub ~be_name:"gated" ~gate calls in
+  let plain = stub (Atomic.make 0) in
+  let s = Serve.Server.start ~config:(config ~workers:1 ()) () in
+  let t_a = Serve.Server.submit s ~arch gated (ln 32) in
+  while Atomic.get calls < 1 do
+    Domain.cpu_relax ()
+  done;
+  let t_b = Serve.Server.submit s ~arch plain (ln 40) in
+  let t_c = Serve.Server.submit s ~arch plain (ln 48) in
+  (* shutdown joins the gated worker, so release the gate once the backlog
+     has been flushed (both tickets resolved). *)
+  let opener =
+    Domain.spawn (fun () ->
+        while Serve.Server.peek t_b = None || Serve.Server.peek t_c = None do
+          Domain.cpu_relax ()
+        done;
+        Atomic.set gate true)
+  in
+  Serve.Server.shutdown ~drain:false s;
+  Domain.join opener;
+  ignore (expect_done (Serve.Server.await t_a));
+  (match (Serve.Server.await t_b, Serve.Server.await t_c) with
+  | Serve.Server.Rejected m1, Serve.Server.Rejected m2 ->
+      Alcotest.(check (pair string string)) "backlog failed as shutdown" ("shutdown", "shutdown")
+        (m1, m2)
+  | _ -> Alcotest.fail "flushed backlog must reject");
+  let st = Serve.Server.stats s in
+  Alcotest.(check int) "one served" 1 st.Serve.Stats.s_done;
+  Alcotest.(check int) "two rejected" 2 st.Serve.Stats.s_rejected;
+  Alcotest.(check bool) "conserved" true (Serve.Stats.conserved st)
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Serve.Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p99" 99.0 (Serve.Stats.percentile xs 99.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Serve.Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Serve.Stats.percentile [] 50.0);
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (Serve.Stats.percentile [ 7.0 ] 99.0)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_queue_model ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "queue",
+        [
+          Alcotest.test_case "priority FIFO" `Quick test_queue_priority_fifo;
+          Alcotest.test_case "capacity bound" `Quick test_queue_capacity;
+          Alcotest.test_case "deadline expiry" `Quick test_queue_deadline_expiry;
+        ] );
+      ( "coalesce",
+        [
+          Alcotest.test_case "single flight" `Quick test_coalesce_single_flight;
+          Alcotest.test_case "8-way concurrent join" `Quick test_coalesce_concurrent;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "serves distinct requests" `Quick test_server_serves;
+          Alcotest.test_case "exactly-once outcomes" `Quick test_server_exactly_once_outcomes;
+          Alcotest.test_case "coalesces identical in-flight" `Quick
+            test_server_coalesces_identical;
+          Alcotest.test_case "degrades on compile budget" `Quick test_server_degrades_on_budget;
+          Alcotest.test_case "degrades on unschedulable" `Quick
+            test_server_degrades_on_unschedulable;
+          Alcotest.test_case "rejects unsupported" `Quick test_server_rejects_unsupported;
+          Alcotest.test_case "retries transient failures" `Quick test_server_retries_transient;
+          Alcotest.test_case "fails after retry budget" `Quick
+            test_server_fails_after_retry_budget;
+          Alcotest.test_case "non-draining shutdown" `Quick test_server_shutdown_no_drain;
+        ] );
+      ("stats", [ Alcotest.test_case "percentile" `Quick test_percentile ]);
+      ("properties", props);
+    ]

@@ -1,0 +1,158 @@
+(* Bounded soak for the serving runtime: 4 worker domains, >= 1k mixed
+   requests (models x backends x priorities x deadlines) through a shared
+   Plan_cache, submitted from the main domain with backpressure engaged.
+   Asserts the accounting conservation law against both the server's own
+   counters and an independent per-ticket tally, that nothing fails, that
+   a captured Obs profile validates with the serve.request span present,
+   and that a second server reusing the warmed shared cache serves every
+   (model, backend) combination without a single compile miss.
+
+   Deterministic load plan: seeded PRNG, SPACEFUSION_STRESS_SEED overrides
+   the seed, and every assertion message names it so a failure is
+   reproducible. *)
+
+let seed =
+  match Sys.getenv_opt "SPACEFUSION_STRESS_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 42)
+  | None -> 42
+
+let check msg = Alcotest.(check bool) (Printf.sprintf "[seed=%d] %s" seed msg) true
+
+let arch = Gpu.Arch.ampere
+let backends = [ Backends.Baselines.pytorch; Backends.Baselines.cublas; Backends.Baselines.cublaslt ]
+
+let models =
+  let one name g = { Ir.Models.model_name = name; subprograms = [ { Ir.Models.sp_name = "g"; graph = g; count = 1 } ] } in
+  [
+    one "ln" (Ir.Models.layernorm_graph ~m:32 ~n:64);
+    one "rms" (Ir.Models.rmsnorm_graph ~m:32 ~n:64);
+    one "softmax" (Ir.Models.softmax_graph ~m:32 ~n:64);
+    one "mlp" (Ir.Models.mlp ~layers:2 ~m:16 ~n:32 ~k:32);
+    one "sm-gemm" (Ir.Models.softmax_gemm ~m:16 ~l:32 ~n:32);
+    {
+      Ir.Models.model_name = "two-sp";
+      subprograms =
+        [
+          { Ir.Models.sp_name = "a"; graph = Ir.Models.layernorm_graph ~m:16 ~n:32; count = 2 };
+          { Ir.Models.sp_name = "b"; graph = Ir.Models.softmax_graph ~m:16 ~n:32; count = 1 };
+        ];
+    };
+  ]
+
+let config workers =
+  {
+    (Serve.Server.default_config ()) with
+    Serve.Server.workers;
+    queue_capacity = 64;
+    priorities = 3;
+  }
+
+let classify = function
+  | Serve.Server.Done r -> `Done r
+  | Serve.Server.Rejected _ -> `Rejected
+  | Serve.Server.Timed_out -> `Timed_out
+  | Serve.Server.Failed msg -> `Failed msg
+
+let test_soak () =
+  Obs.Metrics.reset ();
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  Fun.protect ~finally:(fun () -> Obs.Trace.set_enabled false) @@ fun () ->
+  let rng = Random.State.make [| seed |] in
+  let cache = Runtime.Plan_cache.create () in
+  let s = Serve.Server.start ~cache ~config:(config 4) () in
+  (* Deterministic warm-up prefix: every (model, backend) combination once,
+     so phase 2 can demand an all-hit cache regardless of what the random
+     storm happens to draw. *)
+  let warm =
+    List.concat_map (fun m -> List.map (fun b -> Serve.Server.submit s ~arch b m) backends) models
+  in
+  List.iter
+    (fun tk ->
+      match classify (Serve.Server.await tk) with
+      | `Done _ -> ()
+      | `Failed msg -> Alcotest.failf "[seed=%d] warm-up failed: %s" seed msg
+      | `Rejected | `Timed_out -> Alcotest.failf "[seed=%d] warm-up not served" seed)
+    warm;
+  (* Random storm: 1200 mixed requests. ~3%% carry an already-expired
+     deadline (guaranteed Timed_out when admitted); submission outpaces
+     4 workers at times, so admission rejections exercise backpressure. *)
+  let n = 1200 in
+  let tickets =
+    List.init n (fun i ->
+        if i mod 50 = 0 then Unix.sleepf 0.001;
+        let m = List.nth models (Random.State.int rng (List.length models)) in
+        let b = List.nth backends (Random.State.int rng (List.length backends)) in
+        let priority = Random.State.int rng 3 in
+        let deadline_s = if Random.State.int rng 100 < 3 then Some (-1.0) else None in
+        Serve.Server.submit s ~priority ?deadline_s ~arch b m)
+  in
+  let done_ = ref 0 and rejected = ref 0 and timed_out = ref 0 and failed = ref 0 in
+  List.iter
+    (fun tk ->
+      match classify (Serve.Server.await tk) with
+      | `Done r ->
+          incr done_;
+          check "latency covers queue wait" Serve.Server.(r.r_latency_s >= r.r_queue_s)
+      | `Rejected -> incr rejected
+      | `Timed_out -> incr timed_out
+      | `Failed msg -> incr failed; Printf.eprintf "[seed=%d] failure: %s\n%!" seed msg)
+    tickets;
+  Serve.Server.shutdown s;
+  let st = Serve.Server.stats s in
+  let total = List.length warm + n in
+  (* The server's counters, an independent per-ticket tally, and the
+     conservation law must all agree. *)
+  check "conserved" (Serve.Stats.conserved st);
+  Alcotest.(check int) (Printf.sprintf "[seed=%d] submitted" seed) total st.Serve.Stats.s_submitted;
+  Alcotest.(check int)
+    (Printf.sprintf "[seed=%d] done agrees with tickets" seed)
+    (!done_ + List.length warm) st.Serve.Stats.s_done;
+  Alcotest.(check int) (Printf.sprintf "[seed=%d] rejected agrees" seed) !rejected
+    st.Serve.Stats.s_rejected;
+  Alcotest.(check int) (Printf.sprintf "[seed=%d] timed_out agrees" seed) !timed_out
+    st.Serve.Stats.s_timed_out;
+  Alcotest.(check int) (Printf.sprintf "[seed=%d] nothing failed" seed) 0 (!failed + st.Serve.Stats.s_failed);
+  Alcotest.(check int)
+    (Printf.sprintf "[seed=%d] one latency per done request" seed)
+    st.Serve.Stats.s_done
+    (List.length (Serve.Server.latencies s));
+  check "backlog empty after shutdown" (Serve.Server.queue_depth s = 0);
+  (* Draining shutdown: every admitted request ends Done or Timed_out —
+     nothing is dropped, nothing is double-counted. (How MANY get admitted
+     vs rejected depends on machine load; the invariants do not.) *)
+  Alcotest.(check int)
+    (Printf.sprintf "[seed=%d] admitted all terminate via the queue" seed)
+    st.Serve.Stats.s_admitted
+    (st.Serve.Stats.s_done + st.Serve.Stats.s_timed_out);
+  check "storm served a meaningful batch" (st.Serve.Stats.s_done > List.length warm);
+  (* The captured profile must be structurally valid and contain the
+     serve.request span recorded from the worker domains. *)
+  (match
+     Obs.Report.validate ~required_spans:[ "serve.request" ]
+       (Obs.Report.to_json (Obs.Report.capture ()))
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "[seed=%d] profile validation: %s" seed e);
+  (* Phase 2: a fresh server over the same Plan_cache serves every
+     combination entirely from cached plans. *)
+  let s2 = Serve.Server.start ~cache ~config:(config 2) () in
+  let again =
+    List.concat_map (fun m -> List.map (fun b -> (m, b, Serve.Server.submit s2 ~arch b m)) backends) models
+  in
+  List.iter
+    (fun ((m : Ir.Models.model), (b : Backends.Policy.t), tk) ->
+      match classify (Serve.Server.await tk) with
+      | `Done r ->
+          Alcotest.(check int)
+            (Printf.sprintf "[seed=%d] %s/%s all plans cached" seed m.model_name
+               b.Backends.Policy.be_name)
+            0 r.Serve.Server.r_result.Runtime.Model_runner.m_cache_misses
+      | _ -> Alcotest.failf "[seed=%d] warmed request not served" seed)
+    again;
+  Serve.Server.shutdown s2;
+  check "second server conserved" (Serve.Stats.conserved (Serve.Server.stats s2))
+
+let () =
+  Alcotest.run "serve-stress"
+    [ ("soak", [ Alcotest.test_case "4 domains x 1k+ mixed requests" `Quick test_soak ]) ]
