@@ -738,6 +738,97 @@ let serve_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: goodput and tail latency under injected device faults (JSON) *)
+(* ------------------------------------------------------------------ *)
+
+(* Closed-loop storms against lib/serve at increasing seeded fault rates
+   (0 / 0.1% / 1% / 5% of kernel launches), all on one shared pre-warmed
+   plan cache so the rate-0 row is the fault-free baseline of the same
+   workload. Reports goodput (done/submitted), throughput, latency
+   percentiles, degradations, retries and breaker trips per rate. Gates:
+   accounting conservation at every rate, and goodput >= 0.9 up to the 1%
+   rate — the self-healing ladder (retry, reroute, degrade) must absorb
+   realistic fault levels without dropping requests. *)
+let chaos_bench () =
+  let arch = Gpu.Arch.ampere in
+  let backend = B.spacefusion in
+  let one name g =
+    { Ir.Models.model_name = name; subprograms = [ { Ir.Models.sp_name = "g"; graph = g; count = 1 } ] }
+  in
+  let models =
+    [
+      one "ln" (Ir.Models.layernorm_graph ~m:128 ~n:128);
+      one "rms" (Ir.Models.rmsnorm_graph ~m:128 ~n:128);
+      one "softmax" (Ir.Models.softmax_graph ~m:128 ~n:128);
+      one "mlp" (Ir.Models.mlp ~layers:2 ~m:32 ~n:128 ~k:128);
+      one "sm-gemm" (Ir.Models.softmax_gemm ~m:32 ~l:128 ~n:64);
+      one "bn" (Ir.Models.batchnorm_graph ~m:128 ~n:128);
+    ]
+  in
+  let n = if !quick then 120 else 300 in
+  let chaos_cache = Runtime.Plan_cache.create () in
+  let counter name =
+    match Obs.Metrics.find name with Some (Obs.Metrics.Counter c) -> c | _ -> 0
+  in
+  let storm rate =
+    let fault_plan =
+      if rate <= 0.0 then None
+      else Some (Fault.Plan.make ~rates:(Fault.Plan.storm ~rate ()) ~seed:11 ())
+    in
+    let cfg =
+      {
+        (Serve.Server.default_config ()) with
+        Serve.Server.workers = 2;
+        queue_capacity = n;
+        max_retries = 3;
+        backoff_s = 1e-4;
+        backoff_cap_s = 1e-3;
+        fault_plan;
+        breaker = { Serve.Breaker.threshold = 2; cooldown_s = 1e-3 };
+      }
+    in
+    let s = Serve.Server.start ~cache:chaos_cache ~config:cfg () in
+    let opened0 = counter "breaker.opened" in
+    let t0 = Unix.gettimeofday () in
+    let tickets =
+      List.init n (fun i ->
+          Serve.Server.submit s ~arch backend (List.nth models (i mod List.length models)))
+    in
+    List.iter (fun tk -> ignore (Serve.Server.await tk)) tickets;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Serve.Server.shutdown s;
+    let st = Serve.Server.stats s in
+    if not (Serve.Stats.conserved st) then begin
+      Printf.eprintf "chaos: accounting violated (rate=%g): %s\n" rate
+        (Format.asprintf "%a" Serve.Stats.pp_snapshot st);
+      exit 1
+    end;
+    let goodput = float_of_int st.Serve.Stats.s_done /. float_of_int st.Serve.Stats.s_submitted in
+    if rate <= 0.01 && goodput < 0.9 then begin
+      Printf.eprintf "chaos: goodput %.3f below 0.9 at fault rate %g\n" goodput rate;
+      exit 1
+    end;
+    let lat = Serve.Server.latencies s in
+    ( rate,
+      goodput,
+      float_of_int st.Serve.Stats.s_done /. elapsed,
+      Serve.Stats.percentile lat 50.0 *. 1e3,
+      Serve.Stats.percentile lat 99.0 *. 1e3,
+      st.Serve.Stats.s_degraded,
+      st.Serve.Stats.s_retries,
+      counter "breaker.opened" - opened0 )
+  in
+  let rows = List.map storm [ 0.0; 0.001; 0.01; 0.05 ] in
+  let row_json (rate, goodput, thr, p50, p99, degraded, retries, trips) =
+    Printf.sprintf
+      "{\"fault_rate\":%g,\"goodput\":%.3f,\"throughput_rps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"degraded\":%d,\"retries\":%d,\"breaker_trips\":%d}"
+      rate goodput thr p50 p99 degraded retries trips
+  in
+  Printf.printf "{\"experiment\":\"chaos\",\"requests_per_rate\":%d,\"seed\":11,\"rows\":[\n%s\n]}\n"
+    n
+    (String.concat ",\n" (List.map row_json rows))
+
+(* ------------------------------------------------------------------ *)
 (* Differential verification gate                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -813,6 +904,7 @@ let experiments =
     ("sched", "Scheduler throughput: serial vs parallel auto-tuning (JSON)", sched);
     ("obs", "Observability: tracing overhead + profile export (JSON)", obs);
     ("serve", "Serving runtime: throughput & tail latency vs workers (JSON)", serve_bench);
+    ("chaos", "Chaos: goodput & tail latency under injected faults (JSON)", chaos_bench);
     ("verify", "Differential verification: fuzz + seeded-defect corpus gate (JSON)", verify);
     ("bechamel", "Compiler micro-benchmarks", bechamel_compile);
   ]

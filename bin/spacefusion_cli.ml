@@ -459,6 +459,196 @@ let serve_cmd =
     Term.(
       const run $ arch_arg $ rps $ duration $ workers $ deadline_ms $ capacity $ seed $ pretty)
 
+(* chaos ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  (* Seeded fault storm over lib/serve: every serving attempt runs under a
+     deterministic Fault.Plan, the fused path under a hair-trigger circuit
+     breaker (threshold 1, zero cooldown), so the run exercises the whole
+     self-healing ladder — retry, reroute, degrade, trip, probe, close —
+     and its outcome counts are a pure function of the seed. The default
+     shape (one worker, no deadlines, queue as large as the request count)
+     removes every clock dependence from the terminal accounting, which is
+     what lets scripts/ci.sh diff two same-seed runs byte-for-byte. *)
+  let run arch requests rate seed workers retries floor require_recovery check pretty =
+    let one name g =
+      { Ir.Models.model_name = name; subprograms = [ { Ir.Models.sp_name = "g"; graph = g; count = 1 } ] }
+    in
+    let models =
+      [
+        one "ln" (Ir.Models.layernorm_graph ~m:128 ~n:128);
+        one "rms" (Ir.Models.rmsnorm_graph ~m:128 ~n:128);
+        one "softmax" (Ir.Models.softmax_graph ~m:128 ~n:128);
+        one "mlp" (Ir.Models.mlp ~layers:2 ~m:32 ~n:128 ~k:128);
+        one "sm-gemm" (Ir.Models.softmax_gemm ~m:32 ~l:128 ~n:64);
+        one "bn" (Ir.Models.batchnorm_graph ~m:128 ~n:128);
+      ]
+    in
+    let backend = Backends.Baselines.spacefusion in
+    Obs.Metrics.reset ();
+    if check then begin
+      Obs.Trace.set_enabled true;
+      Obs.Trace.reset ()
+    end;
+    let plan = Fault.Plan.make ~rates:(Fault.Plan.storm ~rate ()) ~seed () in
+    let config =
+      {
+        (Serve.Server.default_config ()) with
+        Serve.Server.workers;
+        queue_capacity = requests;
+        max_retries = retries;
+        backoff_s = 1e-4;
+        backoff_cap_s = 1e-3;
+        fault_plan = Some plan;
+        breaker = { Serve.Breaker.threshold = 1; cooldown_s = 0.0 };
+      }
+    in
+    let cache = Runtime.Plan_cache.create () in
+    let s = Serve.Server.start ~cache ~config () in
+    let t0 = Unix.gettimeofday () in
+    let tickets =
+      List.init requests (fun i ->
+          Serve.Server.submit s ~arch backend (List.nth models (i mod List.length models)))
+    in
+    List.iter (fun tk -> ignore (Serve.Server.await tk)) tickets;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Serve.Server.shutdown s;
+    let st = Serve.Server.stats s in
+    let lat = Serve.Server.latencies s in
+    let p q = Serve.Stats.percentile lat q *. 1e3 in
+    let counter name =
+      match Obs.Metrics.find name with Some (Obs.Metrics.Counter n) -> n | _ -> 0
+    in
+    let goodput =
+      if st.Serve.Stats.s_submitted = 0 then 1.0
+      else float_of_int st.Serve.Stats.s_done /. float_of_int st.Serve.Stats.s_submitted
+    in
+    let opened = counter "breaker.opened" and closed = counter "breaker.closed" in
+    let recovery = opened >= 1 && counter "breaker.half_opened" >= 1 && closed >= 1 in
+    let num n = Obs.Json.Num (float_of_int n) in
+    let json =
+      Obs.Json.Obj
+        [
+          ( "config",
+            Obs.Json.Obj
+              [
+                ("arch", Obs.Json.Str arch.Gpu.Arch.name);
+                ("requests", num requests);
+                ("fault_rate", Obs.Json.Num rate);
+                ("seed", num seed);
+                ("workers", num workers);
+                ("max_retries", num retries);
+              ] );
+          (* The deterministic heart of the report: scripts/ci.sh diffs
+             these two objects across same-seed runs. *)
+          ("outcomes", Serve.Stats.snapshot_to_json st);
+          ( "faults",
+            Obs.Json.Obj
+              [
+                ("injected", num (counter "fault.injected"));
+                ("launch_failures", num (counter "fault.launch_failures"));
+                ("device_errors", num (counter "fault.device_errors"));
+                ("device_deaths", num (counter "fault.device_deaths"));
+                ("smem_evictions", num (counter "fault.smem_evictions"));
+                ("latency_spikes", num (counter "fault.latency_spikes"));
+              ] );
+          ( "breaker",
+            Obs.Json.Obj
+              [
+                ("opened", num opened);
+                ("half_opened", num (counter "breaker.half_opened"));
+                ("closed", num closed);
+                ("short_circuits", num (counter "breaker.short_circuits"));
+                ("probes", num (counter "breaker.probes"));
+                ("trips", num (Serve.Server.breaker_trips s ~arch backend));
+                ("recovered", Obs.Json.Bool recovery);
+              ] );
+          ("goodput", Obs.Json.Num goodput);
+          ("elapsed_s", Obs.Json.Num elapsed);
+          ( "latency_ms",
+            Obs.Json.Obj [ ("p50", Obs.Json.Num (p 50.0)); ("p99", Obs.Json.Num (p 99.0)) ] );
+        ]
+    in
+    if pretty then begin
+      Format.printf "%a@." Serve.Stats.pp_snapshot st;
+      Format.printf
+        "faults injected %d  goodput %.3f  breaker opened %d / closed %d%s  p99 %.2f ms@."
+        (counter "fault.injected") goodput opened closed
+        (if recovery then " (recovered)" else "")
+        (p 99.0)
+    end
+    else print_endline (Obs.Json.to_string json);
+    if st.Serve.Stats.s_submitted <> requests || not (Serve.Stats.conserved st) then begin
+      Printf.eprintf "chaos: request accounting violated\n";
+      exit 1
+    end;
+    if goodput < floor then begin
+      Printf.eprintf "chaos: goodput %.3f below floor %.3f\n" goodput floor;
+      exit 1
+    end;
+    if require_recovery && not recovery then begin
+      Printf.eprintf "chaos: no breaker open -> half-open -> closed recovery observed\n";
+      exit 1
+    end;
+    if check then begin
+      let report = Obs.Report.capture () in
+      let rejson = Obs.Report.to_json report in
+      match Obs.Json.parse (Obs.Json.to_string rejson) with
+      | Error msg ->
+          Printf.eprintf "chaos --check: emitted report does not parse: %s\n" msg;
+          exit 1
+      | Ok j -> (
+          match Obs.Report.validate ~required_spans:[ "serve.request" ] j with
+          | Ok () -> prerr_endline "chaos --check: OK"
+          | Error msg ->
+              Printf.eprintf "chaos --check: %s\n" msg;
+              exit 1)
+    end
+  in
+  let requests =
+    Arg.(value & opt int 400 & info [ "requests"; "n" ] ~doc:"requests to submit")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.01
+      & info [ "rate" ] ~doc:"total per-launch fault probability, split across the taxonomy")
+  in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"fault-plan seed; fixes the whole storm") in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ]
+          ~doc:"worker domains (keep 1 for deterministic outcome counts)")
+  in
+  let retries = Arg.(value & opt int 3 & info [ "max-retries" ] ~doc:"transient-failure retries") in
+  let floor =
+    Arg.(value & opt float 0.9 & info [ "goodput-floor" ] ~doc:"minimum done/submitted ratio")
+  in
+  let require_recovery =
+    Arg.(
+      value & flag
+      & info [ "require-recovery" ]
+          ~doc:"also exit 1 unless a breaker completed an open -> half-open -> closed cycle")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"trace the run and validate the emitted Obs report (serve.request spans present)")
+  in
+  let pretty =
+    Arg.(value & flag & info [ "pretty" ] ~doc:"human-readable summary instead of JSON")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Seeded fault storm over the serving runtime: deterministic fault injection, circuit \
+          breakers and degradation under load; JSON report; exits 1 on accounting violations or \
+          goodput below the floor")
+    Term.(
+      const run $ arch_arg $ requests $ rate $ seed $ workers $ retries $ floor $ require_recovery
+      $ check $ pretty)
+
 (* patterns --------------------------------------------------------------- *)
 
 let patterns_cmd =
@@ -486,6 +676,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            explain_cmd; compile_cmd; run_cmd; bench_cmd; profile_cmd; serve_cmd; verify_cmd;
-            patterns_cmd;
+            explain_cmd; compile_cmd; run_cmd; bench_cmd; profile_cmd; serve_cmd; chaos_cmd;
+            verify_cmd; patterns_cmd;
           ]))

@@ -1,0 +1,44 @@
+(** Per-execution fault injector: the stateful view of a {!Plan}.
+
+    One injector represents one execution stream — in the serving runtime,
+    one (request, attempt) pair, so a retry runs on a fresh stream exactly
+    like a rescheduled request lands on a fresh device. The injector
+    carries the launch counter, the latched dead flag ({!Plan.Device_death}
+    is persistent: once drawn, every later launch on this stream fails
+    fatally), and the latency multiplier of the most recent launch.
+
+    Cost when disabled: code paths take an [option] — with no injector
+    attached the only overhead is that [None] check, mirroring
+    {!Obs.Trace}'s disabled path. A plan with {!Plan.zero_rates} decides
+    [Pass] without hashing, so a zero-rate run is bit-identical to a
+    no-plan run.
+
+    Every injected fault is mirrored into {!Obs.Metrics} under [fault.*]:
+    [fault.injected] (total), [fault.launch_failures],
+    [fault.device_errors], [fault.device_deaths], [fault.smem_evictions]
+    (counters of raised faults, device deaths counted once at the fatal
+    draw and once per subsequent dead-stream launch), and
+    [fault.latency_spikes]. *)
+
+type t
+
+val create : Plan.t -> stream:int -> t
+val stream : t -> int
+
+val launches : t -> int
+(** Launches consulted so far (= the next launch's [seq]). *)
+
+val dead : t -> bool
+(** Whether a {!Plan.Device_death} has latched on this stream. *)
+
+val launch : t -> kernel:string -> unit
+(** Consult the plan for the next launch. Raises {!Plan.Injected} when the
+    launch faults (and latches {!dead} on a device death); otherwise
+    records the launch's latency multiplier for {!last_slowdown}. *)
+
+val last_slowdown : t -> float
+(** Latency multiplier decided by the most recent successful {!launch}
+    (1.0 unless that launch drew a latency spike). *)
+
+val faults : t -> int
+(** Faults this injector has raised. *)

@@ -1,8 +1,12 @@
 type entry = { eshape : Shape.t; mutable edata : float array option }
 
-type t = { tensors : (string, entry) Hashtbl.t }
+type t = { tensors : (string, entry) Hashtbl.t; mutable inj : Fault.Inject.t option }
 
-let create () = { tensors = Hashtbl.create 64 }
+let create () = { tensors = Hashtbl.create 64; inj = None }
+
+let attach_faults t inj = t.inj <- Some inj
+let detach_faults t = t.inj <- None
+let faults t = t.inj
 
 let declare t name shape =
   Shape.validate shape;

@@ -21,6 +21,13 @@ val ensure_data : t -> string -> float array
 (** The tensor's buffer, allocating zeros on first touch (for kernel
     outputs in full mode). *)
 
+val attach_faults : t -> Fault.Inject.t -> unit
+(** Attach a fault injector: subsequent kernel launches on this device
+    consult it (see {!Exec.run}) and may raise {!Fault.Plan.Injected}. *)
+
+val detach_faults : t -> unit
+val faults : t -> Fault.Inject.t option
+
 val names : t -> string list
 val footprint_bytes : t -> int
 (** Total declared bytes at FP16 accounting — the device-memory usage the

@@ -471,6 +471,11 @@ let run ?(mode = Full) ?arch device (k : Kernel.t) =
              (Printf.sprintf "kernel %s: %d B register tiles > %d B budget on %s" k.kname regs
                 a.regfile_bytes a.name))
   | None -> ());
+  (* A validated, in-budget kernel is what reaches the "hardware": this is
+     the launch point, so the fault injector (if any) decides here. *)
+  (match Device.faults device with
+  | Some inj -> Fault.Inject.launch inj ~kernel:k.kname
+  | None -> ());
   let acc = { gemm_flops = 0.0; simd_flops = 0.0; bytes = 0.0 } in
   (match mode with Full -> run_full device k acc | Analytic -> run_analytic device k acc);
   let reads, writes = transfers device k in

@@ -41,4 +41,10 @@ val run : ?mode:mode -> ?arch:Arch.t -> Device.t -> Kernel.t -> kstats
 (** Executes (or analyzes) one kernel. When [arch] is given, raises
     {!Resource_exceeded} if the kernel's shared-memory or register footprint
     exceeds the per-block budget — fused schedules must never reach the
-    "hardware" with an over-budget tile configuration. *)
+    "hardware" with an over-budget tile configuration.
+
+    If a fault injector is attached to [device] (see
+    {!Device.attach_faults}), the launch consults it after resource
+    validation and may raise {!Fault.Plan.Injected}; a latency-spike
+    decision instead leaves a multiplier in
+    [Fault.Inject.last_slowdown] for the timing layer to apply. *)

@@ -61,6 +61,10 @@ let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
 let counter_value c = Atomic.get c
 let set g v = Atomic.set g v
 
+let rec add g by =
+  let cur = Atomic.get g in
+  if not (Atomic.compare_and_set g cur (cur +. by)) then add g by
+
 let observe h v =
   Mutex.lock h.h_lock;
   h.hm_count <- h.hm_count + 1;

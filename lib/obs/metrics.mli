@@ -33,6 +33,11 @@ val histogram : string -> histogram
 val incr : ?by:int -> counter -> unit
 val counter_value : counter -> int
 val set : gauge -> float -> unit
+
+val add : gauge -> float -> unit
+(** Atomic relative update (CAS loop) — for gauges tracking a population
+    (e.g. open circuit breakers) rather than a sampled level. *)
+
 val observe : histogram -> float -> unit
 
 val snapshot : unit -> (string * value) list

@@ -17,7 +17,7 @@ let m_compile = lazy (Obs.Metrics.histogram "model.compile_seconds")
 (* Plans are cached across calls when [cache] is supplied: the paper's
    program-preprocessing compiles each distinct (repetitive) subprogram
    once, and e.g. Bert and Albert share every block. *)
-let run_model_r ?cache ~arch (backend : Backends.Policy.t) (model : Ir.Models.model) =
+let run_model_r ?cache ?inject ~arch (backend : Backends.Policy.t) (model : Ir.Models.model) =
   if not (backend.supports arch) then
     Error
       (Core.Spacefusion.Error.Unsupported
@@ -48,6 +48,7 @@ let run_model_r ?cache ~arch (backend : Backends.Policy.t) (model : Ir.Models.mo
             compile_s := !compile_s +. (Unix.gettimeofday () -. t0)
           end;
           let device = Gpu.Device.create () in
+          (match inject with Some inj -> Gpu.Device.attach_faults device inj | None -> ());
           let r = Runner.run_plan ~arch ~dispatch_us:backend.dispatch_us device plan in
           exec := Exec_stats.add !exec (Exec_stats.scale r sp.count))
         model.subprograms;
@@ -68,6 +69,16 @@ let run_model_r ?cache ~arch (backend : Backends.Policy.t) (model : Ir.Models.mo
     | r -> Ok r
     | exception Core.Spacefusion.Unschedulable msg ->
         Error (Core.Spacefusion.Error.Unschedulable msg)
+
+type fault_action = Retry | Reroute | Degrade | No_fault
+
+let classify_exn = function
+  | Fault.Plan.Injected f -> (
+      match Fault.Plan.severity_of_kind f.Fault.Plan.f_kind with
+      | Fault.Plan.Transient -> Retry
+      | Fault.Plan.Fatal -> Reroute
+      | Fault.Plan.Degraded -> Degrade)
+  | _ -> No_fault
 
 let run_model ?cache ~arch backend model =
   match run_model_r ?cache ~arch backend model with

@@ -17,6 +17,7 @@ type result = {
 
 val run_model_r :
   ?cache:Plan_cache.t ->
+  ?inject:Fault.Inject.t ->
   arch:Gpu.Arch.t ->
   Backends.Policy.t ->
   Ir.Models.model ->
@@ -26,7 +27,22 @@ val run_model_r :
     [cache], repeated subprograms (within or across models — e.g. Bert and
     Albert share every block shape) compile once; a cache hit reports zero
     compile time. Emits a [run_model] span with one [subprogram] child per
-    distinct subprogram when tracing is enabled. *)
+    distinct subprogram when tracing is enabled.
+
+    With [inject], every device the run creates carries that fault
+    injector, so a kernel launch may raise {!Fault.Plan.Injected} — it
+    propagates as an exception (one injection stream models one logical
+    device; classify with {!classify_exn}). *)
+
+type fault_action =
+  | Retry  (** transient: retry the same path *)
+  | Reroute  (** the device is dead: rerun on a fresh stream/device *)
+  | Degrade  (** resource pressure: prefer the cheaper unfused path *)
+  | No_fault  (** not an injected fault *)
+
+val classify_exn : exn -> fault_action
+(** Map an exception escaping a model run to the serving layer's recovery
+    action (severity of {!Fault.Plan.Injected}; [No_fault] otherwise). *)
 
 val run_model :
   ?cache:Plan_cache.t -> arch:Gpu.Arch.t -> Backends.Policy.t -> Ir.Models.model -> result

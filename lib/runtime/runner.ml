@@ -14,7 +14,24 @@ let run_plan ?(mode = Gpu.Exec.Analytic) ~arch ~dispatch_us device (plan : Gpu.P
     (fun k ->
       let stats = Gpu.Exec.run ~mode ~arch device k in
       flops := !flops +. stats.Gpu.Exec.ks_gemm_flops +. stats.Gpu.Exec.ks_simd_flops;
-      timing := Gpu.Cost.add !timing (Gpu.Cost.kernel_time arch cache stats))
+      let kt = Gpu.Cost.kernel_time arch cache stats in
+      (* An injected latency spike slows this launch without changing what
+         it computed or moved: scale the time components, keep counters. *)
+      let kt =
+        match Gpu.Device.faults device with
+        | Some inj ->
+            let m = Fault.Inject.last_slowdown inj in
+            if m = 1.0 then kt
+            else
+              {
+                kt with
+                Gpu.Cost.time = kt.Gpu.Cost.time *. m;
+                compute_time = kt.Gpu.Cost.compute_time *. m;
+                mem_time = kt.Gpu.Cost.mem_time *. m;
+              }
+        | None -> kt
+      in
+      timing := Gpu.Cost.add !timing kt)
     plan.Gpu.Plan.p_kernels;
   let kernels = Gpu.Plan.num_kernels plan in
   let dispatch = float_of_int kernels *. dispatch_us *. 1e-6 in

@@ -18,6 +18,10 @@ val run_plan :
 (** [mode] defaults to [Analytic] (benchmarking); use [Full] to also
     compute real values on the device. Declares the plan's tensors.
     Emits an [execute] span when tracing is enabled and feeds the
-    [run.plans] / [run.kernels] / [run.sim_seconds] metrics. *)
+    [run.plans] / [run.kernels] / [run.sim_seconds] metrics.
+
+    With a fault injector attached to [device], each launch may raise
+    {!Fault.Plan.Injected} (propagated to the caller mid-plan), and
+    injected latency spikes multiply that kernel's simulated time. *)
 
 val pp : Format.formatter -> result -> unit

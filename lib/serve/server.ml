@@ -9,6 +9,8 @@ type config = {
   backoff_cap_s : float;
   compile_budget_s : float option;
   clock : unit -> float;
+  fault_plan : Fault.Plan.t option;
+  breaker : Breaker.config;
 }
 
 let default_config () =
@@ -21,6 +23,8 @@ let default_config () =
     backoff_cap_s = 0.05;
     compile_budget_s = None;
     clock = Unix.gettimeofday;
+    fault_plan = None;
+    breaker = Breaker.default_config;
   }
 
 type response = {
@@ -50,15 +54,23 @@ type request = {
   rq_model : Ir.Models.model;
   rq_submit_at : float;
   rq_ticket : ticket;
+  rq_stream : int;  (* injection-stream id, unique per request in submit order *)
+  mutable rq_requeued : bool;  (* a coalesced follower gets one requeue *)
 }
 
 (* What a coalescing leader hands to its followers: the shared serving
    result, stripped of per-request metadata (each follower stamps its own
-   latency / coalesced flag when the callback delivers it). *)
+   latency / coalesced flag when the callback delivers it). [S_failed]
+   carries the error class so a follower can tell a retryable leader
+   failure (requeue once — the follower never attempted anything) from a
+   crash of the serving machinery itself. [S_expired] means the leader
+   abandoned the attempt at {e its} deadline; followers with later
+   deadlines also requeue. *)
 type served =
   | S_done of Runtime.Model_runner.result * bool * int  (* result, degraded, retries *)
   | S_rejected of string
-  | S_failed of string
+  | S_failed of string * [ `Permanent | `Transient ]
+  | S_expired
 
 type t = {
   cfg : config;
@@ -66,6 +78,8 @@ type t = {
   queue : request Queue.t;
   coalesce : served Coalesce.t;
   stats : Stats.t;
+  breakers : Breaker.t;
+  stream : int Atomic.t;
   blown_lock : Mutex.t;
   blown : (string, unit) Hashtbl.t;  (* request keys whose fused compile blew the budget *)
   join_lock : Mutex.t;
@@ -142,7 +156,8 @@ let finish_served t rq ~queue_s ~coalesced = function
              r_retries = retries;
            })
   | S_rejected msg -> finish t rq (Rejected msg)
-  | S_failed msg -> finish t rq (Failed msg)
+  | S_failed (msg, _) -> finish t rq (Failed msg)
+  | S_expired -> finish t rq Timed_out
 
 (* ------------------------------------------------------------------ *)
 (* Request identity                                                    *)
@@ -211,43 +226,92 @@ let budgeted t (b : Backends.Policy.t) =
             plan);
       }
 
-let baseline_run t rq =
+let baseline_run t rq ~inject =
   match
-    Runtime.Model_runner.run_model_r ~cache:t.cache ~arch:rq.rq_arch Backends.Baselines.pytorch
-      rq.rq_model
+    Runtime.Model_runner.run_model_r ~cache:t.cache ?inject ~arch:rq.rq_arch
+      Backends.Baselines.pytorch rq.rq_model
   with
   | Ok r -> `Served (r, true)
   | Error e -> `Reject (Error.to_string e)
-  | exception e -> `Transient e
+  | exception e -> `Fault e
 
-let serve_once t rq ~key =
-  if is_blown t key && not (fused_ready t rq) then baseline_run t rq
+let fused_run t rq ~key ~inject =
+  match
+    Runtime.Model_runner.run_model_r ~cache:t.cache ?inject ~arch:rq.rq_arch
+      (budgeted t rq.rq_backend) rq.rq_model
+  with
+  | Ok r -> `Served (r, false)
+  | Error (Error.Unsupported _ as e) -> `Reject (Error.to_string e)
+  | Error (Error.Unschedulable _) -> baseline_run t rq ~inject
+  | exception Budget_exceeded _ ->
+      mark_blown t key;
+      baseline_run t rq ~inject
+  | exception Fault.Plan.Injected f
+    when Fault.Plan.severity_of_kind f.Fault.Plan.f_kind = Fault.Plan.Degraded ->
+      (* Resource pressure on the fused path: serve this attempt from the
+         cheaper unfused plan instead of burning a retry. *)
+      baseline_run t rq ~inject
+  | exception e -> `Fault e
+
+(* The path a breaker guards: (backend, arch) — one dead fused path must
+   not open the breaker of another architecture's. *)
+let breaker_key rq =
+  rq.rq_backend.Backends.Policy.be_name ^ "|" ^ rq.rq_arch.Gpu.Arch.name
+
+(* One serving attempt. The fused path runs under its circuit breaker:
+   short-circuited attempts degrade straight to the baseline without
+   touching the fused path, and every admitted attempt reports back so the
+   breaker can trip, probe and close. The budget-blown fallback bypasses
+   the breaker — it is a compile-cost decision, not a path-health one. *)
+let serve_once t rq ~key ~inject =
+  if is_blown t key && not (fused_ready t rq) then baseline_run t rq ~inject
   else
-    match
-      Runtime.Model_runner.run_model_r ~cache:t.cache ~arch:rq.rq_arch
-        (budgeted t rq.rq_backend) rq.rq_model
-    with
-    | Ok r -> `Served (r, false)
-    | Error (Error.Unsupported _ as e) -> `Reject (Error.to_string e)
-    | Error (Error.Unschedulable _) -> baseline_run t rq
-    | exception Budget_exceeded _ ->
-        mark_blown t key;
-        baseline_run t rq
-    | exception e -> `Transient e
+    let bkey = breaker_key rq in
+    match Breaker.acquire t.breakers ~key:bkey with
+    | `Short_circuit -> baseline_run t rq ~inject
+    | (`Proceed | `Probe) as d ->
+        let probe = d = `Probe in
+        let o = fused_run t rq ~key ~inject in
+        (match o with
+        | `Served _ | `Reject _ -> Breaker.success t.breakers ~key:bkey ~probe
+        | `Fault _ -> Breaker.failure t.breakers ~key:bkey ~probe);
+        o
 
-let serve_with_retries t rq ~key =
+let serve_with_retries t rq ~key ~deadline =
   let rec go attempt =
-    match serve_once t rq ~key with
+    (* Each attempt is its own injection stream: a retry (or a reroute off
+       a dead device) runs on fresh "hardware", deterministically derived
+       from the request's stream id. *)
+    let inject =
+      Option.map
+        (fun plan -> Fault.Inject.create plan ~stream:((rq.rq_stream lsl 8) lor attempt))
+        t.cfg.fault_plan
+    in
+    match serve_once t rq ~key ~inject with
     | `Served (r, degraded) -> S_done (r, degraded, attempt)
     | `Reject msg -> S_rejected msg
-    | `Transient e ->
-        if attempt >= t.cfg.max_retries then S_failed (Printexc.to_string e)
-        else begin
-          Stats.record t.stats Stats.Retried;
-          Unix.sleepf
-            (Float.min t.cfg.backoff_cap_s (t.cfg.backoff_s *. (2.0 ** float_of_int attempt)));
-          go (attempt + 1)
-        end
+    | `Fault e ->
+        if attempt >= t.cfg.max_retries then S_failed (Printexc.to_string e, `Transient)
+        else
+          (* A dead device is rerouted immediately — backing off would wait
+             on hardware that cannot recover. *)
+          let sleep =
+            match Runtime.Model_runner.classify_exn e with
+            | Runtime.Model_runner.Reroute -> 0.0
+            | _ ->
+                Float.min t.cfg.backoff_cap_s (t.cfg.backoff_s *. (2.0 ** float_of_int attempt))
+          in
+          (* Deadline-aware: never sleep past the request's absolute
+             deadline — it would time out in our hands. *)
+          let expired =
+            match deadline with Some dl -> t.cfg.clock () +. sleep >= dl | None -> false
+          in
+          if expired then S_expired
+          else begin
+            Stats.record t.stats Stats.Retried;
+            if sleep > 0.0 then Unix.sleepf sleep;
+            go (attempt + 1)
+          end
   in
   go 0
 
@@ -267,7 +331,21 @@ let handle t (p : request Queue.popped) =
     "serve.request"
   @@ fun () ->
   let key = request_key rq in
-  let follower served = finish_served t rq ~queue_s:p.p_queued_s ~coalesced:true served in
+  (* A follower never attempted anything itself: if its leader failed
+     transiently or abandoned at the leader's (not the follower's)
+     deadline, the follower goes back into the queue exactly once with its
+     original priority and deadline, instead of being charged a failure
+     for an attempt it never made. *)
+  let follower served =
+    match served with
+    | (S_failed (_, `Transient) | S_expired) when not rq.rq_requeued ->
+        rq.rq_requeued <- true;
+        Stats.record t.stats Stats.Requeued;
+        if not (Queue.push t.queue ~priority:p.p_priority ?deadline:p.p_deadline rq) then
+          finish t rq (Rejected "queue full on requeue")
+    | S_expired -> finish t rq (Failed "coalesced leader abandoned by deadline")
+    | served -> finish_served t rq ~queue_s:p.p_queued_s ~coalesced:true served
+  in
   match Coalesce.join t.coalesce ~key follower with
   | `Follower ->
       (* Registered onto the in-flight leader; this worker is free for the
@@ -275,7 +353,8 @@ let handle t (p : request Queue.popped) =
       Stats.record t.stats Stats.Coalesced
   | `Leader ->
       let served =
-        try serve_with_retries t rq ~key with e -> S_failed (Printexc.to_string e)
+        try serve_with_retries t rq ~key ~deadline:p.p_deadline
+        with e -> S_failed (Printexc.to_string e, `Permanent)
       in
       ignore (Coalesce.resolve t.coalesce ~key served);
       finish_served t rq ~queue_s:p.p_queued_s ~coalesced:false served
@@ -308,6 +387,8 @@ let start ?cache ?config () =
         Queue.create ~clock:cfg.clock ~priorities:cfg.priorities ~capacity:cfg.queue_capacity ();
       coalesce = Coalesce.create ();
       stats = Stats.create ();
+      breakers = Breaker.create ~clock:cfg.clock cfg.breaker;
+      stream = Atomic.make 0;
       blown_lock = Mutex.create ();
       blown = Hashtbl.create 16;
       join_lock = Mutex.create ();
@@ -327,7 +408,15 @@ let submit t ?(priority = 0) ?deadline_s ~arch backend model =
   Stats.record t.stats Stats.Submitted;
   let now = t.cfg.clock () in
   let rq =
-    { rq_arch = arch; rq_backend = backend; rq_model = model; rq_submit_at = now; rq_ticket = tk }
+    {
+      rq_arch = arch;
+      rq_backend = backend;
+      rq_model = model;
+      rq_submit_at = now;
+      rq_ticket = tk;
+      rq_stream = Atomic.fetch_and_add t.stream 1;
+      rq_requeued = false;
+    }
   in
   let deadline = Option.map (fun d -> now +. d) deadline_s in
   if Queue.push t.queue ~priority ?deadline rq then begin
@@ -340,6 +429,12 @@ let submit t ?(priority = 0) ?deadline_s ~arch backend model =
 let stats t = Stats.snapshot t.stats
 let latencies t = Stats.latencies t.stats
 let queue_depth t = Queue.length t.queue
+
+let breaker_state t ~arch (backend : Backends.Policy.t) =
+  Breaker.state t.breakers ~key:(backend.Backends.Policy.be_name ^ "|" ^ arch.Gpu.Arch.name)
+
+let breaker_trips t ~arch (backend : Backends.Policy.t) =
+  Breaker.trips t.breakers ~key:(backend.Backends.Policy.be_name ^ "|" ^ arch.Gpu.Arch.name)
 
 let shutdown ?(drain = true) t =
   Queue.close t.queue;

@@ -28,7 +28,27 @@
     again. An [Unschedulable] fused compile degrades the same way.
 
     Transient failures (any exception that is not a typed pipeline error
-    or the budget trip) are retried with capped exponential backoff.
+    or the budget trip) are retried with capped exponential backoff. The
+    backoff is deadline-aware: a retry never sleeps past the request's
+    absolute deadline — the request resolves [Timed_out] immediately
+    instead of timing out while the server holds it.
+
+    Self-healing (see DESIGN.md, "Fault model & self-healing"): each
+    (backend, arch) fused path runs under a circuit {!Breaker}. Enough
+    consecutive fused failures open the breaker; while it is open,
+    requests degrade to the unfused baseline instead of burning retries on
+    a failing path, and after a cooldown a single half-open probe decides
+    whether the fused path closed again. Injected device deaths
+    ({!Fault.Plan.Device_death}) skip the backoff and reroute immediately
+    to a fresh injection stream — the simulated analogue of rescheduling
+    onto another device. With [fault_plan] set, every serving attempt runs
+    under a deterministic {!Fault.Inject} injector on stream
+    [(request stream << 8) | attempt].
+
+    A coalesced follower whose leader failed transiently (or abandoned at
+    the {e leader's} deadline) is requeued exactly once with its original
+    priority and deadline rather than inheriting a failure for an attempt
+    it never made; a second leader failure fails it for real.
 
     Worker domains run under {!Core.Parallel.as_worker}: the pool of
     requests is the parallelism axis, so a request's compile never spawns
@@ -43,13 +63,17 @@ type config = {
   backoff_cap_s : float;  (** ... capped at this *)
   compile_budget_s : float option;  (** per-subprogram fused-compile cap *)
   clock : unit -> float;  (** injectable for deterministic tests *)
+  fault_plan : Fault.Plan.t option;
+      (** deterministic fault injection for every serving attempt *)
+  breaker : Breaker.config;  (** per-(backend, arch) circuit breakers *)
 }
 
 val default_config : unit -> config
 (** [workers = Core.Parallel.default_jobs ()] (so [SPACEFUSION_JOBS]
     sizes the pool), [queue_capacity = 256], [priorities = 2],
     [max_retries = 2], [backoff_s = 1e-3], [backoff_cap_s = 0.05],
-    [compile_budget_s = None], [clock = Unix.gettimeofday]. *)
+    [compile_budget_s = None], [clock = Unix.gettimeofday],
+    [fault_plan = None], [breaker = Breaker.default_config]. *)
 
 type response = {
   r_result : Runtime.Model_runner.result;
@@ -95,6 +119,13 @@ val latencies : t -> float list
 (** Submit-to-done latency of every [Done] request so far. *)
 
 val queue_depth : t -> int
+
+val breaker_state : t -> arch:Gpu.Arch.t -> Backends.Policy.t -> Breaker.state
+(** Current breaker state of the (backend, arch) fused path ([Closed] if
+    never exercised). *)
+
+val breaker_trips : t -> arch:Gpu.Arch.t -> Backends.Policy.t -> int
+(** How many times that path's breaker has opened. *)
 
 val shutdown : ?drain:bool -> t -> unit
 (** Stop admitting and join the workers. [drain] (default [true]) serves

@@ -8,6 +8,7 @@ type event =
   | Coalesced
   | Degraded
   | Retried
+  | Requeued
 
 type snapshot = {
   s_submitted : int;
@@ -19,6 +20,7 @@ type snapshot = {
   s_coalesced : int;
   s_degraded : int;
   s_retries : int;
+  s_requeued : int;
 }
 
 type t = {
@@ -31,6 +33,7 @@ type t = {
   coalesced : int Atomic.t;
   degraded : int Atomic.t;
   retries : int Atomic.t;
+  requeued : int Atomic.t;
   lat_lock : Mutex.t;
   mutable lat : float list;
 }
@@ -45,6 +48,7 @@ let m_failed = lazy (Obs.Metrics.counter "serve.failed")
 let m_coalesced = lazy (Obs.Metrics.counter "serve.coalesced")
 let m_degraded = lazy (Obs.Metrics.counter "serve.degraded")
 let m_retries = lazy (Obs.Metrics.counter "serve.retries")
+let m_requeued = lazy (Obs.Metrics.counter "serve.requeued")
 let m_queue_depth = lazy (Obs.Metrics.gauge "serve.queue_depth")
 let m_latency = lazy (Obs.Metrics.histogram "serve.latency_seconds")
 let m_queue_wait = lazy (Obs.Metrics.histogram "serve.queue_wait_seconds")
@@ -57,7 +61,7 @@ let create () =
     (fun m -> ignore (Lazy.force m))
     [
       m_submitted; m_admitted; m_rejected; m_timed_out; m_done; m_failed; m_coalesced;
-      m_degraded; m_retries;
+      m_degraded; m_retries; m_requeued;
     ];
   {
     submitted = Atomic.make 0;
@@ -69,6 +73,7 @@ let create () =
     coalesced = Atomic.make 0;
     degraded = Atomic.make 0;
     retries = Atomic.make 0;
+    requeued = Atomic.make 0;
     lat_lock = Mutex.create ();
     lat = [];
   }
@@ -83,6 +88,7 @@ let cell t = function
   | Coalesced -> (t.coalesced, m_coalesced)
   | Degraded -> (t.degraded, m_degraded)
   | Retried -> (t.retries, m_retries)
+  | Requeued -> (t.requeued, m_requeued)
 
 let record t ev =
   let local, global = cell t ev in
@@ -109,6 +115,7 @@ let snapshot t =
     s_coalesced = Atomic.get t.coalesced;
     s_degraded = Atomic.get t.degraded;
     s_retries = Atomic.get t.retries;
+    s_requeued = Atomic.get t.requeued;
   }
 
 let conserved s = s.s_submitted = s.s_done + s.s_rejected + s.s_timed_out + s.s_failed
@@ -142,13 +149,14 @@ let snapshot_to_json s =
       ("coalesced", num s.s_coalesced);
       ("degraded", num s.s_degraded);
       ("retries", num s.s_retries);
+      ("requeued", num s.s_requeued);
       ("conserved", Obs.Json.Bool (conserved s));
     ]
 
 let pp_snapshot fmt s =
   Format.fprintf fmt
     "submitted %d  admitted %d  done %d  rejected %d  timed_out %d  failed %d  coalesced %d  \
-     degraded %d  retries %d%s"
+     degraded %d  retries %d  requeued %d%s"
     s.s_submitted s.s_admitted s.s_done s.s_rejected s.s_timed_out s.s_failed s.s_coalesced
-    s.s_degraded s.s_retries
+    s.s_degraded s.s_retries s.s_requeued
     (if conserved s then "" else "  (NOT CONSERVED)")

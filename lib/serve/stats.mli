@@ -16,11 +16,15 @@
       [Failed] (retries exhausted).
     - annotations (orthogonal to the terminal event): [Coalesced] (served
       by a leader's in-flight run), [Degraded] (served from the unfused
-      baseline), [Retried] (one per retry attempt).
+      baseline), [Retried] (one per retry attempt), [Requeued] (a
+      coalesced follower re-entered the queue after its leader failed
+      transiently — the follower is charged no retry for an attempt it
+      never made).
 
     Global metric names: [serve.submitted], [serve.admitted],
     [serve.rejected], [serve.timed_out], [serve.done], [serve.failed],
-    [serve.coalesced], [serve.degraded], [serve.retries] (counters);
+    [serve.coalesced], [serve.degraded], [serve.retries],
+    [serve.requeued] (counters);
     [serve.queue_depth] (gauge); [serve.latency_seconds],
     [serve.queue_wait_seconds] (histograms). The registry is process-wide
     and additive across servers; per-server numbers come from
@@ -38,6 +42,7 @@ type event =
   | Coalesced
   | Degraded
   | Retried
+  | Requeued
 
 type snapshot = {
   s_submitted : int;
@@ -49,6 +54,7 @@ type snapshot = {
   s_coalesced : int;
   s_degraded : int;
   s_retries : int;
+  s_requeued : int;
 }
 
 val create : unit -> t

@@ -41,6 +41,30 @@ for i in 1 2 3; do
         echo "ci: serve stress soak failed on run $i (seed 42)" >&2; exit 1; }
 done
 
+# Chaos gate: a seeded fault storm must keep its accounting conserved,
+# hold goodput above the floor, and demonstrate at least one breaker
+# open -> half-open -> closed recovery (the CLI exits nonzero on any of
+# those), and two same-seed runs must report byte-identical terminal
+# outcome and injected-fault counts — the deterministic-replay guarantee
+# the fault model exists for.
+chaos1=$(mktemp) && chaos2=$(mktemp)
+for f in "$chaos1" "$chaos2"; do
+    dune exec bin/spacefusion_cli.exe -- chaos -n 300 --rate 0.01 --seed 11 \
+        --require-recovery --check > "$f" || {
+        echo "ci: chaos soak failed its gates" >&2; cat "$f" >&2; exit 1; }
+done
+extract_counts() {
+    grep -o '"outcomes":{[^}]*}' "$1"
+    grep -o '"faults":{[^}]*}' "$1"
+}
+if [ "$(extract_counts "$chaos1")" != "$(extract_counts "$chaos2")" ]; then
+    echo "ci: chaos soak not deterministic across same-seed runs" >&2
+    echo "--- run 1 ---" >&2; extract_counts "$chaos1" >&2
+    echo "--- run 2 ---" >&2; extract_counts "$chaos2" >&2
+    exit 1
+fi
+rm -f "$chaos1" "$chaos2"
+
 out1=$(mktemp) && out4=$(mktemp)
 trap 'rm -f "$out1" "$out4"' EXIT
 
@@ -69,4 +93,4 @@ if [ "$picks1" != "$picks4" ]; then
     exit 1
 fi
 
-echo "ci: OK (build, tests, serve smoke + 3x soak, serial/parallel tuner picks identical)"
+echo "ci: OK (build, tests, serve smoke + 3x soak, deterministic chaos gate, serial/parallel tuner picks identical)"

@@ -373,6 +373,91 @@ let test_server_fails_after_retry_budget () =
   Alcotest.(check int) "failure recorded" 1 st.Serve.Stats.s_failed;
   Alcotest.(check bool) "conserved" true (Serve.Stats.conserved st)
 
+let test_server_breaker_recovery () =
+  (* Two consecutive fused failures trip a threshold-2 breaker; with a zero
+     cooldown the very next retry is the half-open probe, and its success
+     closes the breaker again: open -> half-open -> closed within one
+     request's retry loop. *)
+  let calls = Atomic.make 0 in
+  let flaky = stub ~be_name:"flaky" ~fail_first:2 calls in
+  let cfg =
+    {
+      (config ~workers:1 ~retries:2 ()) with
+      Serve.Server.breaker = { Serve.Breaker.threshold = 2; cooldown_s = 0.0 };
+    }
+  in
+  let s = Serve.Server.start ~config:cfg () in
+  let r = expect_done (Serve.Server.await (Serve.Server.submit s ~arch flaky (ln 32))) in
+  Serve.Server.shutdown s;
+  Alcotest.(check int) "two retries on the response" 2 r.Serve.Server.r_retries;
+  Alcotest.(check bool) "probe served the fused path" false r.Serve.Server.r_degraded;
+  Alcotest.(check int) "breaker tripped once" 1 (Serve.Server.breaker_trips s ~arch flaky);
+  Alcotest.(check bool) "breaker recovered closed" true
+    (Serve.Server.breaker_state s ~arch flaky = Serve.Breaker.Closed)
+
+let test_server_deadline_aware_backoff () =
+  (* A retry whose backoff would sleep past the request's absolute deadline
+     resolves Timed_out immediately instead of sleeping: under a frozen
+     clock and a one-second backoff this test only terminates fast if no
+     real sleep happens. *)
+  let calls = Atomic.make 0 in
+  let doomed = stub ~be_name:"doomed" ~fail_first:max_int calls in
+  let cfg =
+    {
+      (config ~workers:1 ~retries:5 ()) with
+      Serve.Server.clock = (fun () -> 0.0);
+      backoff_s = 1.0;
+      backoff_cap_s = 1.0;
+    }
+  in
+  let s = Serve.Server.start ~config:cfg () in
+  let t0 = Unix.gettimeofday () in
+  (match Serve.Server.await (Serve.Server.submit s ~deadline_s:0.5 ~arch doomed (ln 32)) with
+  | Serve.Server.Timed_out -> ()
+  | _ -> Alcotest.fail "backoff past the deadline must time out");
+  Serve.Server.shutdown s;
+  Alcotest.(check bool) "no backoff sleep happened" true (Unix.gettimeofday () -. t0 < 0.9);
+  Alcotest.(check int) "single attempt" 1 (Atomic.get calls);
+  let st = Serve.Server.stats s in
+  Alcotest.(check int) "no retry recorded" 0 st.Serve.Stats.s_retries;
+  Alcotest.(check int) "timed out" 1 st.Serve.Stats.s_timed_out;
+  Alcotest.(check bool) "conserved" true (Serve.Stats.conserved st)
+
+let test_server_follower_requeued_once () =
+  (* A coalesced follower whose leader exhausted its retries is requeued
+     exactly once (charged no retry for an attempt it never made) and is
+     then served by its own fresh run. *)
+  let gate = Atomic.make false in
+  let calls = Atomic.make 0 in
+  let flaky = stub ~be_name:"flaky" ~gate ~fail_first:3 calls in
+  let m = ln 32 in
+  let s = Serve.Server.start ~config:(config ~workers:2 ~retries:2 ()) () in
+  let t_a = Serve.Server.submit s ~arch flaky m in
+  while Atomic.get calls < 1 do
+    Domain.cpu_relax ()
+  done;
+  let t_b = Serve.Server.submit s ~arch flaky m in
+  while (Serve.Server.stats s).Serve.Stats.s_coalesced < 1 do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set gate true;
+  (match Serve.Server.await t_a with
+  | Serve.Server.Failed msg ->
+      Alcotest.(check bool) "leader carries the transient error" true
+        (Astring.String.is_infix ~affix:"transient stub failure" msg)
+  | _ -> Alcotest.fail "leader must exhaust its retries");
+  let r = expect_done (Serve.Server.await t_b) in
+  Serve.Server.shutdown s;
+  Alcotest.(check bool) "follower served by its own fresh run" false r.Serve.Server.r_coalesced;
+  Alcotest.(check int) "follower charged no retries" 0 r.Serve.Server.r_retries;
+  Alcotest.(check int) "leader's 3 attempts + follower's 1" 4 (Atomic.get calls);
+  let st = Serve.Server.stats s in
+  Alcotest.(check int) "requeued exactly once" 1 st.Serve.Stats.s_requeued;
+  Alcotest.(check int) "follower done" 1 st.Serve.Stats.s_done;
+  Alcotest.(check int) "leader failed" 1 st.Serve.Stats.s_failed;
+  Alcotest.(check int) "only the leader's retries" 2 st.Serve.Stats.s_retries;
+  Alcotest.(check bool) "conserved" true (Serve.Stats.conserved st)
+
 let test_server_shutdown_no_drain () =
   (* Non-draining shutdown fails the backlog explicitly instead of
      serving it; the in-flight request still completes. *)
@@ -446,6 +531,9 @@ let () =
           Alcotest.test_case "retries transient failures" `Quick test_server_retries_transient;
           Alcotest.test_case "fails after retry budget" `Quick
             test_server_fails_after_retry_budget;
+          Alcotest.test_case "breaker trips and recovers" `Quick test_server_breaker_recovery;
+          Alcotest.test_case "deadline-aware backoff" `Quick test_server_deadline_aware_backoff;
+          Alcotest.test_case "follower requeued once" `Quick test_server_follower_requeued_once;
           Alcotest.test_case "non-draining shutdown" `Quick test_server_shutdown_no_drain;
         ] );
       ("stats", [ Alcotest.test_case "percentile" `Quick test_percentile ]);
