@@ -116,16 +116,20 @@ let infer graph =
                    node extent e)
       end)
     uf.ids;
-  (* Stable order: by smallest (node, axis) member. *)
-  let members root =
-    Hashtbl.fold
-      (fun (node, axis) id acc -> if uf_find uf id = root then (node, axis) :: acc else acc)
-      uf.ids []
-  in
+  (* Stable order: by smallest (node, axis) member. One pass records each
+     class's minimum member; the comparator then probes a table instead of
+     re-folding the whole union-find per comparison. *)
+  let min_member : (int, G.node_id * int) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (node, axis) id ->
+      let root = uf_find uf id in
+      match Hashtbl.find_opt min_member root with
+      | None -> Hashtbl.replace min_member root (node, axis)
+      | Some m -> if compare (node, axis) m < 0 then Hashtbl.replace min_member root (node, axis))
+    uf.ids;
   let roots =
     List.sort
-      (fun a b -> compare (List.fold_left min (max_int, max_int) (members a))
-          (List.fold_left min (max_int, max_int) (members b)))
+      (fun a b -> compare (Hashtbl.find min_member a) (Hashtbl.find min_member b))
       !class_order
   in
   let dim_of_root = Hashtbl.create 16 in

@@ -1,4 +1,8 @@
-type entry = { eshape : Shape.t; mutable edata : float array option }
+type entry = {
+  eshape : Shape.t;
+  mutable edata : Tensor.buf option;
+  mutable eowned : bool;  (* allocated by [ensure_data]: safe to return to an arena *)
+}
 
 type t = { tensors : (string, entry) Hashtbl.t; mutable inj : Fault.Inject.t option }
 
@@ -11,7 +15,7 @@ let faults t = t.inj
 let declare t name shape =
   Shape.validate shape;
   match Hashtbl.find_opt t.tensors name with
-  | None -> Hashtbl.replace t.tensors name { eshape = shape; edata = None }
+  | None -> Hashtbl.replace t.tensors name { eshape = shape; edata = None; eowned = false }
   | Some e ->
       if not (Shape.equal e.eshape shape) then
         invalid_arg
@@ -20,7 +24,9 @@ let declare t name shape =
 
 let bind t name tensor =
   declare t name (Tensor.shape tensor);
-  (Hashtbl.find t.tensors name).edata <- Some (Tensor.data tensor)
+  let e = Hashtbl.find t.tensors name in
+  e.edata <- Some (Tensor.buffer tensor);
+  e.eowned <- false
 
 let find t name =
   match Hashtbl.find_opt t.tensors name with
@@ -35,15 +41,34 @@ let ensure_data t name =
   match e.edata with
   | Some d -> d
   | None ->
-      let d = Array.make (Shape.numel e.eshape) 0.0 in
+      let n = Shape.numel e.eshape in
+      let d =
+        match Tensor.Arena.current () with
+        | Some a -> Tensor.Arena.alloc a n
+        | None -> Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout n
+      in
+      (* Arena buffers are recycled, so zero explicitly to keep the old
+         [Array.make _ 0.0] first-touch semantics. *)
+      Bigarray.Array1.fill d 0.0;
       e.edata <- Some d;
+      e.eowned <- true;
       d
 
 let tensor t name =
   let e = find t name in
   match e.edata with
-  | Some d -> Tensor.of_array e.eshape d
+  | Some d -> Tensor.of_buffer e.eshape d
   | None -> invalid_arg (Printf.sprintf "Device.tensor: %S has no data (analytic run?)" name)
+
+let release_owned t arena =
+  Hashtbl.iter
+    (fun _ e ->
+      if e.eowned then begin
+        (match e.edata with Some d -> Tensor.Arena.release arena d | None -> ());
+        e.edata <- None;
+        e.eowned <- false
+      end)
+    t.tensors
 
 let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tensors []
 

@@ -17,9 +17,16 @@ val mem : t -> string -> bool
 val tensor : t -> string -> Tensor.t
 (** Raises [Invalid_argument] if undeclared or data-less. *)
 
-val ensure_data : t -> string -> float array
+val ensure_data : t -> string -> Tensor.buf
 (** The tensor's buffer, allocating zeros on first touch (for kernel
-    outputs in full mode). *)
+    outputs in full mode). First-touch allocations draw from the ambient
+    {!Tensor.Arena} when one is installed. *)
+
+val release_owned : t -> Tensor.Arena.t -> unit
+(** Return every buffer the device itself allocated (via {!ensure_data})
+    to [arena] and drop the data bindings. Buffers attached with {!bind}
+    are left alone — the caller owns those. Any {!tensor} view of an
+    owned buffer must be dead before calling this. *)
 
 val attach_faults : t -> Fault.Inject.t -> unit
 (** Attach a fault injector: subsequent kernel launches on this device

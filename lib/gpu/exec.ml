@@ -26,271 +26,549 @@ exception Resource_exceeded of string
 
 let ceil_div a b = (a + b - 1) / b
 
+external unsafe_get : Tensor.buf -> int -> float = "%caml_ba_unsafe_ref_1"
+external unsafe_set : Tensor.buf -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+
 (* ------------------------------------------------------------------ *)
-(* Buffer state                                                        *)
+(* Compiled kernels                                                    *)
 (* ------------------------------------------------------------------ *)
 
-type bufstate = {
-  spec : Kernel.buf;
-  store : float array;  (* capacity-sized; empty in analytic mode *)
+(* A kernel's step list is compiled once into a closure-free execution
+   record: buffer and grid-dim names resolved to integer slots, operator
+   closures materialized, block/step partitions tabulated. Launching then
+   walks flat arrays instead of re-interpreting the step structure (name
+   lookups, [List.init] partition lists) per launch. *)
+
+type ridx = RAll | RStep | RGrid of int  (* grid slot *)
+
+type rdim = RDim of int | RTile | RLit of int
+
+type cbuf = {
+  cb_name : string;
+  cb_rows_cap : int;
+  cb_cols_cap : int;
+  cb_cap : int;  (* rows_cap * cols_cap, >= 1 *)
+  cb_rdim : rdim;  (* Fill extents, pre-resolved *)
+  cb_cdim : rdim;
+}
+
+type cop =
+  | CLoad of { tensor : string; dst : int; idx : ridx array; nominal : int array }
+  | CStore of { src : int; tensor : string; idx : ridx array; nominal : int array }
+  | CFill of { dst : int; v : float }
+  | CCopy of { dst : int; src : int }
+  | CUnary of { dst : int; src : int; f : float -> float }
+  | CBinary of { dst : int; a : int; b : int; f : float -> float -> float; aliased : bool }
+  | CRowReduce of {
+      dst : int;
+      src : int;
+      combine : float -> float -> float;
+      rinit : float;
+      accumulate : bool;
+    }
+  | CColReduce of {
+      dst : int;
+      src : int;
+      combine : float -> float -> float;
+      rinit : float;
+      accumulate : bool;
+    }
+  | CGemm of { dst : int; a : int; b : int; trans_b : bool; accumulate : bool }
+
+type compiled = {
+  ck : Kernel.t;
+  cbufs : cbuf array;
+  cparts : (int * int) array array;  (* per grid dim: (origin, segment) partitions *)
+  cclasses : (int * int) array array;  (* per grid dim: (segment, multiplicity) classes *)
+  cstep_parts : (int * int) array;
+  cstep_classes : (int * int) array;  (* (segment, multiplicity) *)
+  cnominal_tile : int;
+  csmem : int;
+  cregs : int;
+  cscratch : int;  (* bytes=no; elements of aliasing-binary scratch, 0 if unused *)
+  cstages : (bool * cop array) array;  (* (in temporal loop?, ops) *)
+}
+
+(* Enumerate (origin, segment) partitions of [extent] by [block]. *)
+let partitions extent block =
+  Array.init (ceil_div extent block) (fun i ->
+      let o = i * block in
+      (o, min block (extent - o)))
+
+(* Segment classes: (segment, multiplicity). *)
+let seg_classes extent block =
+  let n = extent / block and rem = extent mod block in
+  Array.of_list
+    ((if n > 0 then [ (block, n) ] else []) @ if rem > 0 then [ (rem, 1) ] else [])
+
+let compile (k : Kernel.t) =
+  Kernel.validate k;
+  let grid = Array.of_list k.grid in
+  let dim_slot d =
+    let rec go i =
+      if i >= Array.length grid then invalid_arg (Printf.sprintf "Exec: unknown grid dim %S" d)
+      else if grid.(i).Kernel.gdim = d then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rdim_of = function
+    | Kernel.Lit n -> RLit n
+    | Kernel.Tile -> RTile
+    | Kernel.Blk d -> RDim (dim_slot d)
+  in
+  let bufs = Array.of_list k.bufs in
+  let buf_slot name =
+    let rec go i =
+      if i >= Array.length bufs then invalid_arg (Printf.sprintf "Exec: unknown buffer %S" name)
+      else if bufs.(i).Kernel.bname = name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let cbufs =
+    Array.map
+      (fun (b : Kernel.buf) ->
+        let r, c = Kernel.buf_capacity k b in
+        {
+          cb_name = b.bname;
+          cb_rows_cap = r;
+          cb_cols_cap = c;
+          cb_cap = max 1 (r * c);
+          cb_rdim = rdim_of b.brows;
+          cb_cdim = rdim_of b.bcols;
+        })
+      bufs
+  in
+  let nominal_tile = match k.temporal with Some (_, _, t) -> t | None -> 1 in
+  let ridx_of = function
+    | Kernel.IAll -> RAll
+    | Kernel.IStep -> RStep
+    | Kernel.IGrid d -> RGrid (dim_slot d)
+  in
+  (* Nominal (non-edge) extent of one axis transfer, used for stable
+     row/column orientation. *)
+  let nominal_of = function
+    | Kernel.IAll -> max_int (* resolved against the axis extent at launch *)
+    | Kernel.IStep -> nominal_tile
+    | Kernel.IGrid d -> grid.(dim_slot d).Kernel.block
+  in
+  let scratch = ref 0 in
+  let cop_of = function
+    | Kernel.Load { tensor; dst; idx } ->
+        CLoad { tensor; dst = buf_slot dst; idx = Array.map ridx_of idx; nominal = Array.map nominal_of idx }
+    | Kernel.Store { src; tensor; idx } ->
+        CStore { src = buf_slot src; tensor; idx = Array.map ridx_of idx; nominal = Array.map nominal_of idx }
+    | Kernel.Fill (name, v) -> CFill { dst = buf_slot name; v }
+    | Kernel.Copy { dst; src } -> CCopy { dst = buf_slot dst; src = buf_slot src }
+    | Kernel.Unary { dst; op; src } ->
+        CUnary { dst = buf_slot dst; src = buf_slot src; f = Ir.Op.apply_unop op }
+    | Kernel.Binary { dst; op; a; b } ->
+        let dst = buf_slot dst and a = buf_slot a and b = buf_slot b in
+        let aliased = dst = a || dst = b in
+        if aliased then scratch := max !scratch cbufs.(dst).cb_cap;
+        CBinary { dst; a; b; f = Ir.Op.apply_binop op; aliased }
+    | Kernel.RowReduce { dst; op; src; accumulate } ->
+        CRowReduce
+          {
+            dst = buf_slot dst;
+            src = buf_slot src;
+            combine = Ir.Op.redop_combine op;
+            rinit = Ir.Op.redop_identity op;
+            accumulate;
+          }
+    | Kernel.ColReduce { dst; op; src; accumulate } ->
+        CColReduce
+          {
+            dst = buf_slot dst;
+            src = buf_slot src;
+            combine = Ir.Op.redop_combine op;
+            rinit = Ir.Op.redop_identity op;
+            accumulate;
+          }
+    | Kernel.Gemm { dst; a; b; trans_b; accumulate } ->
+        CGemm { dst = buf_slot dst; a = buf_slot a; b = buf_slot b; trans_b; accumulate }
+  in
+  let cstages =
+    Array.of_list
+      (List.map
+         (function
+           | Kernel.Once is -> (false, Array.of_list (List.map cop_of is))
+           | Kernel.ForEachStep is -> (true, Array.of_list (List.map cop_of is)))
+         k.stages)
+  in
+  {
+    ck = k;
+    cbufs;
+    cparts = Array.map (fun (g : Kernel.grid_dim) -> partitions g.extent g.block) grid;
+    cclasses = Array.map (fun (g : Kernel.grid_dim) -> seg_classes g.extent g.block) grid;
+    cstep_parts =
+      (match k.temporal with
+      | Some (_, extent, tile) -> partitions extent tile
+      | None -> [| (0, 1) |]);
+    cstep_classes =
+      (match k.temporal with
+      | Some (_, extent, tile) -> seg_classes extent tile
+      | None -> [| (1, 1) |]);
+    cnominal_tile = nominal_tile;
+    csmem = Kernel.smem_bytes k;
+    cregs = Kernel.reg_bytes k;
+    cscratch = !scratch;
+    cstages;
+  }
+
+(* Compiled records are cached by the kernel's physical identity: plans
+   come out of [Plan_cache], so warm launches hit the same kernel values
+   and skip recompilation entirely. *)
+module KTbl = Hashtbl.Make (struct
+  type t = Kernel.t
+
+  let equal = ( == )
+  let hash = Stdlib.Hashtbl.hash
+end)
+
+let cache : compiled KTbl.t = KTbl.create 64
+let cache_lock = Mutex.create ()
+let cache_cap = 512
+
+let compiled_of k =
+  Mutex.lock cache_lock;
+  match KTbl.find_opt cache k with
+  | Some c ->
+      Mutex.unlock cache_lock;
+      c
+  | None ->
+      Mutex.unlock cache_lock;
+      (* Compile outside the lock ([compile] may raise on an invalid
+         kernel; those never enter the cache and re-raise on every run,
+         matching the old per-launch validation). *)
+      let c = compile k in
+      Mutex.lock cache_lock;
+      if KTbl.length cache >= cache_cap then KTbl.reset cache;
+      KTbl.replace cache k c;
+      Mutex.unlock cache_lock;
+      c
+
+(* ------------------------------------------------------------------ *)
+(* Launch state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type rbuf = {
+  spec : cbuf;
+  store : Tensor.buf;  (* capacity-sized; empty in analytic mode *)
   mutable rows : int;  (* active extent *)
   mutable cols : int;
 }
 
-(* The executor threads a context carrying, for the current block and step,
-   each grid dimension's origin and (edge-clamped) segment length. Analytic
-   walks set origins to 0 and carry a class multiplicity instead. *)
-type ctx = {
-  blk : (string * (int * int)) list;  (* dim -> origin, segment *)
-  step : int * int;  (* origin, segment of the temporal tile *)
-  mult : float;
-  in_loop : bool;
+(* Block/step coordinates for the current walk position. Analytic walks
+   set origins to 0 and carry a class multiplicity instead. *)
+type rctx = {
+  origins : int array;  (* per grid slot *)
+  segs : int array;
+  mutable step_o : int;
+  mutable step_s : int;
+  mutable mult : float;
 }
 
 type acc = { mutable gemm_flops : float; mutable simd_flops : float; mutable bytes : float }
 
-let seg_of ctx d =
-  match List.assoc_opt d ctx.blk with
-  | Some os -> os
-  | None -> invalid_arg (Printf.sprintf "Exec: unknown grid dim %S" d)
+let empty_store : Tensor.buf = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout 0
 
-let resolve_dimsize ctx (k : Kernel.t) = function
-  | Kernel.Lit n -> n
-  | Kernel.Tile -> snd ctx.step
-  | Kernel.Blk d -> (
-      match List.assoc_opt d ctx.blk with
-      | Some (_, seg) -> seg
-      | None ->
-          (* Fall back to the declared block size (validation already
-             guaranteed the dim exists). *)
-          (List.find (fun (g : Kernel.grid_dim) -> g.gdim = d) k.grid).block)
+let alloc_store n =
+  let b =
+    match Tensor.Arena.current () with
+    | Some a -> Tensor.Arena.alloc a n
+    | None -> Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout n
+  in
+  Bigarray.Array1.fill b 0.0;
+  b
 
-(* Nominal (non-edge) extent of one axis transfer, used for stable
-   row/column orientation. *)
-let nominal_len (k : Kernel.t) = function
-  | Kernel.IGrid d -> (List.find (fun (g : Kernel.grid_dim) -> g.gdim = d) k.grid).block
-  | Kernel.IStep -> ( match k.temporal with Some (_, _, tile) -> tile | None -> 1)
-  | Kernel.IAll -> max_int (* resolved against the axis extent below *)
+let release_store b =
+  if Bigarray.Array1.dim b > 0 then
+    match Tensor.Arena.current () with Some a -> Tensor.Arena.release a b | None -> ()
 
-let axis_segments ctx shape idx =
+let make_rbufs ~full c =
+  Array.map
+    (fun cb ->
+      { spec = cb; store = (if full then alloc_store cb.cb_cap else empty_store); rows = 0; cols = 0 })
+    c.cbufs
+
+let resolve_rdim ctx = function
+  | RLit n -> n
+  | RTile -> ctx.step_s
+  | RDim slot -> ctx.segs.(slot)
+
+(* Edge-clamped (origin, segment) of transfer axis [i]. *)
+let seg_at ctx (shape : Shape.t) (idx : ridx array) i =
+  let extent = shape.(i) in
+  match idx.(i) with
+  | RAll -> (0, extent)
+  | RStep ->
+      let o = ctx.step_o in
+      if o >= extent then (o, 0) else (o, min ctx.step_s (extent - o))
+  | RGrid g ->
+      let o = ctx.origins.(g) in
+      if o >= extent then (o, 0) else (o, min ctx.segs.(g) (extent - o))
+
+(* Which axes map to tile rows/cols. At most two axes may have nominal
+   length > 1; a single wide axis orients against the destination buffer.
+   Returns axis indices, -1 for "none". *)
+let mapped_axes ~nominal (shape : Shape.t) ~buf_cols_capacity =
+  let a1 = ref (-1) and a2 = ref (-1) and extra = ref false in
+  Array.iteri
+    (fun i n ->
+      if min n shape.(i) > 1 then
+        if !a1 < 0 then a1 := i else if !a2 < 0 then a2 := i else extra := true)
+    nominal;
+  if !extra then invalid_arg "Exec: transfer touches more than two non-unit axes";
+  if !a1 < 0 then (-1, -1)
+  else if !a2 < 0 then if buf_cols_capacity = 1 then (!a1, -1) else (-1, !a1)
+  else (!a1, !a2)
+
+let check_rank (idx : ridx array) (shape : Shape.t) =
   if Array.length idx <> Array.length shape then
     invalid_arg
       (Printf.sprintf "Exec: transfer rank %d does not match tensor rank %d" (Array.length idx)
-         (Array.length shape));
-  Array.mapi
-    (fun i ix ->
-      let extent = shape.(i) in
-      match ix with
-      | Kernel.IAll -> (0, extent)
-      | Kernel.IStep ->
-          let origin, seg = ctx.step in
-          if origin >= extent then (origin, 0) else (origin, min seg (extent - origin))
-      | Kernel.IGrid d ->
-          let origin, seg = seg_of ctx d in
-          if origin >= extent then (origin, 0) else (origin, min seg (extent - origin)))
-    idx
+         (Array.length shape))
 
-(* Which axes map to tile rows/cols. At most two axes may have nominal
-   length > 1; a single wide axis orients against the destination buffer. *)
-let mapped_axes (k : Kernel.t) shape idx ~buf_cols_capacity =
-  let wide = ref [] in
-  Array.iteri
-    (fun i ix ->
-      let n = min (nominal_len k ix) shape.(i) in
-      if n > 1 then wide := i :: !wide)
-    idx;
-  match List.rev !wide with
-  | [] -> (None, None)
-  | [ a ] -> if buf_cols_capacity = 1 then (Some a, None) else (None, Some a)
-  | [ a; b ] -> (Some a, Some b)
-  | _ -> invalid_arg "Exec: transfer touches more than two non-unit axes"
-
-let active_of_segments segs (row_axis, col_axis) =
-  let len = function None -> 1 | Some a -> snd segs.(a) in
-  (len row_axis, len col_axis)
+let binary_dims kname (a : rbuf) (b : rbuf) =
+  let broadcast x y =
+    if x = y then x
+    else if x = 1 then y
+    else if y = 1 then x
+    else invalid_arg (Printf.sprintf "Exec %s: broadcast mismatch %d vs %d" kname x y)
+  in
+  (broadcast a.rows b.rows, broadcast a.cols b.cols)
 
 (* ------------------------------------------------------------------ *)
 (* Instruction semantics                                               *)
 (* ------------------------------------------------------------------ *)
 
-let buf_get bufs name =
-  match Hashtbl.find_opt bufs name with
-  | Some b -> b
-  | None -> invalid_arg (Printf.sprintf "Exec: unknown buffer %S" name)
-
-let binary_dims kname a b =
-  let broadcast x y =
-    if x = y then x
-    else if x = 1 then y
-    else if y = 1 then x
-    else
-      invalid_arg
-        (Printf.sprintf "Exec %s: broadcast mismatch %d vs %d" kname x y)
-  in
-  (broadcast a.rows b.rows, broadcast a.cols b.cols)
-
-let exec_instr ~mode ~(k : Kernel.t) ~device ~bufs ~acc ctx instr =
-  let full = mode = Full in
+let exec_cop ~full ~(c : compiled) ~device ~(bufs : rbuf array) ~(scratch : Tensor.buf) ~acc ctx
+    cop =
+  let kname = c.ck.kname in
   let simd n = acc.simd_flops <- acc.simd_flops +. (ctx.mult *. float_of_int n) in
-  match instr with
-  | Kernel.Load { tensor; dst; idx } ->
+  match cop with
+  | CLoad { tensor; dst; idx; nominal } ->
       let shape = Device.shape device tensor in
-      let d = buf_get bufs dst in
-      let _, ccap = Kernel.buf_capacity k d.spec in
-      let axes = mapped_axes k shape idx ~buf_cols_capacity:ccap in
-      let segs = axis_segments ctx shape idx in
-      let r, c = active_of_segments segs axes in
+      check_rank idx shape;
+      let d = bufs.(dst) in
+      let row_axis, col_axis = mapped_axes ~nominal shape ~buf_cols_capacity:d.spec.cb_cols_cap in
+      let r = if row_axis < 0 then 1 else snd (seg_at ctx shape idx row_axis) in
+      let c_ = if col_axis < 0 then 1 else snd (seg_at ctx shape idx col_axis) in
       d.rows <- r;
-      d.cols <- c;
-      acc.bytes <- acc.bytes +. (ctx.mult *. float_of_int (r * c * Arch.elt_bytes));
-      if full && r * c > 0 then begin
+      d.cols <- c_;
+      acc.bytes <- acc.bytes +. (ctx.mult *. float_of_int (r * c_ * Arch.elt_bytes));
+      if full && r * c_ > 0 then begin
         let data = Device.ensure_data device tensor in
         let strides = Shape.strides shape in
         let base = ref 0 in
-        Array.iteri (fun i (o, _) -> base := !base + (o * strides.(i))) segs;
-        let sr = match fst axes with None -> 0 | Some a -> strides.(a) in
-        let sc = match snd axes with None -> 0 | Some a -> strides.(a) in
+        for i = 0 to Array.length idx - 1 do
+          base := !base + (fst (seg_at ctx shape idx i) * strides.(i))
+        done;
+        let sr = if row_axis < 0 then 0 else strides.(row_axis) in
+        let sc = if col_axis < 0 then 0 else strides.(col_axis) in
+        let st = d.store in
         for i = 0 to r - 1 do
-          for j = 0 to c - 1 do
-            d.store.((i * c) + j) <- data.(!base + (i * sr) + (j * sc))
+          let db = !base + (i * sr) in
+          let ob = i * c_ in
+          for j = 0 to c_ - 1 do
+            unsafe_set st (ob + j) (unsafe_get data (db + (j * sc)))
           done
         done
       end
-  | Kernel.Store { src; tensor; idx } ->
+  | CStore { src; tensor; idx; nominal } ->
       let shape = Device.shape device tensor in
-      let s = buf_get bufs src in
-      let axes = mapped_axes k shape idx ~buf_cols_capacity:s.cols in
-      let segs = axis_segments ctx shape idx in
-      let r, c = active_of_segments segs axes in
-      if r <> s.rows || c <> s.cols then
+      check_rank idx shape;
+      let s = bufs.(src) in
+      let row_axis, col_axis = mapped_axes ~nominal shape ~buf_cols_capacity:s.cols in
+      let r = if row_axis < 0 then 1 else snd (seg_at ctx shape idx row_axis) in
+      let c_ = if col_axis < 0 then 1 else snd (seg_at ctx shape idx col_axis) in
+      if r <> s.rows || c_ <> s.cols then
         invalid_arg
-          (Printf.sprintf "Exec %s: store of %S expects %dx%d, buffer %S is %dx%d" k.kname tensor r
-             c src s.rows s.cols);
-      acc.bytes <- acc.bytes +. (ctx.mult *. float_of_int (r * c * Arch.elt_bytes));
-      if full && r * c > 0 then begin
+          (Printf.sprintf "Exec %s: store of %S expects %dx%d, buffer %S is %dx%d" kname tensor r
+             c_ s.spec.cb_name s.rows s.cols);
+      acc.bytes <- acc.bytes +. (ctx.mult *. float_of_int (r * c_ * Arch.elt_bytes));
+      if full && r * c_ > 0 then begin
         let data = Device.ensure_data device tensor in
         let strides = Shape.strides shape in
         let base = ref 0 in
-        Array.iteri (fun i (o, _) -> base := !base + (o * strides.(i))) segs;
-        let sr = match fst axes with None -> 0 | Some a -> strides.(a) in
-        let sc = match snd axes with None -> 0 | Some a -> strides.(a) in
+        for i = 0 to Array.length idx - 1 do
+          base := !base + (fst (seg_at ctx shape idx i) * strides.(i))
+        done;
+        let sr = if row_axis < 0 then 0 else strides.(row_axis) in
+        let sc = if col_axis < 0 then 0 else strides.(col_axis) in
+        let st = s.store in
         for i = 0 to r - 1 do
-          for j = 0 to c - 1 do
-            data.(!base + (i * sr) + (j * sc)) <- s.store.((i * c) + j)
+          let db = !base + (i * sr) in
+          let ob = i * c_ in
+          for j = 0 to c_ - 1 do
+            unsafe_set data (db + (j * sc)) (unsafe_get st (ob + j))
           done
         done
       end
-  | Kernel.Fill (name, v) ->
-      let b = buf_get bufs name in
-      let r = resolve_dimsize ctx k b.spec.brows and c = resolve_dimsize ctx k b.spec.bcols in
+  | CFill { dst; v } ->
+      let b = bufs.(dst) in
+      let r = resolve_rdim ctx b.spec.cb_rdim and c_ = resolve_rdim ctx b.spec.cb_cdim in
       b.rows <- r;
-      b.cols <- c;
-      simd (r * c);
-      if full then Array.fill b.store 0 (r * c) v
-  | Kernel.Copy { dst; src } ->
-      let s = buf_get bufs src and d = buf_get bufs dst in
-      d.rows <- s.rows;
-      d.cols <- s.cols;
-      simd (s.rows * s.cols);
-      if full then Array.blit s.store 0 d.store 0 (s.rows * s.cols)
-  | Kernel.Unary { dst; op; src } ->
-      let s = buf_get bufs src and d = buf_get bufs dst in
-      let f = Ir.Op.apply_unop op in
-      d.rows <- s.rows;
-      d.cols <- s.cols;
-      simd (s.rows * s.cols);
-      if full then
-        for i = 0 to (s.rows * s.cols) - 1 do
-          d.store.(i) <- f s.store.(i)
-        done
-  | Kernel.Binary { dst; op; a; b } ->
-      let ba = buf_get bufs a and bb = buf_get bufs b in
-      let d = buf_get bufs dst in
-      let r, c = binary_dims k.kname ba bb in
-      let f = Ir.Op.apply_binop op in
-      simd (r * c);
+      b.cols <- c_;
+      simd (r * c_);
       if full then begin
-        (* [dst] may alias an operand; read via index functions. *)
+        let st = b.store in
+        for i = 0 to (r * c_) - 1 do
+          unsafe_set st i v
+        done
+      end
+  | CCopy { dst; src } ->
+      let s = bufs.(src) and d = bufs.(dst) in
+      d.rows <- s.rows;
+      d.cols <- s.cols;
+      simd (s.rows * s.cols);
+      if full then begin
+        let ss = s.store and ds = d.store in
+        for i = 0 to (s.rows * s.cols) - 1 do
+          unsafe_set ds i (unsafe_get ss i)
+        done
+      end
+  | CUnary { dst; src; f } ->
+      let s = bufs.(src) and d = bufs.(dst) in
+      d.rows <- s.rows;
+      d.cols <- s.cols;
+      simd (s.rows * s.cols);
+      if full then begin
+        let ss = s.store and ds = d.store in
+        for i = 0 to (s.rows * s.cols) - 1 do
+          unsafe_set ds i (f (unsafe_get ss i))
+        done
+      end
+  | CBinary { dst; a; b; f; aliased } ->
+      let ba = bufs.(a) and bb = bufs.(b) in
+      let d = bufs.(dst) in
+      let r, c_ = binary_dims kname ba bb in
+      simd (r * c_);
+      if full then begin
+        (* [dst] may alias an operand (detected at compile time); write
+           through the launch scratch and blit back. *)
         let ra = ba.rows and ca = ba.cols and rb = bb.rows and cb = bb.cols in
         let sa = ba.store and sb = bb.store in
-        let out = if d == ba || d == bb then Array.make (r * c) 0.0 else d.store in
+        let out = if aliased then scratch else d.store in
         for i = 0 to r - 1 do
           let ia = if ra = 1 then 0 else i and ib = if rb = 1 then 0 else i in
-          for j = 0 to c - 1 do
+          let ob = i * c_ in
+          for j = 0 to c_ - 1 do
             let ja = if ca = 1 then 0 else j and jb = if cb = 1 then 0 else j in
-            out.((i * c) + j) <- f sa.((ia * ca) + ja) sb.((ib * cb) + jb)
+            unsafe_set out (ob + j) (f (unsafe_get sa ((ia * ca) + ja)) (unsafe_get sb ((ib * cb) + jb)))
           done
         done;
-        if out != d.store then Array.blit out 0 d.store 0 (r * c)
+        if aliased then begin
+          let ds = d.store in
+          for i = 0 to (r * c_) - 1 do
+            unsafe_set ds i (unsafe_get out i)
+          done
+        end
       end;
       d.rows <- r;
-      d.cols <- c
-  | Kernel.RowReduce { dst; op; src; accumulate } ->
-      let s = buf_get bufs src and d = buf_get bufs dst in
+      d.cols <- c_
+  | CRowReduce { dst; src; combine; rinit; accumulate } ->
+      let s = bufs.(src) and d = bufs.(dst) in
       if accumulate && (d.rows <> s.rows || d.cols <> 1) then
-        invalid_arg
-          (Printf.sprintf "Exec %s: accumulating RowReduce into %S with stale dims" k.kname dst);
+        invalid_arg (Printf.sprintf "Exec %s: accumulating RowReduce into %S with stale dims" kname d.spec.cb_name);
       simd (s.rows * s.cols);
       if full then begin
-        let combine = Ir.Op.redop_combine op and init = Ir.Op.redop_identity op in
+        let ss = s.store and ds = d.store in
+        let cols = s.cols in
         for i = 0 to s.rows - 1 do
-          let a = ref init in
-          for j = 0 to s.cols - 1 do
-            a := combine !a s.store.((i * s.cols) + j)
+          let a = ref rinit in
+          let base = i * cols in
+          for j = 0 to cols - 1 do
+            a := combine !a (unsafe_get ss (base + j))
           done;
-          d.store.(i) <- (if accumulate then combine d.store.(i) !a else !a)
+          unsafe_set ds i (if accumulate then combine (unsafe_get ds i) !a else !a)
         done
       end;
       d.rows <- s.rows;
       d.cols <- 1
-  | Kernel.ColReduce { dst; op; src; accumulate } ->
-      let s = buf_get bufs src and d = buf_get bufs dst in
+  | CColReduce { dst; src; combine; rinit; accumulate } ->
+      let s = bufs.(src) and d = bufs.(dst) in
       if accumulate && (d.rows <> 1 || d.cols <> s.cols) then
-        invalid_arg
-          (Printf.sprintf "Exec %s: accumulating ColReduce into %S with stale dims" k.kname dst);
+        invalid_arg (Printf.sprintf "Exec %s: accumulating ColReduce into %S with stale dims" kname d.spec.cb_name);
       simd (s.rows * s.cols);
       if full then begin
-        let combine = Ir.Op.redop_combine op and init = Ir.Op.redop_identity op in
-        for j = 0 to s.cols - 1 do
-          let a = ref init in
+        let ss = s.store and ds = d.store in
+        let cols = s.cols in
+        for j = 0 to cols - 1 do
+          let a = ref rinit in
           for i = 0 to s.rows - 1 do
-            a := combine !a s.store.((i * s.cols) + j)
+            a := combine !a (unsafe_get ss ((i * cols) + j))
           done;
-          d.store.(j) <- (if accumulate then combine d.store.(j) !a else !a)
+          unsafe_set ds j (if accumulate then combine (unsafe_get ds j) !a else !a)
         done
       end;
       d.rows <- 1;
       d.cols <- s.cols
-  | Kernel.Gemm { dst; a; b; trans_b; accumulate } ->
-      let ba = buf_get bufs a and bb = buf_get bufs b in
-      let d = buf_get bufs dst in
+  | CGemm { dst; a; b; trans_b; accumulate } ->
+      let ba = bufs.(a) and bb = bufs.(b) in
+      let d = bufs.(dst) in
       let r = ba.rows and ka = ba.cols in
-      let c, kb = if trans_b then (bb.rows, bb.cols) else (bb.cols, bb.rows) in
+      let c_, kb = if trans_b then (bb.rows, bb.cols) else (bb.cols, bb.rows) in
       if ka <> kb then
-        invalid_arg
-          (Printf.sprintf "Exec %s: gemm contraction mismatch %d vs %d" k.kname ka kb);
-      if accumulate && (d.rows <> r || d.cols <> c) then
-        invalid_arg (Printf.sprintf "Exec %s: accumulating gemm into %S with stale dims" k.kname dst);
-      acc.gemm_flops <- acc.gemm_flops +. (ctx.mult *. float_of_int (2 * r * c * ka));
+        invalid_arg (Printf.sprintf "Exec %s: gemm contraction mismatch %d vs %d" kname ka kb);
+      if accumulate && (d.rows <> r || d.cols <> c_) then
+        invalid_arg (Printf.sprintf "Exec %s: accumulating gemm into %S with stale dims" kname d.spec.cb_name);
+      acc.gemm_flops <- acc.gemm_flops +. (ctx.mult *. float_of_int (2 * r * c_ * ka));
       if full then begin
-        let sa = ba.store and sb = bb.store in
-        for i = 0 to r - 1 do
-          for j = 0 to c - 1 do
-            let s = ref 0.0 in
-            if trans_b then
+        let sa = ba.store and sb = bb.store and sd = d.store in
+        if trans_b then
+          (* C += A·Bᵀ: rows of both operands are contiguous. *)
+          for i = 0 to r - 1 do
+            let pa = i * ka in
+            let po = i * c_ in
+            for j = 0 to c_ - 1 do
+              let pb = j * ka in
+              let s = ref 0.0 in
               for kk = 0 to ka - 1 do
-                s := !s +. (sa.((i * ka) + kk) *. sb.((j * ka) + kk))
-              done
-            else
-              for kk = 0 to ka - 1 do
-                s := !s +. (sa.((i * ka) + kk) *. sb.((kk * c) + j))
+                s := !s +. (unsafe_get sa (pa + kk) *. unsafe_get sb (pb + kk))
               done;
-            d.store.((i * c) + j) <- (if accumulate then d.store.((i * c) + j) +. !s else !s)
+              unsafe_set sd (po + j) (if accumulate then unsafe_get sd (po + j) +. !s else !s)
+            done
           done
-        done
+        else if accumulate then
+          (* Keep the dot-then-add association so accumulated results stay
+             bit-identical to the reference executor. *)
+          for i = 0 to r - 1 do
+            let pa = i * ka in
+            let po = i * c_ in
+            for j = 0 to c_ - 1 do
+              let s = ref 0.0 in
+              for kk = 0 to ka - 1 do
+                s := !s +. (unsafe_get sa (pa + kk) *. unsafe_get sb ((kk * c_) + j))
+              done;
+              unsafe_set sd (po + j) (unsafe_get sd (po + j) +. !s)
+            done
+          done
+        else begin
+          (* C = A·B: i-k-j order streams B and C rows instead of striding
+             B column-wise; per output element the additions still run in
+             ascending k, so results match the dot-product order bit for
+             bit. *)
+          for i = 0 to (r * c_) - 1 do
+            unsafe_set sd i 0.0
+          done;
+          for i = 0 to r - 1 do
+            let pa = i * ka in
+            let po = i * c_ in
+            for kk = 0 to ka - 1 do
+              let aik = unsafe_get sa (pa + kk) in
+              let pb = kk * c_ in
+              for j = 0 to c_ - 1 do
+                unsafe_set sd (po + j) (unsafe_get sd (po + j) +. (aik *. unsafe_get sb (pb + j)))
+              done
+            done
+          done
+        end
       end;
       d.rows <- r;
-      d.cols <- c
+      d.cols <- c_
 
 (* ------------------------------------------------------------------ *)
 (* Transfer summary (closed form)                                      *)
@@ -370,105 +648,110 @@ let transfers device (k : Kernel.t) =
 (* Walks                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let make_bufs ~mode (k : Kernel.t) =
-  let bufs = Hashtbl.create 8 in
-  List.iter
-    (fun (b : Kernel.buf) ->
-      let r, c = Kernel.buf_capacity k b in
-      let store = if mode = Full then Array.make (max 1 (r * c)) 0.0 else [||] in
-      Hashtbl.replace bufs b.bname { spec = b; store; rows = 0; cols = 0 })
-    k.bufs;
-  bufs
+let run_stages ~full ~c ~device ~bufs ~scratch ~acc (ctx : rctx) =
+  let base_mult = ctx.mult in
+  Array.iter
+    (fun (in_loop, ops) ->
+      if not in_loop then begin
+        ctx.step_o <- 0;
+        ctx.step_s <- c.cnominal_tile;
+        ctx.mult <- base_mult;
+        Array.iter (exec_cop ~full ~c ~device ~bufs ~scratch ~acc ctx) ops
+      end
+      else if full then
+        Array.iter
+          (fun (o, s) ->
+            ctx.step_o <- o;
+            ctx.step_s <- s;
+            ctx.mult <- base_mult;
+            Array.iter (exec_cop ~full ~c ~device ~bufs ~scratch ~acc ctx) ops)
+          c.cstep_parts
+      else
+        Array.iter
+          (fun (s, count) ->
+            ctx.step_o <- 0;
+            ctx.step_s <- s;
+            ctx.mult <- base_mult *. float_of_int count;
+            Array.iter (exec_cop ~full ~c ~device ~bufs ~scratch ~acc ctx) ops)
+          c.cstep_classes)
+    c.cstages
 
-(* Enumerate (origin, segment) partitions of [extent] by [block]. *)
-let partitions extent block =
-  List.init (ceil_div extent block) (fun i ->
-      let o = i * block in
-      (o, min block (extent - o)))
-
-(* Segment classes: (segment, multiplicity). *)
-let seg_classes extent block =
-  let n = extent / block and rem = extent mod block in
-  (if n > 0 then [ (block, n) ] else []) @ if rem > 0 then [ (rem, 1) ] else []
-
-let run_full device (k : Kernel.t) acc =
-  let bufs = make_bufs ~mode:Full k in
-  let nominal_tile = match k.temporal with Some (_, _, t) -> t | None -> 1 in
-  let rec blocks dims chosen =
-    match dims with
-    | [] ->
-        let base_ctx = { blk = List.rev chosen; step = (0, nominal_tile); mult = 1.0; in_loop = false } in
-        List.iter
-          (function
-            | Kernel.Once is ->
-                List.iter (exec_instr ~mode:Full ~k ~device ~bufs ~acc base_ctx) is
-            | Kernel.ForEachStep is ->
-                let steps =
-                  match k.temporal with
-                  | None -> [ (0, 1) ]
-                  | Some (_, extent, tile) -> partitions extent tile
-                in
-                List.iter
-                  (fun step ->
-                    let ctx = { base_ctx with step; in_loop = true } in
-                    List.iter (exec_instr ~mode:Full ~k ~device ~bufs ~acc ctx) is)
-                  steps)
-          k.stages
-    | (g : Kernel.grid_dim) :: rest ->
-        List.iter (fun os -> blocks rest ((g.gdim, os) :: chosen)) (partitions g.extent g.block)
+(* Walk the cartesian product of per-dim tables with an odometer (last dim
+   fastest), matching the old recursive enumeration order exactly so the
+   counter accumulation order — and thus every float sum — is unchanged. *)
+let walk ~full ~(c : compiled) ~device ~bufs ~scratch ~acc =
+  let tables = if full then c.cparts else c.cclasses in
+  let nd = Array.length tables in
+  let ctx =
+    {
+      origins = Array.make nd 0;
+      segs = Array.make nd 0;
+      step_o = 0;
+      step_s = c.cnominal_tile;
+      mult = 1.0;
+    }
   in
-  blocks k.grid []
-
-let run_analytic device (k : Kernel.t) acc =
-  let bufs = make_bufs ~mode:Analytic k in
-  let nominal_tile = match k.temporal with Some (_, _, t) -> t | None -> 1 in
-  (* Block classes: cartesian product of per-dim segment classes. *)
-  let rec classes dims chosen mult =
-    match dims with
-    | [] -> [ (List.rev chosen, mult) ]
-    | (g : Kernel.grid_dim) :: rest ->
-        List.concat_map
-          (fun (seg, count) ->
-            classes rest ((g.gdim, (0, seg)) :: chosen) (mult *. float_of_int count))
-          (seg_classes g.extent g.block)
+  let counters = Array.make nd 0 in
+  let set_dim i p =
+    if full then begin
+      let o, s = tables.(i).(p) in
+      ctx.origins.(i) <- o;
+      ctx.segs.(i) <- s
+    end
+    else begin
+      let s, _count = tables.(i).(p) in
+      ctx.origins.(i) <- 0;
+      ctx.segs.(i) <- s
+    end
   in
-  List.iter
-    (fun (blk, mult) ->
-      let base_ctx = { blk; step = (0, nominal_tile); mult; in_loop = false } in
-      List.iter
-        (function
-          | Kernel.Once is ->
-              List.iter (exec_instr ~mode:Analytic ~k ~device ~bufs ~acc base_ctx) is
-          | Kernel.ForEachStep is ->
-              let step_cls =
-                match k.temporal with
-                | None -> [ (1, 1) ]
-                | Some (_, extent, tile) -> seg_classes extent tile
-              in
-              List.iter
-                (fun (seg, count) ->
-                  let ctx =
-                    { base_ctx with step = (0, seg); mult = mult *. float_of_int count; in_loop = true }
-                  in
-                  List.iter (exec_instr ~mode:Analytic ~k ~device ~bufs ~acc ctx) is)
-                step_cls)
-        k.stages)
-    (classes k.grid [] 1.0)
+  for i = 0 to nd - 1 do
+    set_dim i 0
+  done;
+  let block_mult () =
+    if full then 1.0
+    else begin
+      let m = ref 1.0 in
+      for i = 0 to nd - 1 do
+        m := !m *. float_of_int (snd tables.(i).(counters.(i)))
+      done;
+      !m
+    end
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    ctx.mult <- block_mult ();
+    run_stages ~full ~c ~device ~bufs ~scratch ~acc ctx;
+    let d = ref (nd - 1) in
+    let stepped = ref false in
+    while (not !stepped) && !d >= 0 do
+      let ni = counters.(!d) + 1 in
+      if ni < Array.length tables.(!d) then begin
+        counters.(!d) <- ni;
+        set_dim !d ni;
+        stepped := true
+      end
+      else begin
+        counters.(!d) <- 0;
+        set_dim !d 0;
+        decr d
+      end
+    done;
+    if not !stepped then continue_ := false
+  done
 
 let run ?(mode = Full) ?arch device (k : Kernel.t) =
-  Kernel.validate k;
-  let smem = Kernel.smem_bytes k and regs = Kernel.reg_bytes k in
+  let c = compiled_of k in
   (match arch with
   | Some (a : Arch.t) ->
-      if smem > a.smem_per_block then
+      if c.csmem > a.smem_per_block then
         raise
           (Resource_exceeded
-             (Printf.sprintf "kernel %s: %d B shared memory > %d B budget on %s" k.kname smem
+             (Printf.sprintf "kernel %s: %d B shared memory > %d B budget on %s" k.kname c.csmem
                 a.smem_per_block a.name));
-      if regs > a.regfile_bytes then
+      if c.cregs > a.regfile_bytes then
         raise
           (Resource_exceeded
-             (Printf.sprintf "kernel %s: %d B register tiles > %d B budget on %s" k.kname regs
+             (Printf.sprintf "kernel %s: %d B register tiles > %d B budget on %s" k.kname c.cregs
                 a.regfile_bytes a.name))
   | None -> ());
   (* A validated, in-budget kernel is what reaches the "hardware": this is
@@ -477,7 +760,16 @@ let run ?(mode = Full) ?arch device (k : Kernel.t) =
   | Some inj -> Fault.Inject.launch inj ~kernel:k.kname
   | None -> ());
   let acc = { gemm_flops = 0.0; simd_flops = 0.0; bytes = 0.0 } in
-  (match mode with Full -> run_full device k acc | Analytic -> run_analytic device k acc);
+  let full = mode = Full in
+  let bufs = make_rbufs ~full c in
+  let scratch = if full && c.cscratch > 0 then alloc_store c.cscratch else empty_store in
+  Fun.protect
+    ~finally:(fun () ->
+      if full then begin
+        Array.iter (fun b -> release_store b.store) bufs;
+        release_store scratch
+      end)
+    (fun () -> walk ~full ~c ~device ~bufs ~scratch ~acc);
   let reads, writes = transfers device k in
   {
     ks_name = k.kname;
@@ -485,8 +777,8 @@ let run ?(mode = Full) ?arch device (k : Kernel.t) =
     ks_steps = Kernel.num_steps k;
     ks_gemm_flops = acc.gemm_flops;
     ks_simd_flops = acc.simd_flops;
-    ks_smem_bytes = smem;
-    ks_reg_bytes = regs;
+    ks_smem_bytes = c.csmem;
+    ks_reg_bytes = c.cregs;
     ks_moved_bytes = acc.bytes;
     ks_reads = reads;
     ks_writes = writes;

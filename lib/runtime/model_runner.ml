@@ -13,11 +13,13 @@ let supported ~arch (b : Backends.Policy.t) = b.supports arch
 let m_runs = lazy (Obs.Metrics.counter "model.runs")
 let m_latency = lazy (Obs.Metrics.histogram "model.latency_seconds")
 let m_compile = lazy (Obs.Metrics.histogram "model.compile_seconds")
+let m_warm_fast = lazy (Obs.Metrics.counter "run.warm_fast_path")
 
 (* Plans are cached across calls when [cache] is supplied: the paper's
    program-preprocessing compiles each distinct (repetitive) subprogram
    once, and e.g. Bert and Albert share every block. *)
-let run_model_r ?cache ?inject ~arch (backend : Backends.Policy.t) (model : Ir.Models.model) =
+let run_model_r ?cache ?inject ?arena ?(functional = `Never) ~arch
+    (backend : Backends.Policy.t) (model : Ir.Models.model) =
   if not (backend.supports arch) then
     Error
       (Core.Spacefusion.Error.Unsupported
@@ -35,10 +37,10 @@ let run_model_r ?cache ?inject ~arch (backend : Backends.Policy.t) (model : Ir.M
           Obs.Trace.with_span ~attrs:[ ("name", sp.sp_name) ] "subprogram" @@ fun () ->
           let name = model.model_name ^ "." ^ sp.sp_name in
           let t0 = Unix.gettimeofday () in
-          let plan, hit =
+          let plan, hit, verified =
             match cache with
-            | None -> (backend.compile arch ~name sp.graph, false)
-            | Some c -> Plan_cache.compile_hit c backend arch ~name sp.graph
+            | None -> (backend.compile arch ~name sp.graph, false, false)
+            | Some c -> Plan_cache.compile_hit_verified c backend arch ~name sp.graph
           in
           (* A hit's wall-clock is a table lookup, not compilation: report
              it as zero so cached latencies do not inflate compile time. *)
@@ -47,9 +49,37 @@ let run_model_r ?cache ?inject ~arch (backend : Backends.Policy.t) (model : Ir.M
             incr misses;
             compile_s := !compile_s +. (Unix.gettimeofday () -. t0)
           end;
+          (* Execution mode. [`Never] is the analytic default; [`Always]
+             forces the functional interpreter (oracle/fuzz paths);
+             [`Auto] runs a plan functionally until its first complete
+             execution stamps it verified, after which warm cache hits
+             take the analytic fast path — the same counters without the
+             data plane. *)
+          let mode =
+            match functional with
+            | `Never -> Gpu.Exec.Analytic
+            | `Always -> Gpu.Exec.Full
+            | `Auto ->
+                if hit && verified then begin
+                  Obs.Metrics.incr (Lazy.force m_warm_fast);
+                  Gpu.Exec.Analytic
+                end
+                else Gpu.Exec.Full
+          in
           let device = Gpu.Device.create () in
           (match inject with Some inj -> Gpu.Device.attach_faults device inj | None -> ());
-          let r = Runner.run_plan ~arch ~dispatch_us:backend.dispatch_us device plan in
+          let r = Runner.run_plan ~mode ~arch ~dispatch_us:backend.dispatch_us device plan in
+          (* Completed functionally: stamp the cached plan so the next warm
+             hit can skip re-execution. *)
+          (if mode = Gpu.Exec.Full && functional = `Auto then
+             match cache with
+             | Some c -> Plan_cache.mark_verified c backend arch ~name sp.graph
+             | None -> ());
+          (* Nothing reads the device after the run here: recycle its
+             buffers into the ambient arena (if any) for the next plan. *)
+          (match Tensor.Arena.current () with
+          | Some a -> Gpu.Device.release_owned device a
+          | None -> ());
           exec := Exec_stats.add !exec (Exec_stats.scale r sp.count))
         model.subprograms;
       Obs.Metrics.incr (Lazy.force m_runs);
@@ -64,6 +94,9 @@ let run_model_r ?cache ?inject ~arch (backend : Backends.Policy.t) (model : Ir.M
         m_cache_hits = !hits;
         m_cache_misses = !misses;
       }
+    in
+    let body () =
+      match arena with Some a -> Tensor.Arena.with_arena a body | None -> body ()
     in
     match body () with
     | r -> Ok r
@@ -80,8 +113,8 @@ let classify_exn = function
       | Fault.Plan.Degraded -> Degrade)
   | _ -> No_fault
 
-let run_model ?cache ~arch backend model =
-  match run_model_r ?cache ~arch backend model with
+let run_model ?cache ?arena ?functional ~arch backend model =
+  match run_model_r ?cache ?arena ?functional ~arch backend model with
   | Ok r -> r
   | Error (Core.Spacefusion.Error.Unsupported _ as e) ->
       invalid_arg (Core.Spacefusion.Error.to_string e)

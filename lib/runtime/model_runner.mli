@@ -18,6 +18,8 @@ type result = {
 val run_model_r :
   ?cache:Plan_cache.t ->
   ?inject:Fault.Inject.t ->
+  ?arena:Tensor.Arena.t ->
+  ?functional:[ `Auto | `Always | `Never ] ->
   arch:Gpu.Arch.t ->
   Backends.Policy.t ->
   Ir.Models.model ->
@@ -32,7 +34,23 @@ val run_model_r :
     With [inject], every device the run creates carries that fault
     injector, so a kernel launch may raise {!Fault.Plan.Injected} — it
     propagates as an exception (one injection stream models one logical
-    device; classify with {!classify_exn}). *)
+    device; classify with {!classify_exn}).
+
+    [functional] selects the execution mode per subprogram. [`Never] (the
+    default) runs the analytic walk only — counters without data, the mode
+    paper-scale benchmarks need. [`Always] forces the functional
+    interpreter every time (the oracle/fuzz bypass flag: measurements stay
+    honest even for verified plans). [`Auto] is the serving policy: a plan
+    runs functionally ([run.functional_execs]) until one complete
+    execution stamps its cache entry verified; from then on warm hits skip
+    functional re-execution and take the analytic walk
+    ([run.warm_fast_path]). [`Auto] without [cache] (or on a miss) always
+    runs functionally.
+
+    With [arena] (installed for the whole run via
+    {!Tensor.Arena.with_arena}), device buffers and kernel tile stores are
+    drawn from — and returned to — the arena, so a warm serving loop
+    reaches a steady state that allocates nothing per request. *)
 
 type fault_action =
   | Retry  (** transient: retry the same path *)
@@ -45,7 +63,13 @@ val classify_exn : exn -> fault_action
     action (severity of {!Fault.Plan.Injected}; [No_fault] otherwise). *)
 
 val run_model :
-  ?cache:Plan_cache.t -> arch:Gpu.Arch.t -> Backends.Policy.t -> Ir.Models.model -> result
+  ?cache:Plan_cache.t ->
+  ?arena:Tensor.Arena.t ->
+  ?functional:[ `Auto | `Always | `Never ] ->
+  arch:Gpu.Arch.t ->
+  Backends.Policy.t ->
+  Ir.Models.model ->
+  result
 (** {!run_model_r}, raising: [Invalid_argument] for [Unsupported] (message
     unchanged from the historical API) and {!Core.Spacefusion.Unschedulable}
     for [Unschedulable]. *)

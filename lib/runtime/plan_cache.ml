@@ -5,7 +5,11 @@ type key = {
   k_graph : Digest.t;  (* of the canonical DSL text, not the text itself *)
 }
 
-type entry = { e_plan : Gpu.Plan.t; mutable e_last_use : int }
+type entry = {
+  e_plan : Gpu.Plan.t;
+  mutable e_last_use : int;
+  mutable e_verified : bool;  (* a functional (or oracle) execution of this plan completed *)
+}
 
 type t = {
   table : (key, entry) Hashtbl.t;
@@ -73,7 +77,7 @@ let mem t backend arch ~name graph =
   let key = key_of backend arch ~name graph in
   locked t (fun () -> Hashtbl.mem t.table key)
 
-let compile_hit t (backend : Backends.Policy.t) arch ~name graph =
+let compile_hit_verified t (backend : Backends.Policy.t) arch ~name graph =
   (* Hash the canonical DSL outside the lock: it is the expensive part of
      the key, and it needs no cache state. *)
   let key = key_of backend arch ~name graph in
@@ -90,9 +94,10 @@ let compile_hit t (backend : Backends.Policy.t) arch ~name graph =
           t.tick <- t.tick + 1;
           e.e_last_use <- t.tick;
           t.stats.Core.Cstats.n_cache_hits <- t.stats.Core.Cstats.n_cache_hits + 1;
+          let verified = e.e_verified in
           Mutex.unlock t.lock;
           Obs.Metrics.incr (Lazy.force m_hits);
-          `Hit e.e_plan
+          `Hit (e.e_plan, verified)
       | None ->
           if Hashtbl.mem t.pending key then begin
             Condition.wait t.filled t.lock;
@@ -109,7 +114,7 @@ let compile_hit t (backend : Backends.Policy.t) arch ~name graph =
     loop ()
   in
   match decide () with
-  | `Hit plan -> (plan, true)
+  | `Hit (plan, verified) -> (plan, true, verified)
   | `Compile -> (
       let resolve f =
         locked t (fun () ->
@@ -138,11 +143,22 @@ let compile_hit t (backend : Backends.Policy.t) arch ~name graph =
                   e.e_last_use <- t.tick
               | None ->
                   t.tick <- t.tick + 1;
-                  Hashtbl.replace t.table key { e_plan = plan; e_last_use = t.tick };
+                  Hashtbl.replace t.table key { e_plan = plan; e_last_use = t.tick; e_verified = false };
                   evict_over_capacity t);
-              (plan, false)))
+              (plan, false, false)))
+
+let compile_hit t backend arch ~name graph =
+  let plan, hit, _verified = compile_hit_verified t backend arch ~name graph in
+  (plan, hit)
 
 let compile t backend arch ~name graph = fst (compile_hit t backend arch ~name graph)
+
+let mark_verified t backend arch ~name graph =
+  let key = key_of backend arch ~name graph in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some e -> e.e_verified <- true
+      | None -> ())
 
 let hits t = locked t (fun () -> t.stats.Core.Cstats.n_cache_hits)
 let misses t = locked t (fun () -> t.stats.Core.Cstats.n_cache_misses)

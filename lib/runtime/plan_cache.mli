@@ -35,6 +35,18 @@ val compile_hit :
     result). {!Model_runner} uses this to attribute compile wall-clock only
     to lookups that actually compiled. *)
 
+val compile_hit_verified :
+  t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t * bool * bool
+(** {!compile_hit}, additionally reporting the entry's [verified] stamp
+    (always [false] on a miss). A verified warm hit licenses
+    {!Model_runner}'s fast path: the plan's functional execution already
+    completed once, so an [`Auto] run may skip it and take the analytic
+    walk. *)
+
+val mark_verified : t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> unit
+(** Stamp the resident entry for this key as functionally verified. No-op
+    when the key is absent (e.g. evicted since the lookup). *)
+
 val mem : t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> bool
 (** Whether a plan for this key is resident right now. Pure probe: no LRU
     touch, no hit/miss accounting, no compile. The serve runtime uses it

@@ -3,9 +3,11 @@ type result = Exec_stats.t
 let m_plans = lazy (Obs.Metrics.counter "run.plans")
 let m_kernels = lazy (Obs.Metrics.counter "run.kernels")
 let m_sim = lazy (Obs.Metrics.histogram "run.sim_seconds")
+let m_functional = lazy (Obs.Metrics.counter "run.functional_execs")
 
 let run_plan ?(mode = Gpu.Exec.Analytic) ~arch ~dispatch_us device (plan : Gpu.Plan.t) =
   Obs.Trace.with_span ~attrs:[ ("plan", plan.Gpu.Plan.p_name) ] "execute" @@ fun () ->
+  if mode = Gpu.Exec.Full then Obs.Metrics.incr (Lazy.force m_functional);
   Gpu.Plan.declare_all plan device;
   let cache = Gpu.Cost.fresh_cache arch in
   let timing = ref Gpu.Cost.zero in

@@ -1,9 +1,18 @@
 let default_seeds = [ 42; 137; 9001 ]
 
 let tensor_nonfinite t =
-  let data = Tensor.data t in
+  let buf = Tensor.buffer t in
+  let n = Tensor.numel t in
   let bad = ref None in
-  Array.iteri (fun i v -> if !bad = None && not (Float.is_finite v) then bad := Some (i, v)) data;
+  (try
+     for i = 0 to n - 1 do
+       let v = buf.{i} in
+       if not (Float.is_finite v) then begin
+         bad := Some (i, v);
+         raise Exit
+       end
+     done
+   with Exit -> ());
   !bad
 
 let reference_finite ?(seeds = default_seeds) graph =

@@ -11,6 +11,7 @@ type config = {
   clock : unit -> float;
   fault_plan : Fault.Plan.t option;
   breaker : Breaker.config;
+  verify_cold : bool;
 }
 
 let default_config () =
@@ -25,6 +26,7 @@ let default_config () =
     clock = Unix.gettimeofday;
     fault_plan = None;
     breaker = Breaker.default_config;
+    verify_cold = true;
   }
 
 type response = {
@@ -226,10 +228,16 @@ let budgeted t (b : Backends.Policy.t) =
             plan);
       }
 
+(* Cold-path verification policy: with [verify_cold] every plan's first
+   run executes the functional interpreter end to end, and only
+   verified warm hits take the analytic fast path (see
+   {!Runtime.Model_runner.run_model_r}). *)
+let functional t = if t.cfg.verify_cold then `Auto else `Never
+
 let baseline_run t rq ~inject =
   match
-    Runtime.Model_runner.run_model_r ~cache:t.cache ?inject ~arch:rq.rq_arch
-      Backends.Baselines.pytorch rq.rq_model
+    Runtime.Model_runner.run_model_r ~cache:t.cache ?inject ~functional:(functional t)
+      ~arch:rq.rq_arch Backends.Baselines.pytorch rq.rq_model
   with
   | Ok r -> `Served (r, true)
   | Error e -> `Reject (Error.to_string e)
@@ -237,8 +245,8 @@ let baseline_run t rq ~inject =
 
 let fused_run t rq ~key ~inject =
   match
-    Runtime.Model_runner.run_model_r ~cache:t.cache ?inject ~arch:rq.rq_arch
-      (budgeted t rq.rq_backend) rq.rq_model
+    Runtime.Model_runner.run_model_r ~cache:t.cache ?inject ~functional:(functional t)
+      ~arch:rq.rq_arch (budgeted t rq.rq_backend) rq.rq_model
   with
   | Ok r -> `Served (r, false)
   | Error (Error.Unsupported _ as e) -> `Reject (Error.to_string e)
@@ -371,6 +379,12 @@ let rec worker_loop t =
       handle t p;
       worker_loop t
 
+(* Each worker domain owns an arena; a steady-state warm worker serves
+   requests out of recycled buffers instead of churning the allocator. *)
+let worker_main t =
+  let arena = Tensor.Arena.create () in
+  Tensor.Arena.with_arena arena (fun () -> worker_loop t)
+
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -400,7 +414,7 @@ let start ?cache ?config () =
      a nested domain pool per worker (see Core.Parallel.as_worker). *)
   t.worker_domains <-
     List.init workers (fun _ ->
-        Domain.spawn (fun () -> Core.Parallel.as_worker (fun () -> worker_loop t)));
+        Domain.spawn (fun () -> Core.Parallel.as_worker (fun () -> worker_main t)));
   t
 
 let submit t ?(priority = 0) ?deadline_s ~arch backend model =

@@ -66,6 +66,11 @@ type config = {
   fault_plan : Fault.Plan.t option;
       (** deterministic fault injection for every serving attempt *)
   breaker : Breaker.config;  (** per-(backend, arch) circuit breakers *)
+  verify_cold : bool;
+      (** run each plan's first (unverified) execution through the
+          functional interpreter; verified warm hits then skip it and take
+          the analytic fast path (see {!Runtime.Model_runner.run_model_r}'s
+          [`Auto]). With [false] every request runs analytically. *)
 }
 
 val default_config : unit -> config
@@ -73,7 +78,8 @@ val default_config : unit -> config
     sizes the pool), [queue_capacity = 256], [priorities = 2],
     [max_retries = 2], [backoff_s = 1e-3], [backoff_cap_s = 0.05],
     [compile_budget_s = None], [clock = Unix.gettimeofday],
-    [fault_plan = None], [breaker = Breaker.default_config]. *)
+    [fault_plan = None], [breaker = Breaker.default_config],
+    [verify_cold = true]. *)
 
 type response = {
   r_result : Runtime.Model_runner.result;

@@ -63,19 +63,39 @@ let reduce (s : t) ~axis ~keepdims =
   if keepdims then Array.mapi (fun i d -> if i = a then 1 else d) s
   else Array.init (rank s - 1) (fun i -> if i < a then s.(i) else s.(i + 1))
 
-let offset (s : t) idx =
-  let st = strides s in
+(* Variants over a caller-held stride table: the hot loops in Tensor and
+   Gpu.Exec compute [strides] once per operation and index through it,
+   instead of allocating a fresh table (and, for [unravel], a fresh index
+   array) per element. *)
+
+let offset_with ~strides:(st : int array) idx =
   let acc = ref 0 in
   Array.iteri (fun i v -> acc := !acc + (v * st.(i))) idx;
   !acc
 
-let unravel (s : t) off =
-  let st = strides s in
-  let n = rank s in
-  let idx = Array.make n 0 in
+let unravel_into ~strides:(st : int array) off (idx : int array) =
   let rem = ref off in
-  for i = 0 to n - 1 do
+  for i = 0 to Array.length st - 1 do
     idx.(i) <- !rem / st.(i);
     rem := !rem mod st.(i)
-  done;
+  done
+
+let offset (s : t) idx = offset_with ~strides:(strides s) idx
+
+let unravel (s : t) off =
+  let idx = Array.make (rank s) 0 in
+  unravel_into ~strides:(strides s) off idx;
   idx
+
+(* Strides of [src] right-aligned to an output of shape [out]: broadcast
+   (extent-1 or missing) axes get stride 0, so walking the output's index
+   space with this table directly yields source offsets. The shared
+   foundation of every broadcasting kernel loop. *)
+let broadcast_strides ~out ~src =
+  let ro = rank out and rs = rank src in
+  let st = strides src in
+  Array.init ro (fun i ->
+      if i < ro - rs then 0
+      else
+        let j = i - (ro - rs) in
+        if src.(j) = 1 then 0 else st.(j))

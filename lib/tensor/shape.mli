@@ -40,3 +40,19 @@ val offset : t -> int array -> int
 
 val unravel : t -> int -> int array
 (** Inverse of {!offset}. *)
+
+(** {1 Precomputed stride tables}
+
+    The allocation-free forms the kernel loops are built on: compute
+    {!strides} once per operation and reuse it per element. *)
+
+val offset_with : strides:int array -> int array -> int
+(** {!offset} against a caller-held stride table. *)
+
+val unravel_into : strides:int array -> int -> int array -> unit
+(** {!unravel} into a caller-held index buffer (no allocation). *)
+
+val broadcast_strides : out:t -> src:t -> int array
+(** Strides of [src] right-aligned to shape [out], with 0 on broadcast
+    (missing or extent-1) axes: walking [out]'s index space with this
+    table yields source offsets directly. *)

@@ -1,42 +1,219 @@
-type t = { shape : Shape.t; data : float array }
+(* Dense tensors over flat Bigarray (float64, C layout) buffers.
+
+   The representation is the execution engine's data plane: buffers are
+   unboxed, off the OCaml minor heap, and every kernel below is a tight
+   index loop over [Bigarray.Array1.unsafe_get]/[unsafe_set] with stride
+   tables precomputed per operation (never per element). An optional
+   arena (see {!Arena}) recycles buffers across launches so steady-state
+   model serving allocates nothing. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { shape : Shape.t; data : buf }
+
+let fresh_buf n : buf = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout n
+
+external unsafe_get : buf -> int -> float = "%caml_ba_unsafe_ref_1"
+external unsafe_set : buf -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+
+(* ------------------------------------------------------------------ *)
+(* Arena: size-bucketed free lists of buffers                          *)
+(* ------------------------------------------------------------------ *)
+
+module Arena = struct
+  type t = {
+    lock : Mutex.t;
+    buckets : (int, buf list ref) Hashtbl.t;  (* exact element count -> free list *)
+    max_bytes : int;
+    mutable held_bytes : int;
+    mutable n_hits : int;
+    mutable n_misses : int;
+    mutable n_evicted : int;
+  }
+
+  let m_held = lazy (Obs.Metrics.gauge "arena.bytes_held")
+  let m_hits = lazy (Obs.Metrics.counter "arena.hits")
+  let m_misses = lazy (Obs.Metrics.counter "arena.misses")
+  let m_evicted = lazy (Obs.Metrics.counter "arena.evicted")
+
+  let create ?(max_bytes = 1 lsl 28) () =
+    if max_bytes < 0 then invalid_arg "Tensor.Arena.create: negative max_bytes";
+    (* Intern the metrics up front so an idle arena still reports zeros. *)
+    ignore (Lazy.force m_held);
+    ignore (Lazy.force m_hits);
+    ignore (Lazy.force m_misses);
+    ignore (Lazy.force m_evicted);
+    {
+      lock = Mutex.create ();
+      buckets = Hashtbl.create 32;
+      max_bytes;
+      held_bytes = 0;
+      n_hits = 0;
+      n_misses = 0;
+      n_evicted = 0;
+    }
+
+  let locked a f =
+    Mutex.lock a.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock a.lock) f
+
+  (* Buckets are exact-size: model workloads replay identical shapes, so
+     exact keys reach near-total reuse without the aliasing risk of
+     handing out oversized sub-views. Returned buffers hold stale data —
+     every Tensor constructor below fully writes its output. *)
+  let alloc a n =
+    let reused =
+      locked a (fun () ->
+          match Hashtbl.find_opt a.buckets n with
+          | Some ({ contents = b :: rest } as l) ->
+              l := rest;
+              a.held_bytes <- a.held_bytes - (8 * n);
+              a.n_hits <- a.n_hits + 1;
+              Some b
+          | _ ->
+              a.n_misses <- a.n_misses + 1;
+              None)
+    in
+    match reused with
+    | Some b ->
+        Obs.Metrics.add (Lazy.force m_held) (-.float_of_int (8 * n));
+        Obs.Metrics.incr (Lazy.force m_hits);
+        b
+    | None ->
+        Obs.Metrics.incr (Lazy.force m_misses);
+        fresh_buf n
+
+  let release a (b : buf) =
+    let n = Bigarray.Array1.dim b in
+    let kept =
+      locked a (fun () ->
+          if a.held_bytes + (8 * n) > a.max_bytes then begin
+            a.n_evicted <- a.n_evicted + 1;
+            false
+          end
+          else begin
+            (match Hashtbl.find_opt a.buckets n with
+            | Some l -> l := b :: !l
+            | None -> Hashtbl.replace a.buckets n (ref [ b ]));
+            a.held_bytes <- a.held_bytes + (8 * n);
+            true
+          end)
+    in
+    if kept then Obs.Metrics.add (Lazy.force m_held) (float_of_int (8 * n))
+    else Obs.Metrics.incr (Lazy.force m_evicted)
+
+  let bytes_held a = locked a (fun () -> a.held_bytes)
+  let hits a = locked a (fun () -> a.n_hits)
+  let misses a = locked a (fun () -> a.n_misses)
+  let evicted a = locked a (fun () -> a.n_evicted)
+
+  (* Ambient arena: per-domain, so allocation inside [with_arena] needs no
+     plumbing through every operator. *)
+  let ambient : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+  let current () = !(Domain.DLS.get ambient)
+
+  let with_arena a f =
+    let cell = Domain.DLS.get ambient in
+    let saved = !cell in
+    cell := Some a;
+    Fun.protect ~finally:(fun () -> cell := saved) f
+end
+
+(* Allocate [n] elements from the ambient arena if one is installed. *)
+let alloc n = match Arena.current () with Some a -> Arena.alloc a n | None -> fresh_buf n
+
+let release arena t = Arena.release arena t.data
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
 
 let create shape v =
   Shape.validate shape;
-  { shape; data = Array.make (Shape.numel shape) v }
+  let data = alloc (Shape.numel shape) in
+  Bigarray.Array1.fill data v;
+  { shape; data }
 
 let zeros shape = create shape 0.0
 let ones shape = create shape 1.0
-let scalar v = { shape = Shape.scalar; data = [| v |] }
 
-let of_array shape data =
+let scalar v =
+  let data = alloc 1 in
+  unsafe_set data 0 v;
+  { shape = Shape.scalar; data }
+
+let of_array shape (a : float array) =
   Shape.validate shape;
-  if Array.length data <> Shape.numel shape then
+  let n = Shape.numel shape in
+  if Array.length a <> n then
     invalid_arg
-      (Printf.sprintf "Tensor.of_array: %d elements for shape %s" (Array.length data)
+      (Printf.sprintf "Tensor.of_array: %d elements for shape %s" (Array.length a)
+         (Shape.to_string shape));
+  let data = alloc n in
+  for i = 0 to n - 1 do
+    unsafe_set data i (Array.unsafe_get a i)
+  done;
+  { shape; data }
+
+let of_buffer shape (data : buf) =
+  Shape.validate shape;
+  if Bigarray.Array1.dim data <> Shape.numel shape then
+    invalid_arg
+      (Printf.sprintf "Tensor.of_buffer: %d elements for shape %s" (Bigarray.Array1.dim data)
          (Shape.to_string shape));
   { shape; data }
 
 let init shape f =
   Shape.validate shape;
   let n = Shape.numel shape in
-  let data = Array.init n (fun i -> f (Shape.unravel shape i)) in
+  let data = alloc n in
+  let strides = Shape.strides shape in
+  let idx = Array.make (Shape.rank shape) 0 in
+  for i = 0 to n - 1 do
+    Shape.unravel_into ~strides i idx;
+    unsafe_set data i (f idx)
+  done;
   { shape; data }
 
 let randu rng shape =
   Shape.validate shape;
-  { shape; data = Array.init (Shape.numel shape) (fun _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0) }
+  let n = Shape.numel shape in
+  let data = alloc n in
+  for i = 0 to n - 1 do
+    unsafe_set data i (Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+  done;
+  { shape; data }
 
 let randn ?(scale = 1.0) rng shape =
   Shape.validate shape;
-  { shape; data = Array.init (Shape.numel shape) (fun _ -> scale *. Rng.normal rng) }
+  let n = Shape.numel shape in
+  let data = alloc n in
+  for i = 0 to n - 1 do
+    unsafe_set data i (scale *. Rng.normal rng)
+  done;
+  { shape; data }
 
-let arange n = { shape = [| n |]; data = Array.init n float_of_int }
+let arange n =
+  let data = alloc n in
+  for i = 0 to n - 1 do
+    unsafe_set data i (float_of_int i)
+  done;
+  { shape = [| n |]; data }
+
+(* ------------------------------------------------------------------ *)
+(* Access                                                              *)
+(* ------------------------------------------------------------------ *)
 
 let shape t = t.shape
-let numel t = Array.length t.data
-let get t idx = t.data.(Shape.offset t.shape idx)
-let set t idx v = t.data.(Shape.offset t.shape idx) <- v
-let data t = t.data
+let numel t = Bigarray.Array1.dim t.data
+let get t idx = t.data.{Shape.offset t.shape idx}
+let set t idx v = t.data.{Shape.offset t.shape idx} <- v
+let buffer t = t.data
+
+let data t =
+  let n = numel t in
+  Array.init n (fun i -> unsafe_get t.data i)
 
 let reshape t shape =
   Shape.validate shape;
@@ -45,62 +222,199 @@ let reshape t shape =
       (Printf.sprintf "Tensor.reshape: %s -> %s" (Shape.to_string t.shape) (Shape.to_string shape));
   { shape; data = t.data }
 
-let copy t = { shape = t.shape; data = Array.copy t.data }
+let copy t =
+  let n = numel t in
+  let data = alloc n in
+  Bigarray.Array1.blit t.data data;
+  { shape = t.shape; data }
 
-let map f t = { shape = t.shape; data = Array.map f t.data }
+(* ------------------------------------------------------------------ *)
+(* Elementwise                                                         *)
+(* ------------------------------------------------------------------ *)
 
-(* Index arithmetic for broadcasting: for each output linear index, find the
-   source linear index given the source shape right-aligned to the output. *)
-let broadcast_offset ~out_shape ~src_shape =
-  let ro = Shape.rank out_shape and rs = Shape.rank src_shape in
-  let st = Shape.strides src_shape in
-  fun idx ->
-    let acc = ref 0 in
-    for i = 0 to rs - 1 do
-      let v = idx.(i + (ro - rs)) in
-      let v = if src_shape.(i) = 1 then 0 else v in
-      acc := !acc + (v * st.(i))
-    done;
-    !acc
+let map f t =
+  let n = numel t in
+  let out = alloc n in
+  let src = t.data in
+  for i = 0 to n - 1 do
+    unsafe_set out i (f (unsafe_get src i))
+  done;
+  { shape = t.shape; data = out }
+
+(* Broadcasting binary loop: both operands walk the output's index space
+   through right-aligned stride tables (0 on broadcast axes), offsets
+   maintained incrementally by an odometer — no per-element unravel, no
+   per-element allocation. *)
+let map2_bcast f a b =
+  let out_shape = Shape.broadcast a.shape b.shape in
+  let n = Shape.numel out_shape in
+  let out = alloc n in
+  let sa = Shape.broadcast_strides ~out:out_shape ~src:a.shape in
+  let sb = Shape.broadcast_strides ~out:out_shape ~src:b.shape in
+  let r = Shape.rank out_shape in
+  let idx = Array.make (max r 1) 0 in
+  let da = a.data and db = b.data in
+  let oa = ref 0 and ob = ref 0 in
+  for i = 0 to n - 1 do
+    unsafe_set out i (f (unsafe_get da !oa) (unsafe_get db !ob));
+    if i < n - 1 then begin
+      let d = ref (r - 1) in
+      let carrying = ref true in
+      while !carrying do
+        let v = idx.(!d) + 1 in
+        if v = out_shape.(!d) then begin
+          idx.(!d) <- 0;
+          oa := !oa - (sa.(!d) * (out_shape.(!d) - 1));
+          ob := !ob - (sb.(!d) * (out_shape.(!d) - 1));
+          decr d
+        end
+        else begin
+          idx.(!d) <- v;
+          oa := !oa + sa.(!d);
+          ob := !ob + sb.(!d);
+          carrying := false
+        end
+      done
+    end
+  done;
+  { shape = out_shape; data = out }
 
 let map2 f a b =
-  if Shape.equal a.shape b.shape then
-    { shape = a.shape; data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i)) }
-  else begin
-    let out_shape = Shape.broadcast a.shape b.shape in
-    let oa = broadcast_offset ~out_shape ~src_shape:a.shape in
-    let ob = broadcast_offset ~out_shape ~src_shape:b.shape in
-    let n = Shape.numel out_shape in
-    let out = Array.make n 0.0 in
+  if Shape.equal a.shape b.shape then begin
+    let n = numel a in
+    let out = alloc n in
+    let da = a.data and db = b.data in
     for i = 0 to n - 1 do
-      let idx = Shape.unravel out_shape i in
-      out.(i) <- f a.data.(oa idx) b.data.(ob idx)
+      unsafe_set out i (f (unsafe_get da i) (unsafe_get db i))
     done;
-    { shape = out_shape; data = out }
+    { shape = a.shape; data = out }
   end
+  else map2_bcast f a b
 
-let add = map2 ( +. )
-let sub = map2 ( -. )
-let mul = map2 ( *. )
-let div = map2 ( /. )
-let maximum = map2 Float.max
-let minimum = map2 Float.min
-let neg = map (fun x -> -.x)
-let exp = map Stdlib.exp
-let sqrt_ = map Stdlib.sqrt
-let relu = map (fun x -> Float.max x 0.0)
-let tanh_ = map Stdlib.tanh
-let sigmoid = map (fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x)))
+(* The arithmetic binops are the interpreter's hot path: dispatch on the
+   operator once per call and run a loop of primitive float ops, not a
+   loop of closure calls. *)
+let binop_fast op a b =
+  let n = numel a in
+  let out = alloc n in
+  let da = a.data and db = b.data in
+  (match op with
+  | `Add ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (unsafe_get da i +. unsafe_get db i)
+      done
+  | `Sub ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (unsafe_get da i -. unsafe_get db i)
+      done
+  | `Mul ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (unsafe_get da i *. unsafe_get db i)
+      done
+  | `Div ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (unsafe_get da i /. unsafe_get db i)
+      done
+  | `Max ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (Float.max (unsafe_get da i) (unsafe_get db i))
+      done
+  | `Min ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (Float.min (unsafe_get da i) (unsafe_get db i))
+      done);
+  { shape = a.shape; data = out }
+
+let binop op f a b = if Shape.equal a.shape b.shape then binop_fast op a b else map2_bcast f a b
+
+let add a b = binop `Add ( +. ) a b
+let sub a b = binop `Sub ( -. ) a b
+let mul a b = binop `Mul ( *. ) a b
+let div a b = binop `Div ( /. ) a b
+let maximum a b = binop `Max Float.max a b
+let minimum a b = binop `Min Float.min a b
+
+let unop_loop t g =
+  let n = numel t in
+  let out = alloc n in
+  let src = t.data in
+  g src out n;
+  { shape = t.shape; data = out }
+
+let neg t =
+  unop_loop t (fun src out n ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (-.unsafe_get src i)
+      done)
+
+let exp t =
+  unop_loop t (fun src out n ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (Stdlib.exp (unsafe_get src i))
+      done)
+
+let sqrt_ t =
+  unop_loop t (fun src out n ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (Stdlib.sqrt (unsafe_get src i))
+      done)
+
+let relu t =
+  unop_loop t (fun src out n ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (Float.max (unsafe_get src i) 0.0)
+      done)
+
+let tanh_ t =
+  unop_loop t (fun src out n ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (Stdlib.tanh (unsafe_get src i))
+      done)
+
+let sigmoid t =
+  unop_loop t (fun src out n ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (1.0 /. (1.0 +. Stdlib.exp (-.unsafe_get src i)))
+      done)
 
 let gelu =
   (* tanh approximation, as used by Bert-family models. *)
   let c = Stdlib.sqrt (2.0 /. Float.pi) in
-  map (fun x -> 0.5 *. x *. (1.0 +. Stdlib.tanh (c *. (x +. (0.044715 *. x *. x *. x)))))
+  fun t ->
+    unop_loop t (fun src out n ->
+        for i = 0 to n - 1 do
+          let x = unsafe_get src i in
+          unsafe_set out i (0.5 *. x *. (1.0 +. Stdlib.tanh (c *. (x +. (0.044715 *. x *. x *. x)))))
+        done)
 
-let recip = map (fun x -> 1.0 /. x)
-let sqr = map (fun x -> x *. x)
-let add_scalar t v = map (fun x -> x +. v) t
-let mul_scalar t v = map (fun x -> x *. v) t
+let recip t =
+  unop_loop t (fun src out n ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (1.0 /. unsafe_get src i)
+      done)
+
+let sqr t =
+  unop_loop t (fun src out n ->
+      for i = 0 to n - 1 do
+        let x = unsafe_get src i in
+        unsafe_set out i (x *. x)
+      done)
+
+let add_scalar t v =
+  unop_loop t (fun src out n ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (unsafe_get src i +. v)
+      done)
+
+let mul_scalar t v =
+  unop_loop t (fun src out n ->
+      for i = 0 to n - 1 do
+        unsafe_set out i (unsafe_get src i *. v)
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Reductions                                                          *)
+(* ------------------------------------------------------------------ *)
 
 let reduce op ~axis ~keepdims t =
   let a = Shape.normalize_axis t.shape axis in
@@ -113,30 +427,87 @@ let reduce op ~axis ~keepdims t =
   done;
   let outer = Shape.numel t.shape / (extent * !inner) in
   let inner = !inner in
-  let out = Array.make (outer * inner) 0.0 in
-  let combine, init, finish =
-    match op with
-    | `Sum -> (( +. ), 0.0, fun x -> x)
-    | `Mean -> (( +. ), 0.0, fun x -> x /. float_of_int extent)
-    | `Max -> (Float.max, Float.neg_infinity, fun x -> x)
-    | `Min -> (Float.min, Float.infinity, fun x -> x)
-  in
-  for o = 0 to outer - 1 do
-    for i = 0 to inner - 1 do
-      let acc = ref init in
-      for k = 0 to extent - 1 do
-        acc := combine !acc t.data.((((o * extent) + k) * inner) + i)
-      done;
-      out.((o * inner) + i) <- finish !acc
-    done
-  done;
+  let out = alloc (outer * inner) in
+  let src = t.data in
+  (* One specialized loop per operator: the accumulator combine is a
+     primitive float op, not a closure call per element. The source offset
+     advances by [inner] per step of the reduced axis — same element
+     order (ascending k) as the reference semantics. *)
+  (match op with
+  | `Sum ->
+      for o = 0 to outer - 1 do
+        for i = 0 to inner - 1 do
+          let p = ref ((o * extent * inner) + i) in
+          let acc = ref 0.0 in
+          for _k = 0 to extent - 1 do
+            acc := !acc +. unsafe_get src !p;
+            p := !p + inner
+          done;
+          unsafe_set out ((o * inner) + i) !acc
+        done
+      done
+  | `Mean ->
+      let ext = float_of_int extent in
+      for o = 0 to outer - 1 do
+        for i = 0 to inner - 1 do
+          let p = ref ((o * extent * inner) + i) in
+          let acc = ref 0.0 in
+          for _k = 0 to extent - 1 do
+            acc := !acc +. unsafe_get src !p;
+            p := !p + inner
+          done;
+          unsafe_set out ((o * inner) + i) (!acc /. ext)
+        done
+      done
+  | `Max ->
+      for o = 0 to outer - 1 do
+        for i = 0 to inner - 1 do
+          let p = ref ((o * extent * inner) + i) in
+          let acc = ref Float.neg_infinity in
+          for _k = 0 to extent - 1 do
+            acc := Float.max !acc (unsafe_get src !p);
+            p := !p + inner
+          done;
+          unsafe_set out ((o * inner) + i) !acc
+        done
+      done
+  | `Min ->
+      for o = 0 to outer - 1 do
+        for i = 0 to inner - 1 do
+          let p = ref ((o * extent * inner) + i) in
+          let acc = ref Float.infinity in
+          for _k = 0 to extent - 1 do
+            acc := Float.min !acc (unsafe_get src !p);
+            p := !p + inner
+          done;
+          unsafe_set out ((o * inner) + i) !acc
+        done
+      done);
   { shape = out_shape; data = out }
 
 let sum ?(axis = -1) ?(keepdims = false) t = reduce `Sum ~axis ~keepdims t
 let max_ ?(axis = -1) ?(keepdims = false) t = reduce `Max ~axis ~keepdims t
 let mean ?(axis = -1) ?(keepdims = false) t = reduce `Mean ~axis ~keepdims t
-let sum_all t = Array.fold_left ( +. ) 0.0 t.data
-let max_all t = Array.fold_left Float.max Float.neg_infinity t.data
+
+let sum_all t =
+  let n = numel t in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. unsafe_get t.data i
+  done;
+  !acc
+
+let max_all t =
+  let n = numel t in
+  let acc = ref Float.neg_infinity in
+  for i = 0 to n - 1 do
+    acc := Float.max !acc (unsafe_get t.data i)
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Linear algebra                                                      *)
+(* ------------------------------------------------------------------ *)
 
 let matmul ?(trans_b = false) a b =
   let ra = Shape.rank a.shape and rb = Shape.rank b.shape in
@@ -153,28 +524,72 @@ let matmul ?(trans_b = false) a b =
   let batch = Shape.broadcast batch_a batch_b in
   let out_shape = Array.append batch [| m; n |] in
   let nb = Shape.numel batch in
-  let oa = broadcast_offset ~out_shape:batch ~src_shape:batch_a in
-  let ob = broadcast_offset ~out_shape:batch ~src_shape:batch_b in
-  let out = Array.make (nb * m * n) 0.0 in
+  let out = alloc (nb * m * n) in
+  let da = a.data and db = b.data in
   let sa = m * ka and sb = (if trans_b then n else kb) * if trans_b then ka else n in
+  (* Per-batch source offsets through right-aligned stride tables (0 on
+     broadcast axes); the batch index buffer is reused across batches. *)
+  let bst = Shape.strides batch in
+  let bsa = Shape.broadcast_strides ~out:batch ~src:batch_a in
+  let bsb = Shape.broadcast_strides ~out:batch ~src:batch_b in
+  let bidx = Array.make (Array.length batch) 0 in
   for bi = 0 to nb - 1 do
-    let bidx = Shape.unravel batch bi in
-    let base_a = oa bidx * sa and base_b = ob bidx * sb in
+    Shape.unravel_into ~strides:bst bi bidx;
+    let base_a = Shape.offset_with ~strides:bsa bidx * sa in
+    let base_b = Shape.offset_with ~strides:bsb bidx * sb in
     let base_o = bi * m * n in
-    for i = 0 to m - 1 do
-      for j = 0 to n - 1 do
-        let acc = ref 0.0 in
-        if trans_b then
+    if trans_b then
+      (* C = A·Bᵀ: rows of both operands are contiguous, so the k-inner
+         dot product is already a streaming access on both sides. *)
+      for i = 0 to m - 1 do
+        let pa = base_a + (i * ka) in
+        for j = 0 to n - 1 do
+          let pb = base_b + (j * ka) in
+          let acc = ref 0.0 in
           for k = 0 to ka - 1 do
-            acc := !acc +. (a.data.(base_a + (i * ka) + k) *. b.data.(base_b + (j * ka) + k))
-          done
-        else
-          for k = 0 to ka - 1 do
-            acc := !acc +. (a.data.(base_a + (i * ka) + k) *. b.data.(base_b + (k * n) + j))
+            acc := !acc +. (unsafe_get da (pa + k) *. unsafe_get db (pb + k))
           done;
-        out.(base_o + (i * n) + j) <- !acc
+          unsafe_set out (base_o + (i * n) + j) !acc
+        done
       done
-    done
+    else begin
+      (* C = A·B: i-k-j order streams B and C rows instead of striding B
+         column-wise. k is unrolled 4-wide so each pass over j amortizes
+         the C load/store over four multiply-adds; the additions still
+         chain left-to-right in ascending k per output element, so results
+         are bit-identical to the dot-product order. *)
+      Bigarray.Array1.fill (Bigarray.Array1.sub out base_o (m * n)) 0.0;
+      for i = 0 to m - 1 do
+        let po = base_o + (i * n) in
+        let pa = base_a + (i * ka) in
+        let k = ref 0 in
+        while !k + 3 < ka do
+          let pk = pa + !k in
+          let a0 = unsafe_get da pk
+          and a1 = unsafe_get da (pk + 1)
+          and a2 = unsafe_get da (pk + 2)
+          and a3 = unsafe_get da (pk + 3) in
+          let pb = base_b + (!k * n) in
+          for j = 0 to n - 1 do
+            unsafe_set out (po + j)
+              (unsafe_get out (po + j)
+              +. (a0 *. unsafe_get db (pb + j))
+              +. (a1 *. unsafe_get db (pb + n + j))
+              +. (a2 *. unsafe_get db (pb + (2 * n) + j))
+              +. (a3 *. unsafe_get db (pb + (3 * n) + j)))
+          done;
+          k := !k + 4
+        done;
+        while !k < ka do
+          let aik = unsafe_get da (pa + !k) in
+          let pb = base_b + (!k * n) in
+          for j = 0 to n - 1 do
+            unsafe_set out (po + j) (unsafe_get out (po + j) +. (aik *. unsafe_get db (pb + j)))
+          done;
+          incr k
+        done
+      done
+    end
   done;
   { shape = out_shape; data = out }
 
@@ -192,6 +607,10 @@ let layernorm ?(eps = 1e-5) ?gamma ?beta ~axis t =
   let scaled = match gamma with None -> normalized | Some g -> mul normalized g in
   match beta with None -> scaled | Some b -> add scaled b
 
+(* ------------------------------------------------------------------ *)
+(* Comparison and printing                                             *)
+(* ------------------------------------------------------------------ *)
+
 let max_abs_diff a b =
   if not (Shape.equal a.shape b.shape) then
     invalid_arg
@@ -199,7 +618,7 @@ let max_abs_diff a b =
          (Shape.to_string b.shape));
   let d = ref 0.0 in
   for i = 0 to numel a - 1 do
-    d := Float.max !d (Float.abs (a.data.(i) -. b.data.(i)))
+    d := Float.max !d (Float.abs (unsafe_get a.data i -. unsafe_get b.data i))
   done;
   !d
 
@@ -208,7 +627,7 @@ let allclose ?(rtol = 1e-5) ?(atol = 1e-8) a b =
   &&
   let ok = ref true in
   for i = 0 to numel a - 1 do
-    let x = a.data.(i) and y = b.data.(i) in
+    let x = unsafe_get a.data i and y = unsafe_get b.data i in
     (* Non-finite values must match exactly (NaN never matches anything):
        a NaN would otherwise slip through, since NaN comparisons are all
        false. *)
@@ -225,7 +644,7 @@ let pp fmt t =
   Format.fprintf fmt "Tensor%s[" (Shape.to_string t.shape);
   for i = 0 to shown - 1 do
     if i > 0 then Format.fprintf fmt "; ";
-    Format.fprintf fmt "%g" t.data.(i)
+    Format.fprintf fmt "%g" (unsafe_get t.data i)
   done;
   if n > shown then Format.fprintf fmt "; ...";
   Format.fprintf fmt "]"

@@ -1,9 +1,58 @@
 (** Dense row-major n-d tensors of floats.
 
     Values are stored in float64 for numerical fidelity of the correctness
-    oracle; the GPU cost model accounts sizes in FP16 separately. *)
+    oracle; the GPU cost model accounts sizes in FP16 separately.
 
-type t = private { shape : Shape.t; data : float array }
+    Storage is a flat {!Bigarray.Array1} (C layout), so tensor payloads
+    live outside the OCaml heap and the kernel loops run over unboxed
+    floats without bounds checks. When an {!Arena} is installed (see
+    {!Arena.with_arena}), freshly built tensors draw their buffers from
+    its free lists instead of allocating. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = private { shape : Shape.t; data : buf }
+
+(** {1 Arenas}
+
+    A size-bucketed free-list allocator for tensor buffers. Runtimes
+    install one around a launch (or a serving request) so that the
+    buffers of intermediate tensors are recycled across runs instead of
+    churning the allocator. Thread-safe; the ambient binding made by
+    {!Arena.with_arena} is per-domain. Reports [arena.bytes_held],
+    [arena.hits], [arena.misses] and [arena.evicted] via [Obs.Metrics]. *)
+module Arena : sig
+  type t
+
+  val create : ?max_bytes:int -> unit -> t
+  (** [max_bytes] caps the total bytes parked on free lists (default
+      256 MiB); releases beyond the cap drop the buffer instead. *)
+
+  val alloc : t -> int -> buf
+  (** [alloc a n] returns an [n]-element buffer, reusing a released one
+      of exactly that size when available. Contents are unspecified. *)
+
+  val release : t -> buf -> unit
+  (** Return a buffer to the free lists. The caller must not touch the
+      buffer afterwards and must guarantee no live tensor still refers
+      to it. *)
+
+  val with_arena : t -> (unit -> 'a) -> 'a
+  (** Run a thunk with the arena installed as this domain's ambient
+      allocator; restores the previous binding on exit (nesting ok). *)
+
+  val current : unit -> t option
+
+  val bytes_held : t -> int
+  val hits : t -> int
+  val misses : t -> int
+  val evicted : t -> int
+end
+
+val release : Arena.t -> t -> unit
+(** Return a tensor's buffer to an arena. Same aliasing caveat as
+    {!Arena.release}: the tensor (and any {!reshape} of it) must be
+    dead. *)
 
 (** {1 Construction} *)
 
@@ -12,7 +61,12 @@ val zeros : Shape.t -> t
 val ones : Shape.t -> t
 val scalar : float -> t
 val of_array : Shape.t -> float array -> t
-(** Takes ownership of the array. Raises [Invalid_argument] on size mismatch. *)
+(** Copies the array into a fresh buffer. Raises [Invalid_argument] on
+    size mismatch. *)
+
+val of_buffer : Shape.t -> buf -> t
+(** Takes ownership of the buffer (no copy). Raises [Invalid_argument]
+    on size mismatch. *)
 
 val init : Shape.t -> (int array -> float) -> t
 val randu : Rng.t -> Shape.t -> t
@@ -28,8 +82,13 @@ val shape : t -> Shape.t
 val numel : t -> int
 val get : t -> int array -> float
 val set : t -> int array -> float -> unit
+
+val buffer : t -> buf
+(** The underlying flat buffer (shared, mutable). *)
+
 val data : t -> float array
-(** The underlying buffer (shared, mutable). *)
+(** A fresh boxed-array copy of the contents (for interop/tests; the
+    hot paths use {!buffer}). *)
 
 val reshape : t -> Shape.t -> t
 (** Same buffer, new shape; element counts must match. *)

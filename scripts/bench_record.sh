@@ -1,0 +1,29 @@
+#!/bin/sh
+# Record one execution-engine trajectory point: run the micro benchmark
+# (kernel sims/sec old-vs-new, plan-exec rates, serve p50/p99, compile
+# latency) at full size and write its JSON document to BENCH_<nnn>.json
+# at the repo root, so every PR appends a comparable data point.
+#
+#   scripts/bench_record.sh              # next free BENCH_<nnn>.json
+#   scripts/bench_record.sh out.json     # explicit path
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=${1:-}
+if [ -z "$out" ]; then
+    n=6
+    while [ -e "$(printf 'BENCH_%03d.json' "$n")" ]; do n=$((n + 1)); done
+    out=$(printf 'BENCH_%03d.json' "$n")
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# The micro experiment validates its own report (Obs.Report.validate) and
+# exits nonzero on a bad document or a warm run that re-entered the
+# functional interpreter; the JSON is the single line starting with '{'.
+dune exec bench/main.exe -- --only micro > "$tmp"
+grep '^{' "$tmp" > "$out"
+
+echo "recorded $out"

@@ -16,6 +16,17 @@ dune runtest
 # divergence is found or a seeded defect goes undetected.
 dune exec bench/main.exe -- --quick --only verify > /dev/null
 
+# Perf smoke: the execution-engine micro bench validates its own
+# Obs.Report document in-process (exits nonzero on a malformed report),
+# and a warmed `Auto model run must never re-enter the functional
+# interpreter — run.functional_execs stays 0 on the second run.
+micro_out=$(mktemp)
+dune exec bench/main.exe -- --quick --only micro > "$micro_out"
+grep -q '"warm_functional_execs":0' "$micro_out" || {
+    echo "ci: micro bench warm run executed the functional interpreter" >&2
+    cat "$micro_out" >&2; exit 1; }
+rm -f "$micro_out"
+
 # Observability smoke: a profiled run must emit JSON that parses and
 # contains every pipeline phase span (--check makes the CLI re-validate
 # its own output and exit nonzero otherwise).

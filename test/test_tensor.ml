@@ -146,6 +146,265 @@ let test_reshape_and_errors () =
       ignore (Tensor.of_array [| 2; 2 |] [| 1.; 2.; 3. |]))
 
 (* ------------------------------------------------------------------ *)
+(* Differential: fused Bigarray kernels vs a naive reference           *)
+(* ------------------------------------------------------------------ *)
+
+(* Index-at-a-time reference semantics — the boxed-array implementation
+   the Bigarray kernels replaced. Deliberately shares no loop structure
+   with lib/tensor: every element goes through [Tensor.get] with an
+   explicitly materialized index, so a stride-table or odometer bug in
+   the fast kernels cannot cancel out here. *)
+module Naive = struct
+  let bcast_get t out_idx =
+    let s = Tensor.shape t in
+    let r = Array.length s and ro = Array.length out_idx in
+    let idx = Array.init r (fun k -> if s.(k) = 1 then 0 else out_idx.(k + ro - r)) in
+    Tensor.get t idx
+
+  let map f t = Tensor.init (Tensor.shape t) (fun idx -> f (Tensor.get t idx))
+
+  let map2 f a b =
+    let out = Shape.broadcast (Tensor.shape a) (Tensor.shape b) in
+    Tensor.init out (fun idx -> f (bcast_get a idx) (bcast_get b idx))
+
+  let reduce which ~axis ~keepdims t =
+    let s = Tensor.shape t in
+    let axis = Shape.normalize_axis s axis in
+    let rank = Array.length s in
+    let extent = s.(axis) in
+    let out = Shape.reduce s ~axis ~keepdims in
+    Tensor.init out (fun oidx ->
+        let src = Array.make rank 0 in
+        let acc =
+          ref
+            (match which with
+            | `Sum | `Mean -> 0.0
+            | `Max -> Float.neg_infinity
+            | `Min -> Float.infinity)
+        in
+        for j = 0 to extent - 1 do
+          for k = 0 to rank - 1 do
+            if k = axis then src.(k) <- j
+            else src.(k) <- (if keepdims then oidx.(k) else oidx.(if k < axis then k else k - 1))
+          done;
+          let v = Tensor.get t src in
+          acc :=
+            (match which with
+            | `Sum | `Mean -> !acc +. v
+            | `Max -> Float.max !acc v
+            | `Min -> Float.min !acc v)
+        done;
+        match which with `Mean -> !acc /. float_of_int extent | _ -> !acc)
+
+  let matmul ?(trans_b = false) a b =
+    let sa = Tensor.shape a and sb = Tensor.shape b in
+    let ra = Array.length sa and rb = Array.length sb in
+    let m = sa.(ra - 2) and k = sa.(ra - 1) in
+    let n = if trans_b then sb.(rb - 2) else sb.(rb - 1) in
+    let batch = Shape.broadcast (Array.sub sa 0 (ra - 2)) (Array.sub sb 0 (rb - 2)) in
+    let out = Array.append batch [| m; n |] in
+    let ro = Array.length out in
+    Tensor.init out (fun idx ->
+        let i = idx.(ro - 2) and j = idx.(ro - 1) in
+        (* Batch axes right-align against the broadcast batch; unit axes
+           pin to 0. *)
+        let idx_for s r row col =
+          Array.init r (fun q ->
+              if q = r - 2 then row
+              else if q = r - 1 then col
+              else if s.(q) = 1 then 0
+              else idx.(q + (ro - r)))
+        in
+        let acc = ref 0.0 in
+        for kk = 0 to k - 1 do
+          let av = Tensor.get a (idx_for sa ra i kk) in
+          let bv =
+            if trans_b then Tensor.get b (idx_for sb rb j kk)
+            else Tensor.get b (idx_for sb rb kk j)
+          in
+          acc := !acc +. (av *. bv)
+        done;
+        !acc)
+end
+
+let test_diff_elementwise () =
+  let shapes =
+    [
+      ([||], [||]);
+      ([| 1 |], [| 1 |]);
+      ([| 7 |], [| 7 |]);
+      ([| 2; 3 |], [| 3 |]);
+      ([| 3; 1; 5 |], [| 2; 1 |]);
+      ([| 2; 3 |], [||]);
+      ([| 1 |], [| 4; 1 |]);
+      ([| 5; 3; 2 |], [| 5; 3; 2 |]);
+    ]
+  in
+  List.iteri
+    (fun si (sa, sb) ->
+      let rng = Rng.create (100 + si) in
+      let a = Tensor.randn rng sa and b = Tensor.randn rng sb in
+      List.iter
+        (fun (name, fast, f) ->
+          check_tensor (Printf.sprintf "%s case %d" name si) (Naive.map2 f a b) (fast a b))
+        [
+          ("add", Tensor.add, ( +. ));
+          ("sub", Tensor.sub, ( -. ));
+          ("mul", Tensor.mul, ( *. ));
+          ("div", Tensor.div, ( /. ));
+          ("maximum", Tensor.maximum, Float.max);
+          ("minimum", Tensor.minimum, Float.min);
+        ])
+    shapes
+
+let test_diff_unary () =
+  let gelu_c = sqrt (2.0 /. Float.pi) in
+  let shapes = [ [||]; [| 1 |]; [| 7 |]; [| 3; 1; 5 |]; [| 2; 3; 4 |] ] in
+  List.iteri
+    (fun si s ->
+      let t = Tensor.randn (Rng.create (300 + si)) s in
+      List.iter
+        (fun (name, fast, f) ->
+          check_tensor (Printf.sprintf "%s case %d" name si) (Naive.map f t) (fast t))
+        [
+          ("neg", Tensor.neg, fun x -> -.x);
+          ("exp", Tensor.exp, Stdlib.exp);
+          ("relu", Tensor.relu, fun x -> Float.max x 0.0);
+          ("sigmoid", Tensor.sigmoid, fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x)));
+          ( "gelu",
+            Tensor.gelu,
+            fun x -> 0.5 *. x *. (1.0 +. tanh (gelu_c *. (x +. (0.044715 *. x *. x *. x)))) );
+          ("sqr", Tensor.sqr, fun x -> x *. x);
+        ])
+    shapes
+
+let test_diff_reduce () =
+  let cases =
+    [
+      ([| 1 |], 0);
+      ([| 5 |], 0);
+      ([| 2; 3 |], 0);
+      ([| 2; 3 |], 1);
+      ([| 2; 3 |], -1);
+      ([| 3; 1; 4 |], 1);
+      ([| 2; 3; 4; 5 |], 2);
+      ([| 4; 1; 1; 3 |], 0);
+    ]
+  in
+  List.iteri
+    (fun si (s, axis) ->
+      let t = Tensor.randn (Rng.create (400 + si)) s in
+      List.iter
+        (fun keepdims ->
+          List.iter
+            (fun (name, which) ->
+              check_tensor
+                (Printf.sprintf "%s case %d keepdims=%b" name si keepdims)
+                (Naive.reduce which ~axis ~keepdims t)
+                (Tensor.reduce which ~axis ~keepdims t))
+            [ ("sum", `Sum); ("max", `Max); ("min", `Min); ("mean", `Mean) ])
+        [ false; true ])
+    cases
+
+let test_diff_matmul () =
+  let plain =
+    [
+      ([| 1; 1 |], [| 1; 1 |]);
+      ([| 3; 4 |], [| 4; 5 |]);
+      ([| 1; 7 |], [| 7; 1 |]);
+      ([| 2; 3; 4 |], [| 2; 4; 5 |]);
+      ([| 2; 3; 4 |], [| 4; 5 |]);
+      ([| 2; 1; 3; 4 |], [| 6; 4; 2 |]);
+      ([| 3; 5 |], [| 5; 5 |]);
+    ]
+  and transposed =
+    [
+      ([| 3; 4 |], [| 5; 4 |]);
+      ([| 1; 1 |], [| 1; 1 |]);
+      ([| 2; 3; 4 |], [| 2; 5; 4 |]);
+      ([| 4; 2; 3 |], [| 5; 3 |]);
+      ([| 2; 1; 3; 4 |], [| 6; 2; 4 |]);
+    ]
+  in
+  List.iteri
+    (fun si (sa, sb) ->
+      let rng = Rng.create (500 + si) in
+      let a = Tensor.randn rng sa and b = Tensor.randn rng sb in
+      check_tensor (Printf.sprintf "matmul case %d" si) (Naive.matmul a b) (Tensor.matmul a b))
+    plain;
+  List.iteri
+    (fun si (sa, sb) ->
+      let rng = Rng.create (600 + si) in
+      let a = Tensor.randn rng sa and b = Tensor.randn rng sb in
+      check_tensor
+        (Printf.sprintf "matmul trans_b case %d" si)
+        (Naive.matmul ~trans_b:true a b)
+        (Tensor.matmul ~trans_b:true a b))
+    transposed
+
+(* ------------------------------------------------------------------ *)
+(* Arena                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_arena_reuse () =
+  let arena = Tensor.Arena.create () in
+  Tensor.Arena.with_arena arena (fun () ->
+      let t = Tensor.randn (Rng.create 7) [| 64 |] in
+      let b0 = Tensor.buffer t in
+      Tensor.release arena t;
+      Alcotest.(check int) "held after release" (64 * 8) (Tensor.Arena.bytes_held arena);
+      (* Same element count: the freed buffer comes back... *)
+      let t2 = Tensor.zeros [| 64 |] in
+      Alcotest.(check bool) "same-size alloc reuses buffer" true (Tensor.buffer t2 == b0);
+      Alcotest.(check int) "held after reuse" 0 (Tensor.Arena.bytes_held arena);
+      Alcotest.(check bool) "recycled buffer is zeroed" true
+        (Array.for_all (fun x -> x = 0.0) (Tensor.data t2));
+      (* ...a different count does not. *)
+      Tensor.release arena t2;
+      let t3 = Tensor.zeros [| 65 |] in
+      Alcotest.(check bool) "different-size alloc is fresh" true (not (Tensor.buffer t3 == b0));
+      Alcotest.(check int) "hits" 1 (Tensor.Arena.hits arena));
+  Alcotest.(check bool) "ambient cleared" true (Tensor.Arena.current () = None)
+
+let test_arena_eviction () =
+  let arena = Tensor.Arena.create ~max_bytes:(8 * 16) () in
+  let t = Tensor.zeros [| 16 |] and u = Tensor.zeros [| 16 |] in
+  Tensor.release arena t;
+  Tensor.release arena u;
+  Alcotest.(check int) "cap holds one buffer" (8 * 16) (Tensor.Arena.bytes_held arena);
+  Alcotest.(check int) "second release evicted" 1 (Tensor.Arena.evicted arena)
+
+(* Interleaved alloc/release: no two live tensors may ever share a
+   buffer, no matter the order of operations. *)
+let prop_arena_no_alias =
+  QCheck.Test.make ~name:"arena never aliases live buffers" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_range 0 9))
+    (fun ops ->
+      let arena = Tensor.Arena.create () in
+      let sizes = [| 1; 3; 16; 64; 100 |] in
+      Tensor.Arena.with_arena arena (fun () ->
+          let live = ref [] in
+          let no_alias () =
+            let rec go = function
+              | [] -> true
+              | t :: rest ->
+                  List.for_all (fun u -> not (Tensor.buffer t == Tensor.buffer u)) rest && go rest
+            in
+            go !live
+          in
+          List.for_all
+            (fun op ->
+              (if op < 5 then live := Tensor.zeros [| sizes.(op) |] :: !live
+               else
+                 match !live with
+                 | [] -> ()
+                 | t :: rest ->
+                     live := rest;
+                     Tensor.release arena t);
+              no_alias ())
+            ops))
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -210,6 +469,7 @@ let props =
       prop_matmul_transpose_equiv;
       prop_reduce_sum_linear;
       prop_broadcast_assoc;
+      prop_arena_no_alias;
     ]
 
 let () =
@@ -239,6 +499,18 @@ let () =
           Alcotest.test_case "softmax stability" `Quick test_softmax_stability;
           Alcotest.test_case "layernorm" `Quick test_layernorm;
           Alcotest.test_case "reshape/errors" `Quick test_reshape_and_errors;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "elementwise vs naive" `Quick test_diff_elementwise;
+          Alcotest.test_case "unary vs naive" `Quick test_diff_unary;
+          Alcotest.test_case "reduce vs naive" `Quick test_diff_reduce;
+          Alcotest.test_case "matmul vs naive" `Quick test_diff_matmul;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "reuse" `Quick test_arena_reuse;
+          Alcotest.test_case "eviction" `Quick test_arena_eviction;
         ] );
       ("properties", props);
     ]
