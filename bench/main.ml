@@ -1296,6 +1296,7 @@ let experiments =
 let () =
   let only = ref [] in
   let list_only = ref false in
+  let telemetry = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -1306,6 +1307,9 @@ let () =
         parse rest
     | "--only" :: id :: rest ->
         only := id :: !only;
+        parse rest
+    | "--telemetry" :: dir :: rest ->
+        telemetry := Some dir;
         parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %S\n" arg;
@@ -1324,11 +1328,30 @@ let () =
       Printf.eprintf "no matching experiment; use --list\n";
       exit 2
     end;
+    let t_start = Unix.gettimeofday () in
     List.iter
       (fun (id, desc, f) ->
         Printf.printf "\n==================== %s: %s ====================\n" id desc;
         let t0 = Unix.gettimeofday () in
         f ();
         Printf.printf "[%s done in %.1f s]\n%!" id (Unix.gettimeofday () -. t0))
-      selected
+      selected;
+    match !telemetry with
+    | None -> ()
+    | Some dir ->
+        (* One row per bench invocation: whatever the selected experiments
+           left in the metrics registry, plus the wall time, labelled by
+           the experiment set so `spacefusion query` can filter. *)
+        let t = Store.Telemetry.open_ dir in
+        let label =
+          match !only with
+          | [] -> "all"
+          | ids -> String.concat "+" (List.sort compare ids)
+        in
+        let cols =
+          Store.Telemetry.metrics_columns ()
+          @ [ ("bench.elapsed_s", Unix.gettimeofday () -. t_start) ]
+        in
+        let seq = Store.Telemetry.record t ~kind:"bench" ~label cols in
+        Printf.printf "[telemetry: recorded bench run %d in %s]\n%!" seq dir
   end

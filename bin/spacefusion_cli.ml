@@ -328,6 +328,50 @@ let verify_cmd =
           graph, and run the seeded-defect corpus gate. Exits 1 on any divergence.")
     Term.(const run $ arch_opt $ budget $ seed $ max_nodes $ json)
 
+(* Shared serving-tier model zoo ------------------------------------------ *)
+
+(* The mixed-traffic zoo the serve storm, the chaos storm and the warm CLI
+   all draw from: same names, same graphs, so a store warmed by one is
+   warm for the others. *)
+let mini_zoo () =
+  let one name g =
+    { Ir.Models.model_name = name; subprograms = [ { Ir.Models.sp_name = "g"; graph = g; count = 1 } ] }
+  in
+  [
+    one "ln" (Ir.Models.layernorm_graph ~m:128 ~n:128);
+    one "rms" (Ir.Models.rmsnorm_graph ~m:128 ~n:128);
+    one "softmax" (Ir.Models.softmax_graph ~m:128 ~n:128);
+    one "mlp" (Ir.Models.mlp ~layers:2 ~m:32 ~n:128 ~k:128);
+    one "sm-gemm" (Ir.Models.softmax_gemm ~m:32 ~l:128 ~n:64);
+    one "bn" (Ir.Models.batchnorm_graph ~m:128 ~n:128);
+  ]
+
+let serve_backends () =
+  [ Backends.Baselines.pytorch; Backends.Baselines.cublas; Backends.Baselines.cublaslt ]
+
+let metric_counter name =
+  match Obs.Metrics.find name with Some (Obs.Metrics.Counter n) -> n | _ -> 0
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ]
+        ~docv:"DIR"
+        ~doc:
+          "back the plan cache with the on-disk plan store at $(docv): plans (and their \
+           verified stamps) load on start and persist across restarts")
+
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ]
+        ~docv:"DIR"
+        ~doc:
+          "append this run's metrics as a row to the columnar telemetry store at $(docv) \
+           (query it with $(b,spacefusion query))")
+
 (* serve ------------------------------------------------------------------ *)
 
 let serve_cmd =
@@ -337,24 +381,11 @@ let serve_cmd =
      counters). Exits 1 when the accounting conservation law is violated
      or any request failed — scripts/ci.sh uses a short run of this as the
      serving smoke gate. *)
-  let run arch rps duration workers deadline_ms capacity seed pretty =
-    let backends =
-      [ Backends.Baselines.pytorch; Backends.Baselines.cublas; Backends.Baselines.cublaslt ]
-    in
-    let one name g =
-      { Ir.Models.model_name = name; subprograms = [ { Ir.Models.sp_name = "g"; graph = g; count = 1 } ] }
-    in
-    let models =
-      [
-        one "ln" (Ir.Models.layernorm_graph ~m:128 ~n:128);
-        one "rms" (Ir.Models.rmsnorm_graph ~m:128 ~n:128);
-        one "softmax" (Ir.Models.softmax_graph ~m:128 ~n:128);
-        one "mlp" (Ir.Models.mlp ~layers:2 ~m:32 ~n:128 ~k:128);
-        one "sm-gemm" (Ir.Models.softmax_gemm ~m:32 ~l:128 ~n:64);
-        one "bn" (Ir.Models.batchnorm_graph ~m:128 ~n:128);
-      ]
-    in
-    let cache = Runtime.Plan_cache.create () in
+  let run arch rps duration workers deadline_ms capacity seed store_dir telemetry_dir pretty =
+    let backends = serve_backends () in
+    let models = mini_zoo () in
+    let pstore = Option.map Store.Plan_store.open_ store_dir in
+    let cache = Runtime.Plan_cache.create ?store:pstore () in
     let config =
       { (Serve.Server.default_config ()) with Serve.Server.workers; queue_capacity = capacity }
     in
@@ -410,8 +441,33 @@ let serve_cmd =
                 ("hits", Obs.Json.Num (float_of_int (Runtime.Plan_cache.hits cache)));
                 ("misses", Obs.Json.Num (float_of_int (Runtime.Plan_cache.misses cache)));
               ] );
+          ( "run",
+            Obs.Json.Obj
+              [
+                ("functional_execs", Obs.Json.Num (float_of_int (metric_counter "run.functional_execs")));
+                ("warm_fast_path", Obs.Json.Num (float_of_int (metric_counter "run.warm_fast_path")));
+              ] );
+          ( "store",
+            match pstore with
+            | Some ps -> Store.Plan_store.report_to_json (Store.Plan_store.report ps)
+            | None -> Obs.Json.Null );
         ]
     in
+    (match telemetry_dir with
+    | None -> ()
+    | Some dir ->
+        let tele = Store.Telemetry.open_ dir in
+        let cols =
+          Store.Telemetry.metrics_columns ()
+          @ Serve.Stats.snapshot_columns st
+          @ [
+              ("throughput_rps", float_of_int st.Serve.Stats.s_done /. elapsed);
+              ("latency_ms.p50", p 50.0);
+              ("latency_ms.p99", p 99.0);
+              ("elapsed_s", elapsed);
+            ]
+        in
+        ignore (Store.Telemetry.record tele ~kind:"serve" ~label:arch.Gpu.Arch.name cols));
     if pretty then begin
       Format.printf "%a@." Serve.Stats.pp_snapshot st;
       Format.printf "throughput: %.1f req/s  p50 %.2f ms  p99 %.2f ms@."
@@ -457,7 +513,8 @@ let serve_cmd =
          "Run the concurrent serving runtime under paced mixed-model load and emit a JSON load \
           report; exits 1 on accounting violations or failed requests")
     Term.(
-      const run $ arch_arg $ rps $ duration $ workers $ deadline_ms $ capacity $ seed $ pretty)
+      const run $ arch_arg $ rps $ duration $ workers $ deadline_ms $ capacity $ seed $ store_arg
+      $ telemetry_arg $ pretty)
 
 (* chaos ------------------------------------------------------------------ *)
 
@@ -470,20 +527,8 @@ let chaos_cmd =
      shape (one worker, no deadlines, queue as large as the request count)
      removes every clock dependence from the terminal accounting, which is
      what lets scripts/ci.sh diff two same-seed runs byte-for-byte. *)
-  let run arch requests rate seed workers retries floor require_recovery check pretty =
-    let one name g =
-      { Ir.Models.model_name = name; subprograms = [ { Ir.Models.sp_name = "g"; graph = g; count = 1 } ] }
-    in
-    let models =
-      [
-        one "ln" (Ir.Models.layernorm_graph ~m:128 ~n:128);
-        one "rms" (Ir.Models.rmsnorm_graph ~m:128 ~n:128);
-        one "softmax" (Ir.Models.softmax_graph ~m:128 ~n:128);
-        one "mlp" (Ir.Models.mlp ~layers:2 ~m:32 ~n:128 ~k:128);
-        one "sm-gemm" (Ir.Models.softmax_gemm ~m:32 ~l:128 ~n:64);
-        one "bn" (Ir.Models.batchnorm_graph ~m:128 ~n:128);
-      ]
-    in
+  let run arch requests rate seed workers retries floor require_recovery check telemetry_dir pretty =
+    let models = mini_zoo () in
     let backend = Backends.Baselines.spacefusion in
     Obs.Metrics.reset ();
     if check then begin
@@ -569,6 +614,22 @@ let chaos_cmd =
             Obs.Json.Obj [ ("p50", Obs.Json.Num (p 50.0)); ("p99", Obs.Json.Num (p 99.0)) ] );
         ]
     in
+    (match telemetry_dir with
+    | None -> ()
+    | Some dir ->
+        let tele = Store.Telemetry.open_ dir in
+        let cols =
+          Store.Telemetry.metrics_columns ()
+          @ Serve.Stats.snapshot_columns st
+          @ [
+              ("goodput", goodput);
+              ("latency_ms.p99", p 99.0);
+              ("elapsed_s", elapsed);
+              ("fault_rate", rate);
+              ("seed", float_of_int seed);
+            ]
+        in
+        ignore (Store.Telemetry.record tele ~kind:"chaos" ~label:arch.Gpu.Arch.name cols));
     if pretty then begin
       Format.printf "%a@." Serve.Stats.pp_snapshot st;
       Format.printf
@@ -647,7 +708,201 @@ let chaos_cmd =
           goodput below the floor")
     Term.(
       const run $ arch_arg $ requests $ rate $ seed $ workers $ retries $ floor $ require_recovery
-      $ check $ pretty)
+      $ check $ telemetry_arg $ pretty)
+
+(* warm ------------------------------------------------------------------- *)
+
+let warm_cmd =
+  (* Pre-populate the on-disk plan store for the serving zoo, then prove it
+     took: pass 2 opens the store fresh (a simulated restart) and must see
+     zero compile misses and zero functional executions — every plan loads
+     already verified, so the warm analytic fast path engages immediately.
+     Exits 1 otherwise; scripts/ci.sh uses this as the cold-start gate. *)
+  let run arch store_dir names pretty =
+    let zoo = mini_zoo () in
+    let models =
+      match names with
+      | [] -> zoo
+      | names ->
+          List.map
+            (fun n ->
+              match List.find_opt (fun m -> m.Ir.Models.model_name = n) zoo with
+              | Some m -> m
+              | None ->
+                  Printf.eprintf "error: unknown model %S (expected %s)\n" n
+                    (String.concat " | "
+                       (List.map (fun m -> m.Ir.Models.model_name) zoo));
+                  exit 1)
+            names
+    in
+    let backends = Backends.Baselines.spacefusion :: serve_backends () in
+    let pass () =
+      let store = Store.Plan_store.open_ store_dir in
+      let cache = Runtime.Plan_cache.create ~store () in
+      let f0 = metric_counter "run.functional_execs" in
+      List.iter
+        (fun (b : Backends.Policy.t) ->
+          List.iter
+            (fun (m : Ir.Models.model) ->
+              match Runtime.Model_runner.run_model_r ~cache ~functional:`Auto ~arch b m with
+              | Ok _ -> ()
+              | Error (Core.Spacefusion.Error.Unsupported _) -> ()
+              | Error e ->
+                  Printf.eprintf "warm: %s/%s: %s\n" b.be_name m.Ir.Models.model_name
+                    (Core.Spacefusion.Error.to_string e);
+                  exit 1)
+            models)
+        backends;
+      ( store,
+        Runtime.Plan_cache.hits cache,
+        Runtime.Plan_cache.misses cache,
+        metric_counter "run.functional_execs" - f0 )
+    in
+    let pass1 = pass () in
+    (* Fresh store handle + fresh cache: everything pass 2 sees came back
+       off disk, exactly like a restarted server. *)
+    let pass2 = pass () in
+    let _, _, misses2, fn2 = pass2 in
+    let warm = misses2 = 0 && fn2 = 0 in
+    let num n = Obs.Json.Num (float_of_int n) in
+    let pass_json (store, hits, misses, fn) =
+      Obs.Json.Obj
+        [
+          ("hits", num hits);
+          ("misses", num misses);
+          ("functional_execs", num fn);
+          ("entries", num (Store.Plan_store.length store));
+          ("store", Store.Plan_store.report_to_json (Store.Plan_store.report store));
+        ]
+    in
+    let json =
+      Obs.Json.Obj
+        [
+          ("arch", Obs.Json.Str arch.Gpu.Arch.name);
+          ( "models",
+            Obs.Json.Arr
+              (List.map (fun (m : Ir.Models.model) -> Obs.Json.Str m.model_name) models) );
+          ( "backends",
+            Obs.Json.Arr
+              (List.map (fun (b : Backends.Policy.t) -> Obs.Json.Str b.be_name) backends) );
+          ("pass1", pass_json pass1);
+          ("pass2", pass_json pass2);
+          ("warm", Obs.Json.Bool warm);
+        ]
+    in
+    if pretty then begin
+      let _, h1, m1, f1 = pass1 and _, h2, _, _ = pass2 in
+      Format.printf "pass1: %d hits / %d misses / %d functional execs@." h1 m1 f1;
+      Format.printf "pass2: %d hits / %d misses / %d functional execs@." h2 misses2 fn2;
+      Format.printf "store %s: %s@." store_dir (if warm then "warm" else "NOT WARM")
+    end
+    else print_endline (Obs.Json.to_string json);
+    if not warm then begin
+      Printf.eprintf "warm: restart still cold (%d misses, %d functional execs)\n" misses2 fn2;
+      exit 1
+    end
+  in
+  let store_req =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR" ~doc:"plan-store directory to populate (created if missing)")
+  in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"MODEL" ~doc:"zoo models to warm (default: the whole serving zoo)")
+  in
+  let pretty =
+    Arg.(value & flag & info [ "pretty" ] ~doc:"human-readable summary instead of JSON")
+  in
+  Cmd.v
+    (Cmd.info "warm"
+       ~doc:
+         "Populate the on-disk plan store for the serving zoo across all backends, then verify \
+          with a simulated restart that a second pass needs zero compiles and zero functional \
+          executions; exits 1 if the store failed to take")
+    Term.(const run $ arch_arg $ store_req $ names $ pretty)
+
+(* query ------------------------------------------------------------------ *)
+
+let query_cmd =
+  (* The read side of the telemetry store: filter one kind's runs and
+     aggregate selected columns. No --kind lists the tables; --kind with no
+     --select lists that table's runs and columns. *)
+  let run dir kind label last selects =
+    let t = Store.Telemetry.open_ dir in
+    let out j = print_endline (Obs.Json.to_string j) in
+    match kind with
+    | None ->
+        out
+          (Obs.Json.Obj
+             [
+               ("dir", Obs.Json.Str dir);
+               ( "kinds",
+                 Obs.Json.Arr (List.map (fun k -> Obs.Json.Str k) (Store.Telemetry.kinds t)) );
+             ])
+    | Some kind -> (
+        let selects = List.concat_map (String.split_on_char ',') selects in
+        match selects with
+        | [] ->
+            let runs, _ = Store.Telemetry.query t ~kind ?label ?last [] in
+            out
+              (Obs.Json.Obj
+                 [
+                   ("kind", Obs.Json.Str kind);
+                   ("runs", Obs.Json.Num (float_of_int runs));
+                   ( "columns",
+                     Obs.Json.Arr
+                       (List.map (fun c -> Obs.Json.Str c) (Store.Telemetry.columns t ~kind)) );
+                 ])
+        | selects ->
+            let runs, aggs = Store.Telemetry.query t ~kind ?label ?last selects in
+            out
+              (Obs.Json.Obj
+                 [
+                   ("kind", Obs.Json.Str kind);
+                   ("runs", Obs.Json.Num (float_of_int runs));
+                   ( "columns",
+                     Obs.Json.Obj
+                       (List.map (fun (c, a) -> (c, Store.Telemetry.agg_to_json a)) aggs) );
+                 ]))
+  in
+  let dir =
+    Arg.(
+      value & opt string "telemetry"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"telemetry directory (default: telemetry)")
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND" ~doc:"table to query (serve | chaos | bench | ...)")
+  in
+  let label =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label" ] ~doc:"restrict to runs recorded with this label")
+  in
+  let last =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "last" ] ~docv:"N" ~doc:"restrict to the most recent N matching runs")
+  in
+  let selects =
+    Arg.(
+      value & opt_all string []
+      & info [ "select"; "s" ] ~docv:"COL"
+          ~doc:"column to aggregate (repeatable; comma-separated lists accepted)")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Query the columnar telemetry store: list kinds, list a kind's columns, or aggregate \
+          selected columns (count/sum/mean/min/max/last) over filtered runs")
+    Term.(const run $ dir $ kind $ label $ last $ selects)
 
 (* patterns --------------------------------------------------------------- *)
 
@@ -677,5 +932,5 @@ let () =
        (Cmd.group info
           [
             explain_cmd; compile_cmd; run_cmd; bench_cmd; profile_cmd; serve_cmd; chaos_cmd;
-            verify_cmd; patterns_cmd;
+            warm_cmd; query_cmd; verify_cmd; patterns_cmd;
           ]))

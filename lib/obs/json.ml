@@ -107,15 +107,40 @@ let parse s =
                | 'f' -> Buffer.add_char b '\012'; advance ()
                | 'u' ->
                    advance ();
-                   if !pos + 4 > n then fail "truncated \\u escape";
-                   let hex = String.sub s !pos 4 in
-                   let code =
-                     match int_of_string_opt ("0x" ^ hex) with
-                     | Some c -> c
-                     | None -> fail "bad \\u escape"
+                   let hex4 () =
+                     if !pos + 4 > n then fail "truncated \\u escape";
+                     let hex = String.sub s !pos 4 in
+                     let ok =
+                       String.for_all
+                         (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+                         hex
+                     in
+                     match (ok, int_of_string_opt ("0x" ^ hex)) with
+                     | true, Some c ->
+                         pos := !pos + 4;
+                         c
+                     | _ -> fail "bad \\u escape"
                    in
-                   Buffer.add_char b (if code < 256 then Char.chr code else '?');
-                   pos := !pos + 4
+                   (* ASCII decodes to its raw byte; everything above —
+                      including surrogate pairs — becomes the code point's
+                      UTF-8 bytes, so strings round-tripped through the
+                      plan store and telemetry are byte-stable. An
+                      unpaired surrogate is a clean parse error, never a
+                      silent ['?']. *)
+                   let code = hex4 () in
+                   if code >= 0xD800 && code <= 0xDBFF then begin
+                     if
+                       not (!pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+                     then fail "unpaired surrogate";
+                     pos := !pos + 2;
+                     let lo = hex4 () in
+                     if lo < 0xDC00 || lo > 0xDFFF then fail "unpaired surrogate";
+                     let cp = 0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00) in
+                     Buffer.add_utf_8_uchar b (Uchar.of_int cp)
+                   end
+                   else if code >= 0xDC00 && code <= 0xDFFF then fail "unpaired surrogate"
+                   else if code < 0x80 then Buffer.add_char b (Char.chr code)
+                   else Buffer.add_utf_8_uchar b (Uchar.of_int code)
                | c -> fail (Printf.sprintf "bad escape %C" c));
             go ()
         | c ->

@@ -26,9 +26,11 @@ val escape : string -> string
 
 val parse : string -> (t, string) result
 (** Parse one JSON document (surrounding whitespace allowed). Errors carry
-    a byte offset. [\uXXXX] escapes below 256 decode to the raw byte;
-    higher code points are replaced with ['?'] — the observability exports
-    never emit them. *)
+    a byte offset. [\uXXXX] escapes decode to ASCII raw bytes below 0x80
+    and to the code point's UTF-8 bytes above (surrogate pairs combine);
+    an unpaired surrogate or malformed hex is a parse error. Decoding is
+    byte-stable under {!to_string}, which matters now that the plan store
+    and telemetry round-trip JSON from disk. *)
 
 val member : string -> t -> t option
 (** Field lookup on [Obj]; [None] on anything else. *)

@@ -14,11 +14,18 @@ type entry = {
 type t = {
   table : (key, entry) Hashtbl.t;
   pending : (key, unit) Hashtbl.t;  (* keys whose compile is in flight *)
+  (* Keys whose plan content was ever functionally verified. The [verified]
+     stamp names the {e content} (the key digests it), not the resident
+     record: an entry evicted and recompiled — or marked while its key was
+     absent/pending — must come back stamped, not silently lose the work
+     the functional interpreter already did. *)
+  stamps : (key, unit) Hashtbl.t;
   lock : Mutex.t;
   filled : Condition.t;  (* signalled whenever a pending compile resolves *)
   capacity : int option;
   mutable tick : int;  (* logical clock for LRU ordering *)
   stats : Core.Cstats.t;
+  store : Store.Plan_store.t option;  (* write-behind persistence *)
 }
 
 let m_hits = lazy (Obs.Metrics.counter "cache.hits")
@@ -26,22 +33,23 @@ let m_misses = lazy (Obs.Metrics.counter "cache.misses")
 let m_evictions = lazy (Obs.Metrics.counter "cache.evictions")
 let m_size = lazy (Obs.Metrics.gauge "cache.size")
 
-let create ?capacity () =
-  (match capacity with
-  | Some c when c < 1 -> invalid_arg "Plan_cache.create: capacity must be >= 1"
-  | _ -> ());
-  (* Register the cache metrics up front so a profile of an all-miss (or
-     never-evicting) run still shows them at zero. *)
-  ignore (Lazy.force m_hits);
-  ignore (Lazy.force m_misses);
-  ignore (Lazy.force m_evictions);
-  ignore (Lazy.force m_size);
-  { table = Hashtbl.create 64; pending = Hashtbl.create 8; lock = Mutex.create ();
-    filled = Condition.create (); capacity; tick = 0; stats = Core.Cstats.create () }
-
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let store_key key =
+  {
+    Store.Plan_store.sk_backend = key.k_backend;
+    sk_arch = key.k_arch;
+    sk_name = key.k_name;
+    sk_graph = Digest.to_hex key.k_graph;
+  }
+
+let key_of_store (sk : Store.Plan_store.key) =
+  match Digest.from_hex sk.sk_graph with
+  | digest ->
+      Some { k_backend = sk.sk_backend; k_arch = sk.sk_arch; k_name = sk.sk_name; k_graph = digest }
+  | exception Invalid_argument _ -> None
 
 let evict_over_capacity t =
   match t.capacity with
@@ -64,6 +72,56 @@ let evict_over_capacity t =
             Obs.Metrics.incr (Lazy.force m_evictions)
         | None -> ()
       done
+
+let create ?capacity ?store () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Plan_cache.create: capacity must be >= 1"
+  | _ -> ());
+  (* Register the cache metrics up front so a profile of an all-miss (or
+     never-evicting) run still shows them at zero. *)
+  ignore (Lazy.force m_hits);
+  ignore (Lazy.force m_misses);
+  ignore (Lazy.force m_evictions);
+  ignore (Lazy.force m_size);
+  let t =
+    { table = Hashtbl.create 64; pending = Hashtbl.create 8; stamps = Hashtbl.create 16;
+      lock = Mutex.create (); filled = Condition.create (); capacity; tick = 0;
+      stats = Core.Cstats.create (); store }
+  in
+  (* Zero-compile cold start: every plan the store holds becomes resident
+     (up to capacity — excess entries are LRU-trimmed but stay on disk),
+     and persisted [verified] stamps license the warm fast path from the
+     very first hit after a restart. *)
+  (match store with
+  | None -> ()
+  | Some s ->
+      locked t (fun () ->
+          List.iter
+            (fun (sk, verified, plan) ->
+              match key_of_store sk with
+              | None -> ()
+              | Some key ->
+                  t.tick <- t.tick + 1;
+                  if verified then Hashtbl.replace t.stamps key ();
+                  Hashtbl.replace t.table key
+                    { e_plan = plan; e_last_use = t.tick; e_verified = verified })
+            (Store.Plan_store.entries s);
+          evict_over_capacity t;
+          Obs.Metrics.set (Lazy.force m_size) (float_of_int (Hashtbl.length t.table))));
+  t
+
+(* Write-behind: persistence never holds the cache lock while touching the
+   filesystem. The stamp is re-read under the lock right before the write
+   (and re-checked after) so a [mark_verified] racing with the compile's
+   insert cannot leave the store permanently unstamped. *)
+let write_behind t key plan =
+  match t.store with
+  | None -> ()
+  | Some s ->
+      let verified = locked t (fun () -> Hashtbl.mem t.stamps key) in
+      Store.Plan_store.put s (store_key key) ~verified plan;
+      if (not verified) && locked t (fun () -> Hashtbl.mem t.stamps key) then
+        Store.Plan_store.mark_verified s (store_key key)
 
 let key_of (backend : Backends.Policy.t) arch ~name graph =
   {
@@ -136,16 +194,27 @@ let compile_hit_verified t (backend : Backends.Policy.t) arch ~name graph =
           resolve (fun () -> ());
           raise e
       | plan ->
-          resolve (fun () ->
-              (match Hashtbl.find_opt t.table key with
-              | Some e ->
-                  t.tick <- t.tick + 1;
-                  e.e_last_use <- t.tick
-              | None ->
-                  t.tick <- t.tick + 1;
-                  Hashtbl.replace t.table key { e_plan = plan; e_last_use = t.tick; e_verified = false };
-                  evict_over_capacity t);
-              (plan, false, false)))
+          let r =
+            resolve (fun () ->
+                (match Hashtbl.find_opt t.table key with
+                | Some e ->
+                    t.tick <- t.tick + 1;
+                    e.e_last_use <- t.tick
+                | None ->
+                    t.tick <- t.tick + 1;
+                    (* Not unconditionally [false]: a [mark_verified] that
+                       landed while this key was evicted or in flight is in
+                       [stamps], and the same content digest means the same
+                       plan semantics — re-stamp on insert instead of
+                       dropping the completed verification. *)
+                    Hashtbl.replace t.table key
+                      { e_plan = plan; e_last_use = t.tick;
+                        e_verified = Hashtbl.mem t.stamps key };
+                    evict_over_capacity t);
+                (plan, false, Hashtbl.mem t.stamps key))
+          in
+          write_behind t key plan;
+          r)
 
 let compile_hit t backend arch ~name graph =
   let plan, hit, _verified = compile_hit_verified t backend arch ~name graph in
@@ -156,9 +225,17 @@ let compile t backend arch ~name graph = fst (compile_hit t backend arch ~name g
 let mark_verified t backend arch ~name graph =
   let key = key_of backend arch ~name graph in
   locked t (fun () ->
+      (* Stamp the content, then the resident record if there is one. A
+         key that is absent (evicted, or still pending its re-insert) is
+         no longer a silent drop: the stamp survives in [stamps] and is
+         re-applied on the next insert of the same digest. *)
+      Hashtbl.replace t.stamps key ();
       match Hashtbl.find_opt t.table key with
       | Some e -> e.e_verified <- true
-      | None -> ())
+      | None -> ());
+  match t.store with
+  | None -> ()
+  | Some s -> Store.Plan_store.mark_verified s (store_key key)
 
 let hits t = locked t (fun () -> t.stats.Core.Cstats.n_cache_hits)
 let misses t = locked t (fun () -> t.stats.Core.Cstats.n_cache_misses)

@@ -15,9 +15,16 @@
 
 type t
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?store:Store.Plan_store.t -> unit -> t
 (** Unbounded unless [capacity] is given. Raises [Invalid_argument] on
-    [capacity < 1]. *)
+    [capacity < 1].
+
+    With [store], the cache is backed by the on-disk plan store: every
+    entry the store holds is loaded on create (with its persisted
+    [verified] stamp, so a restarted process keeps its warm fast path),
+    each fresh compile is written behind, and [mark_verified] re-stamps
+    the entry on disk. Eviction only drops residency — the plan stays in
+    the store. *)
 
 val compile :
   t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t
@@ -37,15 +44,21 @@ val compile_hit :
 
 val compile_hit_verified :
   t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t * bool * bool
-(** {!compile_hit}, additionally reporting the entry's [verified] stamp
-    (always [false] on a miss). A verified warm hit licenses
+(** {!compile_hit}, additionally reporting the entry's [verified] stamp.
+    On a miss this is the {e content} stamp: recompiling a digest whose
+    plan was already verified (then evicted) reports [true], because the
+    key digests the graph and equal content means equal semantics. A
+    verified warm hit licenses
     {!Model_runner}'s fast path: the plan's functional execution already
     completed once, so an [`Auto] run may skip it and take the analytic
     walk. *)
 
 val mark_verified : t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> unit
-(** Stamp the resident entry for this key as functionally verified. No-op
-    when the key is absent (e.g. evicted since the lookup). *)
+(** Stamp this key's plan {e content} as functionally verified: the
+    resident entry (if any) is stamped now, and — because the key digests
+    the graph — the stamp survives eviction and in-flight recompiles,
+    re-applying itself on the next insert of the same key instead of
+    being silently dropped. Persisted when the cache has a store. *)
 
 val mem : t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> bool
 (** Whether a plan for this key is resident right now. Pure probe: no LRU

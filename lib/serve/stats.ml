@@ -153,6 +153,20 @@ let snapshot_to_json s =
       ("conserved", Obs.Json.Bool (conserved s));
     ]
 
+let snapshot_columns s =
+  [
+    ("serve.submitted", float_of_int s.s_submitted);
+    ("serve.admitted", float_of_int s.s_admitted);
+    ("serve.rejected", float_of_int s.s_rejected);
+    ("serve.timed_out", float_of_int s.s_timed_out);
+    ("serve.done", float_of_int s.s_done);
+    ("serve.failed", float_of_int s.s_failed);
+    ("serve.coalesced", float_of_int s.s_coalesced);
+    ("serve.degraded", float_of_int s.s_degraded);
+    ("serve.retries", float_of_int s.s_retries);
+    ("serve.requeued", float_of_int s.s_requeued);
+  ]
+
 let pp_snapshot fmt s =
   Format.fprintf fmt
     "submitted %d  admitted %d  done %d  rejected %d  timed_out %d  failed %d  coalesced %d  \

@@ -83,4 +83,10 @@ val percentile : float list -> float -> float
     copy; 0 on the empty list. *)
 
 val snapshot_to_json : snapshot -> Obs.Json.t
+
+val snapshot_columns : snapshot -> (string * float) list
+(** The snapshot as flat [serve.*] columns — the per-run rows the
+    telemetry store appends so serve/chaos runs across PRs stay
+    comparable. *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,17 @@
+(** JSON codec for executable plans.
+
+    The on-disk plan store round-trips {!Gpu.Plan.t} through {!Obs.Json}
+    rather than [Marshal]: a JSON payload is inspectable, survives compiler
+    upgrades, and — crucially for the store's corruption-safety contract —
+    can always be {e rejected} instead of crashing the process when the
+    bytes on disk are not what the writer produced. Decoding re-validates
+    every kernel with {!Gpu.Kernel.validate}, so a payload that parses but
+    describes an ill-formed kernel is still an [Error], never an
+    [Invalid_argument] escaping into the loader. *)
+
+val plan_to_json : Gpu.Plan.t -> Obs.Json.t
+
+val plan_of_json : Obs.Json.t -> (Gpu.Plan.t, string) result
+(** Structural inverse of {!plan_to_json}. Any shape mismatch, unknown
+    operator name, or kernel that fails validation is reported as
+    [Error reason]. *)

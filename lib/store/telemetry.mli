@@ -1,0 +1,58 @@
+(** Append-only columnar telemetry.
+
+    BENCH_/chaos/serve JSON used to be throwaway: each run printed a
+    report and the numbers died with the terminal. This store makes runs
+    across PRs comparable data. Each {e kind} of run (["serve"],
+    ["chaos"], ["bench"], ...) is a table under the telemetry directory:
+
+    {v
+    telemetry/<kind>/index.jsonl        one line per run: seq, ts, label
+    telemetry/<kind>/cols/<name>.col    "seq value" lines, one file per column
+    v}
+
+    The layout is column-oriented on purpose: aggregating one metric over
+    hundreds of runs reads one small file, not every run's full report —
+    the DuckDB-ish query surface {!query} exposes. Files are append-only;
+    a run becomes visible only when its index line lands, so a torn tail
+    (killed writer) is at most one ignorable partial line per file, never
+    a corrupt table. Runs with different column sets coexist: a column
+    file is sparse over sequence numbers. *)
+
+type t
+
+val open_ : string -> t
+(** Create the directory if needed. *)
+
+val record : t -> kind:string -> ?label:string -> (string * float) list -> int
+(** Append one run's columns; returns the run's sequence number within
+    [kind]. Column values land before the index line, so a crash mid-record
+    leaves no visible run. *)
+
+val metrics_columns : unit -> (string * float) list
+(** Flatten the current {!Obs.Metrics} registry into columns: counters and
+    gauges by name, histograms as [name.count] / [name.sum] / [name.min] /
+    [name.max]. *)
+
+type agg = {
+  a_count : int;
+  a_sum : float;
+  a_mean : float;
+  a_min : float;
+  a_max : float;
+  a_last : float;
+}
+
+val kinds : t -> string list
+(** Tables present, sorted. *)
+
+val columns : t -> kind:string -> string list
+(** Column names recorded for a kind, sorted. *)
+
+val query :
+  t -> kind:string -> ?label:string -> ?last:int -> string list -> int * (string * agg option) list
+(** [query t ~kind cols] filters the kind's runs (optionally to one
+    [label], optionally to the [last] n runs) and aggregates each
+    requested column over the matching runs. Returns (matching run count,
+    per-column aggregate — [None] when no matching run recorded it). *)
+
+val agg_to_json : agg option -> Obs.Json.t

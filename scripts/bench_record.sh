@@ -5,16 +5,36 @@
 # at the repo root, so every PR appends a comparable data point.
 #
 #   scripts/bench_record.sh              # next free BENCH_<nnn>.json
-#   scripts/bench_record.sh out.json     # explicit path
+#   scripts/bench_record.sh out.json     # explicit path (must not exist)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out=${1:-}
 if [ -z "$out" ]; then
-    n=6
-    while [ -e "$(printf 'BENCH_%03d.json' "$n")" ]; do n=$((n + 1)); done
-    out=$(printf 'BENCH_%03d.json' "$n")
+    # Next number = 1 + the highest existing BENCH_<n>.json, whatever its
+    # padding: BENCH_9, BENCH_009 and BENCH_0100 all parse numerically, so
+    # the sequence keeps counting past BENCH_009 where a lexicographic
+    # first-free-slot scan would wrap or collide. Gaps are never refilled —
+    # a deleted point's number stays retired, so old references stay
+    # unambiguous. The floor keeps us clear of the pre-scheme seed files.
+    max=5
+    for f in BENCH_*.json; do
+        [ -e "$f" ] || continue
+        num=${f#BENCH_}
+        num=${num%.json}
+        case $num in
+        *[!0-9]* | '') continue ;;
+        esac
+        # strip leading zeros: arithmetic on 008/009 is an octal error
+        num=${num#"${num%%[!0]*}"}
+        [ -n "$num" ] || num=0
+        if [ "$num" -gt "$max" ]; then max=$num; fi
+    done
+    out=$(printf 'BENCH_%03d.json' $((max + 1)))
+elif [ -e "$out" ]; then
+    echo "bench_record: refusing to overwrite existing $out" >&2
+    exit 1
 fi
 
 tmp=$(mktemp)
@@ -24,6 +44,15 @@ trap 'rm -f "$tmp"' EXIT
 # exits nonzero on a bad document or a warm run that re-entered the
 # functional interpreter; the JSON is the single line starting with '{'.
 dune exec bench/main.exe -- --only micro > "$tmp"
-grep '^{' "$tmp" > "$out"
+
+# noclobber closes the race against a concurrent recorder that picked the
+# same number: exactly one of the two writes wins, the other fails loudly.
+(
+    set -C
+    grep '^{' "$tmp" > "$out"
+) || {
+    echo "bench_record: $out appeared while recording; rerun to pick the next number" >&2
+    exit 1
+}
 
 echo "recorded $out"

@@ -76,6 +76,45 @@ if [ "$(extract_counts "$chaos1")" != "$(extract_counts "$chaos2")" ]; then
 fi
 rm -f "$chaos1" "$chaos2"
 
+# Plan-store gate: `warm` populates the on-disk store and proves in-process
+# that a simulated restart compiles nothing; then a genuinely separate serve
+# process backed by the same store must report zero cache misses and zero
+# functional executions — the zero-compile cold start the store exists for.
+store_dir=$(mktemp -d) && warm_out=$(mktemp) && serve_out=$(mktemp)
+dune exec bin/spacefusion_cli.exe -- warm --store "$store_dir" > "$warm_out" || {
+    echo "ci: warm failed to populate the plan store" >&2; cat "$warm_out" >&2; exit 1; }
+dune exec bin/spacefusion_cli.exe -- serve --duration 1 --rps 100 --workers 2 \
+    --store "$store_dir" --telemetry "$store_dir/telemetry" > "$serve_out"
+grep -q '"misses":0' "$serve_out" || {
+    echo "ci: store-backed serve restart still compiled (cache misses)" >&2
+    cat "$serve_out" >&2; exit 1; }
+grep -q '"functional_execs":0' "$serve_out" || {
+    echo "ci: store-backed serve restart re-entered the functional interpreter" >&2
+    cat "$serve_out" >&2; exit 1; }
+
+# Telemetry query smoke: the serve run above recorded one row; the query
+# surface must see exactly that run.
+query_out=$(mktemp)
+dune exec bin/spacefusion_cli.exe -- query --dir "$store_dir/telemetry" --kind serve \
+    --select serve.done > "$query_out"
+grep -q '"runs":1' "$query_out" || {
+    echo "ci: telemetry query did not see the recorded serve run" >&2
+    cat "$query_out" >&2; exit 1; }
+rm -f "$serve_out" "$query_out"
+
+# Corruption-injection smoke: chop bytes off one stored plan; reopening the
+# store must quarantine exactly that entry and name it — never crash — and
+# the remaining entries must still warm a restart (the chopped one simply
+# recompiles and is written back).
+plan_file=$(ls "$store_dir"/*.plan | head -n 1)
+truncate -s -2 "$plan_file"
+dune exec bin/spacefusion_cli.exe -- warm --store "$store_dir" > "$warm_out" || {
+    echo "ci: warm did not recover from a corrupted store entry" >&2
+    cat "$warm_out" >&2; exit 1; }
+grep -q '"quarantined":1' "$warm_out" || {
+    echo "ci: corrupted entry was not quarantined" >&2; cat "$warm_out" >&2; exit 1; }
+rm -rf "$store_dir" "$warm_out"
+
 out1=$(mktemp) && out4=$(mktemp)
 trap 'rm -f "$out1" "$out4"' EXIT
 
@@ -104,4 +143,4 @@ if [ "$picks1" != "$picks4" ]; then
     exit 1
 fi
 
-echo "ci: OK (build, tests, serve smoke + 3x soak, deterministic chaos gate, serial/parallel tuner picks identical)"
+echo "ci: OK (build, tests, serve smoke + 3x soak, deterministic chaos gate, warm-store cold-start + corruption gates, serial/parallel tuner picks identical)"

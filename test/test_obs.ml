@@ -205,6 +205,63 @@ let test_report_roundtrip () =
       | Error _ -> ()
       | Ok () -> Alcotest.fail "missing required span accepted"
 
+(* ------------------------------------------------------------------ *)
+(* JSON \uXXXX decoding                                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_str s =
+  match Obs.Json.parse s with
+  | Ok (Obs.Json.Str v) -> v
+  | Ok _ -> Alcotest.failf "expected a string for %s" s
+  | Error msg -> Alcotest.failf "parse failed for %s: %s" s msg
+
+(* Escape inputs built at runtime ([u_esc ["0041"]] is the six source
+   characters backslash-u-0-0-4-1, inside quotes) so this test source
+   stays plain ASCII. *)
+let bs = String.make 1 (Char.chr 92)
+let u_esc hexes = "\"" ^ String.concat "" (List.map (fun h -> bs ^ "u" ^ h) hexes) ^ "\""
+
+let test_unicode_escapes () =
+  Alcotest.(check string) "ascii" "A" (parse_str (u_esc [ "0041" ]));
+  Alcotest.(check string) "control stays a raw byte" "\031" (parse_str (u_esc [ "001f" ]));
+  (* U+00E9 -> C3 A9; U+20AC -> E2 82 AC; U+1F600 via the surrogate pair
+     D83D DE00 -> F0 9F 98 80. Before the fix these truncated to one
+     mangled byte instead of the code point's UTF-8. *)
+  Alcotest.(check string) "two-byte utf-8" "\xc3\xa9" (parse_str (u_esc [ "00e9" ]));
+  Alcotest.(check string) "three-byte utf-8" "\xe2\x82\xac" (parse_str (u_esc [ "20ac" ]));
+  Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80"
+    (parse_str (u_esc [ "d83d"; "de00" ]));
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed escape %s" s)
+    [
+      u_esc [ "d83d" ] (* unpaired high surrogate at end of string *);
+      "\"" ^ bs ^ "ud83dx\"" (* high surrogate followed by a raw char *);
+      u_esc [ "d83d"; "0041" ] (* high surrogate followed by a non-low escape *);
+      u_esc [ "de00" ] (* lone low surrogate *);
+      u_esc [ "12g4" ] (* bad hex digit *);
+      u_esc [ "1_34" ] (* int_of_string would silently accept the underscore *);
+      "\"" ^ bs ^ "u123\"" (* truncated *);
+    ]
+
+let test_unicode_byte_stability () =
+  (* Strings that reach disk (plan store, telemetry) go through
+     parse -> to_string cycles; non-ASCII must be a fixed point. *)
+  let v =
+    parse_str
+      ("\"caf" ^ bs ^ "u00e9 " ^ bs ^ "u20ac " ^ bs ^ "ud83d" ^ bs ^ "ude00\"")
+  in
+  Alcotest.(check string) "decoded utf-8 bytes" "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80" v;
+  let s = Obs.Json.to_string (Obs.Json.Str v) in
+  match Obs.Json.parse s with
+  | Ok (Obs.Json.Str v') ->
+      Alcotest.(check string) "byte-stable" v v';
+      Alcotest.(check string) "re-serialization fixed point" s
+        (Obs.Json.to_string (Obs.Json.Str v'))
+  | _ -> Alcotest.fail "re-parse failed"
+
 let () =
   Alcotest.run "obs"
     [
@@ -221,4 +278,9 @@ let () =
             test_histogram_parallel_consistency;
         ] );
       ("report", [ Alcotest.test_case "json round-trip" `Quick test_report_roundtrip ]);
+      ( "json",
+        [
+          Alcotest.test_case "unicode escapes decode to UTF-8" `Quick test_unicode_escapes;
+          Alcotest.test_case "unicode byte stability" `Quick test_unicode_byte_stability;
+        ] );
     ]

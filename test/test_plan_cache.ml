@@ -223,6 +223,64 @@ let test_failed_compile_releases_claim () =
   Alcotest.(check int) "both lookups were misses" 2 (PC.misses c);
   Alcotest.(check int) "plan cached on the retry" 1 (PC.length c)
 
+let test_verified_survives_eviction () =
+  (* Regression: the verified stamp names plan *content* (the key digests
+     the graph), so eviction must not burn it — a re-insert of the same
+     digest comes back stamped instead of re-running the functional
+     interpreter for work that already completed. *)
+  let calls = Atomic.make 0 in
+  let b = stub calls in
+  let c = PC.create ~capacity:1 () in
+  ignore (PC.compile c b arch ~name:"m" g_a);
+  PC.mark_verified c b arch ~name:"m" g_a;
+  let _, _, v = PC.compile_hit_verified c b arch ~name:"m" g_a in
+  Alcotest.(check bool) "stamped while resident" true v;
+  ignore (PC.compile c b arch ~name:"m" g_b);
+  Alcotest.(check bool) "A evicted" false (PC.mem c b arch ~name:"m" g_a);
+  let _, hit, v = PC.compile_hit_verified c b arch ~name:"m" g_a in
+  Alcotest.(check bool) "A recompiled (miss)" false hit;
+  Alcotest.(check bool) "content stamp survives the eviction" true v;
+  let _, hit, v = PC.compile_hit_verified c b arch ~name:"m" g_a in
+  Alcotest.(check bool) "warm hit" true hit;
+  Alcotest.(check bool) "re-inserted entry is stamped" true v
+
+let test_mark_verified_during_compile () =
+  (* Regression for the single-flight re-insert clobber: mark_verified
+     lands while the key's compile is still in flight (the entry is in
+     [pending], not [table]). The resolve path used to insert with
+     [e_verified = false], silently discarding the stamp; it must re-apply
+     it instead. *)
+  let in_compile = Atomic.make false in
+  let release = Atomic.make false in
+  let b =
+    {
+      Policy.be_name = "slow-stub-mv";
+      dispatch_us = 0.0;
+      supports = (fun _ -> true);
+      compile =
+        (fun arch ~name g ->
+          Atomic.set in_compile true;
+          while not (Atomic.get release) do
+            Domain.cpu_relax ()
+          done;
+          Policy.compile_groups arch ~name g (Policy.singletons g));
+    }
+  in
+  let c = PC.create () in
+  let compiler = Domain.spawn (fun () -> PC.compile_hit_verified c b arch ~name:"m" g_a) in
+  while not (Atomic.get in_compile) do
+    Domain.cpu_relax ()
+  done;
+  (* The compile is demonstrably in flight; stamp the key now. *)
+  PC.mark_verified c b arch ~name:"m" g_a;
+  Atomic.set release true;
+  let _, hit, v = Domain.join compiler in
+  Alcotest.(check bool) "compiler saw its own miss" false hit;
+  Alcotest.(check bool) "stamp raced into the in-flight compile" true v;
+  let _, hit, v = PC.compile_hit_verified c b arch ~name:"m" g_a in
+  Alcotest.(check bool) "next lookup hits" true hit;
+  Alcotest.(check bool) "and is verified — the stamp was not clobbered" true v
+
 let () =
   Alcotest.run "plan_cache"
     [
@@ -240,5 +298,9 @@ let () =
           Alcotest.test_case "mem is a pure probe" `Quick test_mem_probe;
           Alcotest.test_case "failed compile releases claim" `Quick
             test_failed_compile_releases_claim;
+          Alcotest.test_case "verified stamp survives eviction" `Quick
+            test_verified_survives_eviction;
+          Alcotest.test_case "mark_verified during in-flight compile" `Quick
+            test_mark_verified_during_compile;
         ] );
     ]
