@@ -1229,6 +1229,149 @@ let micro () =
       (mm_new /. mm_old)
 
 (* ------------------------------------------------------------------ *)
+(* Shard: multi-device scaling + fleet soak (JSON)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Costs the cross-device sharding scheduler (Core.Shard over an
+   NVLink-style Gpu.Node) on large-batch workloads at 1/2/4/8-device
+   nodes, then runs a fleet mini-soak: a device-death-weighted seeded
+   storm against a 4-device serving fleet with one worker, so outcome
+   counts and the fleet snapshot are a pure function of the seed.
+   Gates (exit nonzero): the gated large-batch workload must show
+   >= 1.5x simulated-latency improvement on a 4-device node vs one
+   device, and the soak must keep exactly-once accounting conserved
+   with goodput >= 0.9 after at least one injected device death. *)
+let shard_bench () =
+  let arch = Gpu.Arch.ampere in
+  let sf = B.spacefusion in
+  let node_sizes = [ 1; 2; 4; 8 ] in
+  let cases =
+    if !quick then
+      [
+        ("mlp_largebatch", Ir.Models.mlp ~layers:2 ~m:2048 ~n:8192 ~k:8192, 1);
+        ("ffn_bert_layer", Ir.Models.ffn_ln ~m:1024 ~hidden:768 ~ffn:3072 ~act:`Gelu ~norm:`Layernorm, 12);
+      ]
+    else
+      [
+        (* Compute-bound wide-k GEMM chain: the shape sharding pays on. *)
+        ("mlp_largebatch", Ir.Models.mlp ~layers:2 ~m:8192 ~n:8192 ~k:8192, 1);
+        (* Memory-bound contrasts: the scheduler should keep these on one
+           device rather than buy collectives that cost more than they save. *)
+        ("softmax_gemm", Ir.Models.softmax_gemm ~m:8192 ~l:4096 ~n:64, 1);
+        ("ffn_bert_layer", Ir.Models.ffn_ln ~m:16384 ~hidden:768 ~ffn:3072 ~act:`Gelu ~norm:`Layernorm, 12);
+      ]
+  in
+  let gated = "mlp_largebatch" in
+  let gate_su = ref 0.0 in
+  let case_rows =
+    List.map
+      (fun (name, g, reps) ->
+        let plan = sf.Policy.compile arch ~name g in
+        let rows =
+          List.map
+            (fun devices ->
+              let node = Gpu.Node.nvlink arch ~devices in
+              let d = Core.Shard.best ~reps ~dispatch_us:sf.Policy.dispatch_us node plan in
+              let su = Core.Shard.speedup d in
+              if name = gated && devices = 4 then gate_su := su;
+              Printf.sprintf
+                "{\"node_devices\":%d,\"picked_devices\":%d,\"strategy\":%S,\"time_us\":%.3f,\"compute_us\":%.3f,\"collective_us\":%.3f,\"baseline_us\":%.3f,\"speedup\":%.3f,\"candidates\":%d,\"pruned\":%d}"
+                devices d.Core.Shard.d_devices
+                (Core.Shard.strategy_name d.Core.Shard.d_strategy)
+                (d.Core.Shard.d_time *. 1e6) (d.Core.Shard.d_compute_s *. 1e6)
+                (d.Core.Shard.d_collective_s *. 1e6)
+                (d.Core.Shard.d_baseline_s *. 1e6)
+                su d.Core.Shard.d_candidates d.Core.Shard.d_pruned)
+            node_sizes
+        in
+        Printf.sprintf "{\"case\":%S,\"reps\":%d,\"nodes\":[%s]}" name reps
+          (String.concat "," rows))
+      cases
+  in
+  (* Fleet mini-soak: 4 simulated devices behind the router, one worker
+     (deterministic), a storm weighted toward device deaths so rerouting
+     and the per-device breakers actually engage. *)
+  let n_req = if !quick then 120 else 240 in
+  let one name g =
+    { Ir.Models.model_name = name; subprograms = [ { Ir.Models.sp_name = "g"; graph = g; count = 1 } ] }
+  in
+  let smodels =
+    [
+      one "ln" (Ir.Models.layernorm_graph ~m:128 ~n:128);
+      one "rms" (Ir.Models.rmsnorm_graph ~m:128 ~n:128);
+      one "softmax" (Ir.Models.softmax_graph ~m:128 ~n:128);
+      one "mlp" (Ir.Models.mlp ~layers:2 ~m:32 ~n:128 ~k:128);
+    ]
+  in
+  let rates =
+    {
+      Fault.Plan.zero_rates with
+      Fault.Plan.launch_failure = 0.004;
+      device_error = 0.002;
+      device_death = (if !quick then 0.01 else 0.004);
+    }
+  in
+  let fleet_seed = 23 in
+  let cfg =
+    {
+      (Serve.Server.default_config ()) with
+      Serve.Server.workers = 1;
+      queue_capacity = n_req;
+      max_retries = 4;
+      backoff_s = 1e-4;
+      backoff_cap_s = 1e-3;
+      fault_plan = Some (Fault.Plan.make ~rates ~seed:fleet_seed ());
+      breaker = { Serve.Breaker.threshold = 2; cooldown_s = 1e-3 };
+      devices = 4;
+    }
+  in
+  let counter name =
+    match Obs.Metrics.find name with Some (Obs.Metrics.Counter c) -> c | _ -> 0
+  in
+  let dead0 = counter "fleet.dead_devices" in
+  let s = Serve.Server.start ~cache:(Runtime.Plan_cache.create ()) ~config:cfg () in
+  let tickets =
+    List.init n_req (fun i ->
+        Serve.Server.submit s ~arch B.spacefusion (List.nth smodels (i mod List.length smodels)))
+  in
+  List.iter (fun tk -> ignore (Serve.Server.await tk)) tickets;
+  Serve.Server.shutdown s;
+  let st = Serve.Server.stats s in
+  let goodput =
+    if st.Serve.Stats.s_submitted = 0 then 1.0
+    else float_of_int st.Serve.Stats.s_done /. float_of_int st.Serve.Stats.s_submitted
+  in
+  let deaths = counter "fleet.dead_devices" - dead0 in
+  let fleet_js =
+    match Serve.Server.fleet_json s with
+    | Some j -> Obs.Json.to_string j
+    | None -> "null"
+  in
+  Printf.printf
+    "{\"experiment\":\"shard\",\"arch\":%S,\"quick\":%b,\"cases\":[%s],\"gate\":{\"case\":%S,\"devices\":4,\"speedup\":%.3f,\"floor\":1.5},\"fleet_soak\":{\"requests\":%d,\"devices\":4,\"seed\":%d,\"outcomes\":%s,\"goodput\":%.4f,\"device_deaths\":%d,\"fleet\":%s,\"conserved\":%b}}\n"
+    arch.Gpu.Arch.name !quick
+    (String.concat "," case_rows)
+    gated !gate_su n_req fleet_seed
+    (Obs.Json.to_string (Serve.Stats.snapshot_to_json st))
+    goodput deaths fleet_js (Serve.Stats.conserved st);
+  if !gate_su < 1.5 then begin
+    Printf.eprintf "shard: 4-device speedup %.3fx below the 1.5x floor on %s\n" !gate_su gated;
+    exit 1
+  end;
+  if not (Serve.Stats.conserved st) || st.Serve.Stats.s_submitted <> n_req then begin
+    Printf.eprintf "shard: fleet soak accounting violated\n";
+    exit 1
+  end;
+  if deaths < 1 then begin
+    Printf.eprintf "shard: fleet soak injected no device death — storm too tame to gate on\n";
+    exit 1
+  end;
+  if goodput < 0.9 then begin
+    Printf.eprintf "shard: fleet soak goodput %.4f below 0.9\n" goodput;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler itself                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1288,6 +1431,7 @@ let experiments =
     ("obs", "Observability: tracing overhead + profile export (JSON)", obs);
     ("serve", "Serving runtime: throughput & tail latency vs workers (JSON)", serve_bench);
     ("chaos", "Chaos: goodput & tail latency under injected faults (JSON)", chaos_bench);
+    ("shard", "Multi-device sharding: node scaling + fleet-death soak (JSON)", shard_bench);
     ("verify", "Differential verification: fuzz + seeded-defect corpus gate (JSON)", verify);
     ("micro", "Execution engine: kernel sims/sec old-vs-new, serve p50/p99, compile latency (JSON)", micro);
     ("bechamel", "Compiler micro-benchmarks", bechamel_compile);

@@ -9,16 +9,12 @@
 
 open Cmdliner
 
-let arch_conv =
-  let parse s =
-    match Gpu.Arch.by_name s with
-    | a -> Ok a
-    | exception Not_found -> Error (`Msg (Printf.sprintf "unknown architecture %S" s))
-  in
-  Arg.conv (parse, fun fmt (a : Gpu.Arch.t) -> Format.pp_print_string fmt a.name)
-
-let arch_arg =
-  Arg.(value & opt arch_conv Gpu.Arch.ampere & info [ "arch" ] ~doc:"volta | ampere | hopper")
+(* Every cross-command flag (--arch, --seed, --store, --telemetry,
+   --workers, --deadline-ms, --devices, --pretty) lives in Cli_common so
+   each lands once, with one spelling, everywhere. *)
+let arch_conv = Cli_common.arch_conv
+let arch_arg = Cli_common.arch_arg
+let or_die = Cli_common.or_die
 
 (* Workload construction ------------------------------------------------ *)
 
@@ -32,13 +28,6 @@ let n_arg = Arg.(value & opt int 1024 & info [ "cols"; "n" ] ~doc:"columns / hid
 let seq_arg = Arg.(value & opt int 512 & info [ "seq" ] ~doc:"sequence length")
 let batch_arg = Arg.(value & opt int 8 & info [ "batch" ] ~doc:"batch size")
 let layers_arg = Arg.(value & opt int 4 & info [ "layers" ] ~doc:"MLP depth")
-
-(* One exit path for every typed pipeline error the subcommands hit. *)
-let or_die = function
-  | Ok v -> v
-  | Error e ->
-      Printf.eprintf "error: %s\n" (Core.Spacefusion.Error.to_string e);
-      exit 1
 
 let build_workload workload ~m ~n ~seq ~batch ~layers =
   if String.length workload > 5 && String.sub workload 0 5 = "file:" then
@@ -147,7 +136,7 @@ let compile_cmd =
 (* run ------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run arch workload m n seq batch layers =
+  let run arch workload m n seq batch layers devices =
     let g = build_workload workload ~m ~n ~seq ~batch ~layers in
     let c = or_die (Core.Spacefusion.compile_r ~arch ~name:workload g) in
     (match Runtime.Verify.verify_plan ~arch ~name:workload g c.Core.Spacefusion.c_plan with
@@ -157,11 +146,18 @@ let run_cmd =
         exit 1);
     let device = Gpu.Device.create () in
     let r = Runtime.Runner.run_plan ~arch ~dispatch_us:3.0 device c.Core.Spacefusion.c_plan in
-    Format.printf "simulated: %a@." Runtime.Runner.pp r
+    Format.printf "simulated: %a@." Runtime.Runner.pp r;
+    if devices > 1 then begin
+      let node = Gpu.Node.nvlink arch ~devices in
+      let d = Core.Shard.best node c.Core.Spacefusion.c_plan in
+      Format.printf "sharded:   %a@." Core.Shard.pp d
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, verify against the reference, and simulate")
-    Term.(const run $ arch_arg $ workload_arg $ m_arg $ n_arg $ seq_arg $ batch_arg $ layers_arg)
+    Term.(
+      const run $ arch_arg $ workload_arg $ m_arg $ n_arg $ seq_arg $ batch_arg $ layers_arg
+      $ Cli_common.devices_arg)
 
 (* bench ----------------------------------------------------------------- *)
 
@@ -313,9 +309,7 @@ let verify_cmd =
       & info [ "arch" ] ~doc:"restrict to one architecture (volta | ampere | hopper); default all three")
   in
   let budget = Arg.(value & opt int 50 & info [ "budget" ] ~doc:"random cases to draw") in
-  let seed =
-    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"master fuzz seed; fixes the whole run")
-  in
+  let seed = Cli_common.seed_arg ~default:7 ~doc:"master fuzz seed; fixes the whole run" in
   let max_nodes =
     Arg.(value & opt int 12 & info [ "max-nodes" ] ~doc:"maximum ops per random case")
   in
@@ -328,49 +322,14 @@ let verify_cmd =
           graph, and run the seeded-defect corpus gate. Exits 1 on any divergence.")
     Term.(const run $ arch_opt $ budget $ seed $ max_nodes $ json)
 
-(* Shared serving-tier model zoo ------------------------------------------ *)
-
-(* The mixed-traffic zoo the serve storm, the chaos storm and the warm CLI
-   all draw from: same names, same graphs, so a store warmed by one is
-   warm for the others. *)
-let mini_zoo () =
-  let one name g =
-    { Ir.Models.model_name = name; subprograms = [ { Ir.Models.sp_name = "g"; graph = g; count = 1 } ] }
-  in
-  [
-    one "ln" (Ir.Models.layernorm_graph ~m:128 ~n:128);
-    one "rms" (Ir.Models.rmsnorm_graph ~m:128 ~n:128);
-    one "softmax" (Ir.Models.softmax_graph ~m:128 ~n:128);
-    one "mlp" (Ir.Models.mlp ~layers:2 ~m:32 ~n:128 ~k:128);
-    one "sm-gemm" (Ir.Models.softmax_gemm ~m:32 ~l:128 ~n:64);
-    one "bn" (Ir.Models.batchnorm_graph ~m:128 ~n:128);
-  ]
-
-let serve_backends () =
-  [ Backends.Baselines.pytorch; Backends.Baselines.cublas; Backends.Baselines.cublaslt ]
-
-let metric_counter name =
-  match Obs.Metrics.find name with Some (Obs.Metrics.Counter n) -> n | _ -> 0
-
-let store_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "store" ]
-        ~docv:"DIR"
-        ~doc:
-          "back the plan cache with the on-disk plan store at $(docv): plans (and their \
-           verified stamps) load on start and persist across restarts")
-
-let telemetry_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "telemetry" ]
-        ~docv:"DIR"
-        ~doc:
-          "append this run's metrics as a row to the columnar telemetry store at $(docv) \
-           (query it with $(b,spacefusion query))")
+(* Shared serving-tier model zoo (Cli_common): same names, same graphs
+   across serve / chaos / warm, so a store warmed by one is warm for the
+   others. *)
+let mini_zoo = Cli_common.mini_zoo
+let serve_backends = Cli_common.serve_backends
+let metric_counter = Cli_common.metric_counter
+let store_arg = Cli_common.store_arg
+let telemetry_arg = Cli_common.telemetry_arg
 
 (* serve ------------------------------------------------------------------ *)
 
@@ -381,13 +340,18 @@ let serve_cmd =
      counters). Exits 1 when the accounting conservation law is violated
      or any request failed — scripts/ci.sh uses a short run of this as the
      serving smoke gate. *)
-  let run arch rps duration workers deadline_ms capacity seed store_dir telemetry_dir pretty =
+  let run arch rps duration workers deadline_ms capacity seed devices store_dir telemetry_dir pretty =
     let backends = serve_backends () in
     let models = mini_zoo () in
     let pstore = Option.map Store.Plan_store.open_ store_dir in
     let cache = Runtime.Plan_cache.create ?store:pstore () in
     let config =
-      { (Serve.Server.default_config ()) with Serve.Server.workers; queue_capacity = capacity }
+      {
+        (Serve.Server.default_config ()) with
+        Serve.Server.workers;
+        queue_capacity = capacity;
+        devices;
+      }
     in
     let s = Serve.Server.start ~cache ~config () in
     let rng = Random.State.make [| seed |] in
@@ -428,8 +392,11 @@ let serve_cmd =
                   match deadline_ms with Some ms -> Obs.Json.Num ms | None -> Obs.Json.Null );
                 ("queue_capacity", Obs.Json.Num (float_of_int capacity));
                 ("seed", Obs.Json.Num (float_of_int seed));
+                ("devices", Obs.Json.Num (float_of_int devices));
               ] );
           ("requests", Serve.Stats.snapshot_to_json st);
+          ( "fleet",
+            match Serve.Server.fleet_json s with Some j -> j | None -> Obs.Json.Null );
           ("elapsed_s", Obs.Json.Num elapsed);
           ("throughput_rps", Obs.Json.Num (float_of_int st.Serve.Stats.s_done /. elapsed));
           ( "latency_ms",
@@ -489,32 +456,22 @@ let serve_cmd =
     Arg.(value & opt float 5.0 & info [ "duration" ] ~doc:"seconds to keep submitting")
   in
   let workers =
-    Arg.(
-      value
-      & opt int (Core.Parallel.default_jobs ())
-      & info [ "workers" ] ~doc:"worker domains (default: SPACEFUSION_JOBS or the core count)")
-  in
-  let deadline_ms =
-    Arg.(
-      value
-      & opt (some float) None
-      & info [ "deadline-ms" ] ~doc:"per-request deadline; expired backlog entries time out")
+    Cli_common.workers_arg
+      ~default:(Core.Parallel.default_jobs ())
+      ~doc:"worker domains (default: SPACEFUSION_JOBS or the core count)"
   in
   let capacity =
     Arg.(value & opt int 256 & info [ "queue-capacity" ] ~doc:"admission queue bound")
   in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"traffic-mix seed") in
-  let pretty =
-    Arg.(value & flag & info [ "pretty" ] ~doc:"human-readable summary instead of JSON")
-  in
+  let seed = Cli_common.seed_arg ~default:42 ~doc:"traffic-mix seed" in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the concurrent serving runtime under paced mixed-model load and emit a JSON load \
           report; exits 1 on accounting violations or failed requests")
     Term.(
-      const run $ arch_arg $ rps $ duration $ workers $ deadline_ms $ capacity $ seed $ store_arg
-      $ telemetry_arg $ pretty)
+      const run $ arch_arg $ rps $ duration $ workers $ Cli_common.deadline_ms_arg $ capacity
+      $ seed $ Cli_common.devices_arg $ store_arg $ telemetry_arg $ Cli_common.pretty_arg)
 
 (* chaos ------------------------------------------------------------------ *)
 
@@ -527,7 +484,7 @@ let chaos_cmd =
      shape (one worker, no deadlines, queue as large as the request count)
      removes every clock dependence from the terminal accounting, which is
      what lets scripts/ci.sh diff two same-seed runs byte-for-byte. *)
-  let run arch requests rate seed workers retries floor require_recovery check telemetry_dir pretty =
+  let run arch requests rate seed workers retries floor require_recovery check devices telemetry_dir pretty =
     let models = mini_zoo () in
     let backend = Backends.Baselines.spacefusion in
     Obs.Metrics.reset ();
@@ -546,6 +503,7 @@ let chaos_cmd =
         backoff_cap_s = 1e-3;
         fault_plan = Some plan;
         breaker = { Serve.Breaker.threshold = 1; cooldown_s = 0.0 };
+        devices;
       }
     in
     let cache = Runtime.Plan_cache.create () in
@@ -583,10 +541,14 @@ let chaos_cmd =
                 ("seed", num seed);
                 ("workers", num workers);
                 ("max_retries", num retries);
+                ("devices", num devices);
               ] );
           (* The deterministic heart of the report: scripts/ci.sh diffs
-             these two objects across same-seed runs. *)
+             these two objects (and, in fleet mode, the fleet snapshot)
+             across same-seed runs. *)
           ("outcomes", Serve.Stats.snapshot_to_json st);
+          ( "fleet",
+            match Serve.Server.fleet_json s with Some j -> j | None -> Obs.Json.Null );
           ( "faults",
             Obs.Json.Obj
               [
@@ -674,12 +636,9 @@ let chaos_cmd =
       value & opt float 0.01
       & info [ "rate" ] ~doc:"total per-launch fault probability, split across the taxonomy")
   in
-  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"fault-plan seed; fixes the whole storm") in
+  let seed = Cli_common.seed_arg ~default:11 ~doc:"fault-plan seed; fixes the whole storm" in
   let workers =
-    Arg.(
-      value & opt int 1
-      & info [ "workers" ]
-          ~doc:"worker domains (keep 1 for deterministic outcome counts)")
+    Cli_common.workers_arg ~default:1 ~doc:"worker domains (keep 1 for deterministic outcome counts)"
   in
   let retries = Arg.(value & opt int 3 & info [ "max-retries" ] ~doc:"transient-failure retries") in
   let floor =
@@ -697,9 +656,6 @@ let chaos_cmd =
       & info [ "check" ]
           ~doc:"trace the run and validate the emitted Obs report (serve.request spans present)")
   in
-  let pretty =
-    Arg.(value & flag & info [ "pretty" ] ~doc:"human-readable summary instead of JSON")
-  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -708,7 +664,7 @@ let chaos_cmd =
           goodput below the floor")
     Term.(
       const run $ arch_arg $ requests $ rate $ seed $ workers $ retries $ floor $ require_recovery
-      $ check $ telemetry_arg $ pretty)
+      $ check $ Cli_common.devices_arg $ telemetry_arg $ Cli_common.pretty_arg)
 
 (* warm ------------------------------------------------------------------- *)
 
@@ -813,9 +769,7 @@ let warm_cmd =
       value & pos_all string []
       & info [] ~docv:"MODEL" ~doc:"zoo models to warm (default: the whole serving zoo)")
   in
-  let pretty =
-    Arg.(value & flag & info [ "pretty" ] ~doc:"human-readable summary instead of JSON")
-  in
+  let pretty = Cli_common.pretty_arg in
   Cmd.v
     (Cmd.info "warm"
        ~doc:

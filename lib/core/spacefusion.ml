@@ -17,6 +17,8 @@ type compiled = {
 
 exception Unschedulable of string
 
+let raise_unschedulable msg = raise (Unschedulable msg)
+
 module Error = struct
   type t =
     | Unschedulable of string
@@ -27,6 +29,16 @@ module Error = struct
   let to_string = function
     | Unschedulable msg -> "unschedulable: " ^ msg
     | Unsupported { backend; arch } -> Printf.sprintf "%s does not support %s" backend arch
+
+  (* The one exception mapping for the whole pipeline. Every raising
+     wrapper (Spacefusion.compile, Policy.compile, Model_runner.run_model)
+     is [get] over its [_r] twin — the mapping lives here and nowhere
+     else. *)
+  let raise_exn = function
+    | Unschedulable msg -> raise_unschedulable msg
+    | Unsupported _ as e -> invalid_arg (to_string e)
+
+  let get = function Ok v -> v | Stdlib.Error e -> raise_exn e
 end
 
 let tensor_name ~name g node =
@@ -80,7 +92,10 @@ let declare_all device name_of g =
       | _ -> Gpu.Device.declare device (name_of n.id) n.shape)
     (G.nodes g)
 
-let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
+(* The raising implementation: [Unschedulable] is internal control flow of
+   the recursive exploration (partition dead ends unwind through it), so
+   the body raises and [compile_r] is the boundary that types the error. *)
+let compile_impl ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
   Obs.Trace.with_span ~attrs:[ ("name", name); ("arch", arch.Gpu.Arch.name) ] "compile"
   @@ fun () ->
   let stats = Cstats.create () in
@@ -288,9 +303,12 @@ let compile ?(variant = Auto_scheduler.full) ?tensor_names ~arch ~name graph =
   }
 
 let compile_r ?variant ?tensor_names ~arch ~name graph =
-  match compile ?variant ?tensor_names ~arch ~name graph with
+  match compile_impl ?variant ?tensor_names ~arch ~name graph with
   | c -> Ok c
   | exception Unschedulable msg -> Result.Error (Error.Unschedulable msg)
+
+let compile ?variant ?tensor_names ~arch ~name graph =
+  Error.get (compile_r ?variant ?tensor_names ~arch ~name graph)
 
 let output_names c =
   List.mapi (fun i _ -> Printf.sprintf "%s:out%d" c.c_name i) (G.outputs (Smg.graph c.c_smg))

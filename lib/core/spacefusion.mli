@@ -25,7 +25,12 @@ exception Unschedulable of string
 
 (** Typed pipeline errors: the one error surface shared by {!compile_r},
     {!Backends.Policy.compile_r} and {!Runtime.Model_runner.run_model_r},
-    so call sites match on constructors instead of catching exceptions. *)
+    so call sites match on constructors instead of catching exceptions.
+
+    The [result]-typed [_r] entry points are the canonical API at every
+    layer; each raising twin is exactly [Error.get] over it, so the
+    exception mapping below is defined once, here, and re-implemented
+    nowhere. *)
 module Error : sig
   type t =
     | Unschedulable of string
@@ -34,6 +39,16 @@ module Error : sig
         (** the selected backend does not run on this architecture *)
 
   val to_string : t -> string
+
+  val raise_exn : t -> 'a
+  (** The exception mapping, in one place: [Unschedulable msg] raises
+      {!Spacefusion.Unschedulable}[ msg]; [Unsupported _] raises
+      [Invalid_argument] with the historical ["%s does not support %s"]
+      message. Raising wrappers across the codebase are one-liners over
+      this. *)
+
+  val get : ('a, t) result -> 'a
+  (** [get (Ok v) = v]; [get (Error e)] is [raise_exn e]. *)
 end
 
 val compile_r :

@@ -678,8 +678,14 @@ let run_stages ~full ~c ~device ~bufs ~scratch ~acc (ctx : rctx) =
 
 (* Walk the cartesian product of per-dim tables with an odometer (last dim
    fastest), matching the old recursive enumeration order exactly so the
-   counter accumulation order — and thus every float sum — is unchanged. *)
-let walk ~full ~(c : compiled) ~device ~bufs ~scratch ~acc =
+   counter accumulation order — and thus every float sum — is unchanged.
+
+   With [shard = (i, d)] a full walk executes only the blocks whose walk
+   index is congruent to [i] mod [d] — device [i]'s round-robin share of
+   the grid. Spatial slicing guarantees inter-block independence, so d
+   devices each running their residue class write disjoint output regions
+   and the union is bit-identical to the single-device walk. *)
+let walk ~full ~shard ~(c : compiled) ~device ~bufs ~scratch ~acc =
   let tables = if full then c.cparts else c.cclasses in
   let nd = Array.length tables in
   let ctx =
@@ -718,9 +724,18 @@ let walk ~full ~(c : compiled) ~device ~bufs ~scratch ~acc =
     end
   in
   let continue_ = ref true in
+  let block_idx = ref 0 in
+  let mine =
+    match shard with
+    | None -> fun _ -> true
+    | Some (i, d) -> fun bi -> bi mod d = i
+  in
   while !continue_ do
-    ctx.mult <- block_mult ();
-    run_stages ~full ~c ~device ~bufs ~scratch ~acc ctx;
+    if mine !block_idx then begin
+      ctx.mult <- block_mult ();
+      run_stages ~full ~c ~device ~bufs ~scratch ~acc ctx
+    end;
+    incr block_idx;
     let d = ref (nd - 1) in
     let stepped = ref false in
     while (not !stepped) && !d >= 0 do
@@ -739,7 +754,12 @@ let walk ~full ~(c : compiled) ~device ~bufs ~scratch ~acc =
     if not !stepped then continue_ := false
   done
 
-let run ?(mode = Full) ?arch device (k : Kernel.t) =
+let run ?(mode = Full) ?arch ?shard device (k : Kernel.t) =
+  (match shard with
+  | Some (i, d) ->
+      if d < 1 || i < 0 || i >= d then
+        invalid_arg (Printf.sprintf "Exec.run: bad shard (%d, %d)" i d)
+  | None -> ());
   let c = compiled_of k in
   (match arch with
   | Some (a : Arch.t) ->
@@ -769,7 +789,7 @@ let run ?(mode = Full) ?arch device (k : Kernel.t) =
         Array.iter (fun b -> release_store b.store) bufs;
         release_store scratch
       end)
-    (fun () -> walk ~full ~c ~device ~bufs ~scratch ~acc);
+    (fun () -> walk ~full ~shard:(if full then shard else None) ~c ~device ~bufs ~scratch ~acc);
   let reads, writes = transfers device k in
   {
     ks_name = k.kname;

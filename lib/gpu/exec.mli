@@ -37,11 +37,22 @@ type kstats = {
 
 exception Resource_exceeded of string
 
-val run : ?mode:mode -> ?arch:Arch.t -> Device.t -> Kernel.t -> kstats
+val run : ?mode:mode -> ?arch:Arch.t -> ?shard:int * int -> Device.t -> Kernel.t -> kstats
 (** Executes (or analyzes) one kernel. When [arch] is given, raises
     {!Resource_exceeded} if the kernel's shared-memory or register footprint
     exceeds the per-block budget — fused schedules must never reach the
     "hardware" with an over-budget tile configuration.
+
+    [shard = (i, d)] restricts a [Full] walk to device [i]'s round-robin
+    residue class of the block grid (blocks whose enumeration index is
+    congruent to [i] mod [d]). Because spatial slicing guarantees
+    inter-block independence, running all [d] residue classes — in any
+    order, on any devices sharing the tensors — produces output
+    bit-identical to the unsharded walk; {!Core.Shard.run_functional}
+    relies on exactly this. Counters in a sharded run cover only the
+    executed blocks. [Analytic] mode ignores [shard] (sharded analytic
+    cost is closed-form scaling, handled by {!Core.Shard}). Raises
+    [Invalid_argument] unless [0 <= i < d].
 
     If a fault injector is attached to [device] (see
     {!Device.attach_faults}), the launch consults it after resource

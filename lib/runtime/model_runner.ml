@@ -2,6 +2,8 @@ type result = {
   m_model : string;
   m_backend : string;
   m_arch : string;
+  m_devices : int;
+  m_shard : Core.Shard.decision option;
   m_exec : Exec_stats.t;
   m_compile_s : float;
   m_cache_hits : int;
@@ -18,9 +20,12 @@ let m_warm_fast = lazy (Obs.Metrics.counter "run.warm_fast_path")
 (* Plans are cached across calls when [cache] is supplied: the paper's
    program-preprocessing compiles each distinct (repetitive) subprogram
    once, and e.g. Bert and Albert share every block. *)
-let run_model_r ?cache ?inject ?arena ?(functional = `Never) ~arch
-    (backend : Backends.Policy.t) (model : Ir.Models.model) =
-  if not (backend.supports arch) then
+let run_workload_r ?cache ?inject ?arena ?(functional = `Never) (w : Workload.t) =
+  let backend = w.Workload.backend
+  and arch = w.Workload.arch
+  and model = w.Workload.model
+  and devices = w.Workload.devices in
+  if not (backend.Backends.Policy.supports arch) then
     Error
       (Core.Spacefusion.Error.Unsupported
          { backend = backend.be_name; arch = arch.Gpu.Arch.name })
@@ -32,6 +37,10 @@ let run_model_r ?cache ?inject ?arena ?(functional = `Never) ~arch
       @@ fun () ->
       let exec = ref Exec_stats.zero in
       let compile_s = ref 0.0 and hits = ref 0 and misses = ref 0 in
+      (* Sharding decision of the subprogram that dominates model time —
+         the one the report names. *)
+      let shard = ref None in
+      let node = if devices > 1 then Some (Gpu.Node.nvlink arch ~devices) else None in
       List.iter
         (fun (sp : Ir.Models.subprogram) ->
           Obs.Trace.with_span ~attrs:[ ("name", sp.sp_name) ] "subprogram" @@ fun () ->
@@ -40,7 +49,7 @@ let run_model_r ?cache ?inject ?arena ?(functional = `Never) ~arch
           let plan, hit, verified =
             match cache with
             | None -> (backend.compile arch ~name sp.graph, false, false)
-            | Some c -> Plan_cache.compile_hit_verified c backend arch ~name sp.graph
+            | Some c -> Plan_cache.compile_hit_verified c ~devices backend arch ~name sp.graph
           in
           (* A hit's wall-clock is a table lookup, not compilation: report
              it as zero so cached latencies do not inflate compile time. *)
@@ -73,13 +82,37 @@ let run_model_r ?cache ?inject ?arena ?(functional = `Never) ~arch
              hit can skip re-execution. *)
           (if mode = Gpu.Exec.Full && functional = `Auto then
              match cache with
-             | Some c -> Plan_cache.mark_verified c backend arch ~name sp.graph
+             | Some c -> Plan_cache.mark_verified c ~devices backend arch ~name sp.graph
              | None -> ());
           (* Nothing reads the device after the run here: recycle its
              buffers into the ambient arena (if any) for the next plan. *)
           (match Tensor.Arena.current () with
           | Some a -> Gpu.Device.release_owned device a
           | None -> ());
+          (* Multi-device: cost the sharding candidates and rescale this
+             subprogram's simulated time by the picked plan's speedup. The
+             work counters (flops, kernels, traffic) stay unscaled — the
+             node does the same work, faster. *)
+          let r =
+            match node with
+            | None -> r
+            | Some node ->
+                let d =
+                  Core.Shard.best ~reps:sp.count ~dispatch_us:backend.dispatch_us node plan
+                in
+                let weight d = d.Core.Shard.d_baseline_s *. float_of_int sp.count in
+                (match !shard with
+                | Some prev when weight prev >= weight d -> ()
+                | _ -> shard := Some d);
+                if d.Core.Shard.d_baseline_s <= 0.0 then r
+                else
+                  let ratio = d.Core.Shard.d_time /. d.Core.Shard.d_baseline_s in
+                  {
+                    r with
+                    Exec_stats.x_time = r.Exec_stats.x_time *. ratio;
+                    x_gpu_time = r.Exec_stats.x_gpu_time *. ratio;
+                  }
+          in
           exec := Exec_stats.add !exec (Exec_stats.scale r sp.count))
         model.subprograms;
       Obs.Metrics.incr (Lazy.force m_runs);
@@ -89,6 +122,8 @@ let run_model_r ?cache ?inject ?arena ?(functional = `Never) ~arch
         m_model = model.model_name;
         m_backend = backend.be_name;
         m_arch = arch.Gpu.Arch.name;
+        m_devices = devices;
+        m_shard = !shard;
         m_exec = !exec;
         m_compile_s = !compile_s;
         m_cache_hits = !hits;
@@ -113,13 +148,14 @@ let classify_exn = function
       | Fault.Plan.Degraded -> Degrade)
   | _ -> No_fault
 
+(* Legacy positional entry points: thin wrappers over the workload API.
+   The raising variant maps errors through the single exception mapping in
+   {!Core.Spacefusion.Error}. *)
+let run_model_r ?cache ?inject ?arena ?functional ~arch backend model =
+  run_workload_r ?cache ?inject ?arena ?functional (Workload.make ~arch backend model)
+
 let run_model ?cache ?arena ?functional ~arch backend model =
-  match run_model_r ?cache ?arena ?functional ~arch backend model with
-  | Ok r -> r
-  | Error (Core.Spacefusion.Error.Unsupported _ as e) ->
-      invalid_arg (Core.Spacefusion.Error.to_string e)
-  | Error (Core.Spacefusion.Error.Unschedulable msg) ->
-      raise (Core.Spacefusion.Unschedulable msg)
+  Core.Spacefusion.Error.get (run_model_r ?cache ?arena ?functional ~arch backend model)
 
 let to_json r =
   Obs.Json.Obj
@@ -127,6 +163,9 @@ let to_json r =
       ("model", Obs.Json.Str r.m_model);
       ("backend", Obs.Json.Str r.m_backend);
       ("arch", Obs.Json.Str r.m_arch);
+      ("devices", Obs.Json.Num (float_of_int r.m_devices));
+      ( "shard",
+        match r.m_shard with Some d -> Core.Shard.to_json d | None -> Obs.Json.Null );
       ("exec", Exec_stats.to_json r.m_exec);
       ("compile_s", Obs.Json.Num r.m_compile_s);
       ("cache_hits", Obs.Json.Num (float_of_int r.m_cache_hits));

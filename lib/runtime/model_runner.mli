@@ -6,6 +6,10 @@ type result = {
   m_model : string;
   m_backend : string;
   m_arch : string;
+  m_devices : int;  (** device count the workload ran as *)
+  m_shard : Core.Shard.decision option;
+      (** the dominant subprogram's sharding decision; [None] on a
+          single-device workload *)
   m_exec : Exec_stats.t;
       (** per-forward-pass totals (latency, launches, flops, counters) in
           the same record {!Runner.run_plan} returns per plan *)
@@ -15,21 +19,27 @@ type result = {
   m_cache_misses : int;  (** subprogram lookups that compiled *)
 }
 
-val run_model_r :
+val run_workload_r :
   ?cache:Plan_cache.t ->
   ?inject:Fault.Inject.t ->
   ?arena:Tensor.Arena.t ->
   ?functional:[ `Auto | `Always | `Never ] ->
-  arch:Gpu.Arch.t ->
-  Backends.Policy.t ->
-  Ir.Models.model ->
+  Workload.t ->
   (result, Core.Spacefusion.Error.t) Stdlib.result
-(** Typed entry point: [Error (Unsupported _)] when the backend does not
-    run on [arch], [Error (Unschedulable _)] when compilation fails. With
-    [cache], repeated subprograms (within or across models — e.g. Bert and
-    Albert share every block shape) compile once; a cache hit reports zero
+(** The canonical entry point: [Error (Unsupported _)] when the backend
+    does not run on the workload's arch, [Error (Unschedulable _)] when
+    compilation fails. With [cache], repeated subprograms (within or
+    across models — e.g. Bert and Albert share every block shape) compile
+    once (keyed by the workload's device count); a cache hit reports zero
     compile time. Emits a [run_model] span with one [subprogram] child per
     distinct subprogram when tracing is enabled.
+
+    With [devices > 1] each subprogram additionally runs the
+    {!Core.Shard} scheduler over an NVLink-style {!Gpu.Node} of that
+    size: the reported simulated time is rescaled by the picked sharding
+    plan's speedup (compute + collective, possibly 1x when sharding does
+    not pay), the dominant subprogram's decision lands in [m_shard], and
+    work counters stay unscaled — the node does the same work, faster.
 
     With [inject], every device the run creates carries that fault
     injector, so a kernel launch may raise {!Fault.Plan.Injected} — it
@@ -62,6 +72,18 @@ val classify_exn : exn -> fault_action
 (** Map an exception escaping a model run to the serving layer's recovery
     action (severity of {!Fault.Plan.Injected}; [No_fault] otherwise). *)
 
+val run_model_r :
+  ?cache:Plan_cache.t ->
+  ?inject:Fault.Inject.t ->
+  ?arena:Tensor.Arena.t ->
+  ?functional:[ `Auto | `Always | `Never ] ->
+  arch:Gpu.Arch.t ->
+  Backends.Policy.t ->
+  Ir.Models.model ->
+  (result, Core.Spacefusion.Error.t) Stdlib.result
+(** Deprecated positional spelling: exactly {!run_workload_r} on
+    [Workload.make ~arch backend model] (a single-device workload). *)
+
 val run_model :
   ?cache:Plan_cache.t ->
   ?arena:Tensor.Arena.t ->
@@ -70,7 +92,8 @@ val run_model :
   Backends.Policy.t ->
   Ir.Models.model ->
   result
-(** {!run_model_r}, raising: [Invalid_argument] for [Unsupported] (message
+(** {!run_model_r} through {!Core.Spacefusion.Error.get} — the one
+    exception mapping: [Invalid_argument] for [Unsupported] (message
     unchanged from the historical API) and {!Core.Spacefusion.Unschedulable}
     for [Unschedulable]. *)
 

@@ -27,23 +27,40 @@ val create : ?capacity:int -> ?store:Store.Plan_store.t -> unit -> t
     the store. *)
 
 val compile :
-  t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t
+  t -> ?devices:int -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t
 (** Like the policy's [compile], memoized. A lookup that compiles counts as
     one miss; a lookup served from the table counts as one hit and marks the
     entry most-recently-used. Events are mirrored into {!Obs.Metrics}
     ([cache.hits] / [cache.misses] / [cache.evictions] counters, the
     [cache.size] gauge) and the compile itself runs under a
-    [cache_compile] span. *)
+    [cache_compile] span.
+
+    [devices] (default 1) is part of the key on every entry point here: a
+    plan placed for a 4-device node and the same graph's single-device
+    plan are distinct cache entries (and distinct store files), so a
+    sharding decision never leaks across device counts. *)
 
 val compile_hit :
-  t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t * bool
+  t ->
+  ?devices:int ->
+  Backends.Policy.t ->
+  Gpu.Arch.t ->
+  name:string ->
+  Ir.Graph.t ->
+  Gpu.Plan.t * bool
 (** {!compile}, also reporting whether this lookup was served from the
     table ([true] = hit, including being handed another domain's in-flight
     result). {!Model_runner} uses this to attribute compile wall-clock only
     to lookups that actually compiled. *)
 
 val compile_hit_verified :
-  t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t * bool * bool
+  t ->
+  ?devices:int ->
+  Backends.Policy.t ->
+  Gpu.Arch.t ->
+  name:string ->
+  Ir.Graph.t ->
+  Gpu.Plan.t * bool * bool
 (** {!compile_hit}, additionally reporting the entry's [verified] stamp.
     On a miss this is the {e content} stamp: recompiling a digest whose
     plan was already verified (then evicted) reports [true], because the
@@ -53,14 +70,15 @@ val compile_hit_verified :
     completed once, so an [`Auto] run may skip it and take the analytic
     walk. *)
 
-val mark_verified : t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> unit
+val mark_verified :
+  t -> ?devices:int -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> unit
 (** Stamp this key's plan {e content} as functionally verified: the
     resident entry (if any) is stamped now, and — because the key digests
     the graph — the stamp survives eviction and in-flight recompiles,
     re-applying itself on the next insert of the same key instead of
     being silently dropped. Persisted when the cache has a store. *)
 
-val mem : t -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> bool
+val mem : t -> ?devices:int -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> bool
 (** Whether a plan for this key is resident right now. Pure probe: no LRU
     touch, no hit/miss accounting, no compile. The serve runtime uses it
     to decide whether a request known to blow its compile budget can still

@@ -1,0 +1,61 @@
+type placement = Auto | Pin of int
+
+type t = {
+  backend : Backends.Policy.t;
+  arch : Gpu.Arch.t;
+  model : Ir.Models.model;
+  devices : int;
+  placement : placement;
+}
+
+let make ?(devices = 1) ?(placement = Auto) ~arch backend model =
+  if devices < 1 then invalid_arg "Workload.make: devices < 1";
+  (match placement with
+  | Pin i when i < 0 || i >= devices ->
+      invalid_arg (Printf.sprintf "Workload.make: Pin %d outside [0, %d)" i devices)
+  | Pin _ | Auto -> ());
+  { backend; arch; model; devices; placement }
+
+(* Same identity a warm plan cache sees: policy, architecture, device
+   count and the digest of every subprogram — equal digests license
+   coalescing two requests end to end. *)
+let digest w =
+  let b = Buffer.create 256 in
+  Buffer.add_string b w.backend.Backends.Policy.be_name;
+  Buffer.add_char b '\x00';
+  Buffer.add_string b w.arch.Gpu.Arch.name;
+  Buffer.add_char b '\x00';
+  Buffer.add_string b (string_of_int w.devices);
+  Buffer.add_char b '\x00';
+  Buffer.add_string b w.model.Ir.Models.model_name;
+  List.iter
+    (fun (sp : Ir.Models.subprogram) ->
+      Buffer.add_char b '\x00';
+      Buffer.add_string b sp.sp_name;
+      Buffer.add_string b (string_of_int sp.count);
+      Buffer.add_string b (Digest.string (Ir.Parse.to_dsl sp.graph)))
+    w.model.Ir.Models.subprograms;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let path_key w = w.backend.Backends.Policy.be_name ^ "|" ^ w.arch.Gpu.Arch.name
+
+let describe w =
+  Printf.sprintf "%s/%s@%s%s" w.model.Ir.Models.model_name w.backend.Backends.Policy.be_name
+    w.arch.Gpu.Arch.name
+    (if w.devices > 1 then Printf.sprintf " x%d" w.devices else "")
+
+let supported w = w.backend.Backends.Policy.supports w.arch
+
+let to_json w =
+  Obs.Json.(
+    Obj
+      [
+        ("model", Str w.model.Ir.Models.model_name);
+        ("backend", Str w.backend.Backends.Policy.be_name);
+        ("arch", Str w.arch.Gpu.Arch.name);
+        ("devices", Num (float_of_int w.devices));
+        ( "placement",
+          match w.placement with
+          | Auto -> Str "auto"
+          | Pin i -> Str (Printf.sprintf "pin:%d" i) );
+      ])

@@ -1,0 +1,54 @@
+(** The one description of "what to run, where": backend policy,
+    architecture, model, plus multi-device placement hints.
+
+    Before this record existed the [(backend, arch, model)] positional
+    triple was repeated at every layer — runner, server, breaker
+    accessors, cache digests, store stamps — each with its own argument
+    order. A workload is built once at the edge and threaded through
+    {!Model_runner.run_workload_r} and [Serve.Server.submit_w]; the
+    legacy positional entry points remain as thin wrappers (deprecated —
+    see DESIGN.md "Multi-device node & fleet routing"). *)
+
+type placement =
+  | Auto  (** the fleet router picks by plan locality and device load *)
+  | Pin of int  (** always serve on this device index *)
+
+type t = {
+  backend : Backends.Policy.t;
+  arch : Gpu.Arch.t;
+  model : Ir.Models.model;
+  devices : int;
+      (** device count the plan is compiled/costed for; 1 = classic
+          single-device behavior, bit-identical to the legacy API *)
+  placement : placement;
+}
+
+val make :
+  ?devices:int ->
+  ?placement:placement ->
+  arch:Gpu.Arch.t ->
+  Backends.Policy.t ->
+  Ir.Models.model ->
+  t
+(** [devices] defaults to 1, [placement] to [Auto]. Raises
+    [Invalid_argument] on [devices < 1] or [Pin i] outside
+    [\[0, devices)]. *)
+
+val digest : t -> string
+(** Hex MD5 identity of the workload: policy, architecture, device count
+    and the digest of every subprogram — two workloads with equal digests
+    are interchangeable end to end. This is the serving layer's
+    coalescing/blown-budget key (the same identity a warm plan cache
+    sees). *)
+
+val path_key : t -> string
+(** The ["backend|arch"] fused-path identity a circuit breaker guards
+    (device-suffixed per-device keys are derived by the fleet router). *)
+
+val describe : t -> string
+(** Human-readable one-liner, e.g. ["bert/spacefusion@ampere x4"]. *)
+
+val supported : t -> bool
+(** Whether the backend runs on the architecture. *)
+
+val to_json : t -> Obs.Json.t

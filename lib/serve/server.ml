@@ -12,6 +12,7 @@ type config = {
   fault_plan : Fault.Plan.t option;
   breaker : Breaker.config;
   verify_cold : bool;
+  devices : int;
 }
 
 let default_config () =
@@ -27,6 +28,7 @@ let default_config () =
     fault_plan = None;
     breaker = Breaker.default_config;
     verify_cold = true;
+    devices = 1;
   }
 
 type response = {
@@ -51,9 +53,7 @@ type ticket = {
 }
 
 type request = {
-  rq_arch : Gpu.Arch.t;
-  rq_backend : Backends.Policy.t;
-  rq_model : Ir.Models.model;
+  rq_work : Runtime.Workload.t;
   rq_submit_at : float;
   rq_ticket : ticket;
   rq_stream : int;  (* injection-stream id, unique per request in submit order *)
@@ -81,6 +81,7 @@ type t = {
   coalesce : served Coalesce.t;
   stats : Stats.t;
   breakers : Breaker.t;
+  fleet : Fleet.t option;  (* Some iff cfg.devices > 1 *)
   stream : int Atomic.t;
   blown_lock : Mutex.t;
   blown : (string, unit) Hashtbl.t;  (* request keys whose fused compile blew the budget *)
@@ -165,24 +166,10 @@ let finish_served t rq ~queue_s ~coalesced = function
 (* Request identity                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* Same identity a warm plan cache sees: policy, architecture and the
-   digest of every subprogram — two requests with equal keys are
+(* Same identity a warm plan cache sees (policy, architecture, devices,
+   the digest of every subprogram): two requests with equal keys are
    interchangeable end to end, which is what licenses coalescing them. *)
-let request_key rq =
-  let b = Buffer.create 256 in
-  Buffer.add_string b rq.rq_backend.Backends.Policy.be_name;
-  Buffer.add_char b '\x00';
-  Buffer.add_string b rq.rq_arch.Gpu.Arch.name;
-  Buffer.add_char b '\x00';
-  Buffer.add_string b rq.rq_model.Ir.Models.model_name;
-  List.iter
-    (fun (sp : Ir.Models.subprogram) ->
-      Buffer.add_char b '\x00';
-      Buffer.add_string b sp.sp_name;
-      Buffer.add_string b (string_of_int sp.count);
-      Buffer.add_string b (Digest.string (Ir.Parse.to_dsl sp.graph)))
-    rq.rq_model.Ir.Models.subprograms;
-  Digest.to_hex (Digest.string (Buffer.contents b))
+let request_key rq = Runtime.Workload.digest rq.rq_work
 
 (* ------------------------------------------------------------------ *)
 (* Serving one request (leader path)                                   *)
@@ -202,12 +189,14 @@ let is_blown t key =
 (* Every fused plan for this request already resident? Then the fused path
    costs a table lookup even for a key that once blew its budget. *)
 let fused_ready t rq =
+  let w = rq.rq_work in
   List.for_all
     (fun (sp : Ir.Models.subprogram) ->
-      Runtime.Plan_cache.mem t.cache rq.rq_backend rq.rq_arch
-        ~name:(rq.rq_model.Ir.Models.model_name ^ "." ^ sp.sp_name)
+      Runtime.Plan_cache.mem t.cache ~devices:w.Runtime.Workload.devices
+        w.Runtime.Workload.backend w.Runtime.Workload.arch
+        ~name:(w.Runtime.Workload.model.Ir.Models.model_name ^ "." ^ sp.sp_name)
         sp.graph)
-    rq.rq_model.Ir.Models.subprograms
+    w.Runtime.Workload.model.Ir.Models.subprograms
 
 (* The budget only bites on cache misses: hits never reach the policy's
    [compile]. A tripped compile is abandoned mid-model (the claim is
@@ -235,18 +224,20 @@ let budgeted t (b : Backends.Policy.t) =
 let functional t = if t.cfg.verify_cold then `Auto else `Never
 
 let baseline_run t rq ~inject =
+  let w = rq.rq_work in
   match
-    Runtime.Model_runner.run_model_r ~cache:t.cache ?inject ~functional:(functional t)
-      ~arch:rq.rq_arch Backends.Baselines.pytorch rq.rq_model
+    Runtime.Model_runner.run_workload_r ~cache:t.cache ?inject ~functional:(functional t)
+      { w with Runtime.Workload.backend = Backends.Baselines.pytorch }
   with
   | Ok r -> `Served (r, true)
   | Error e -> `Reject (Error.to_string e)
   | exception e -> `Fault e
 
 let fused_run t rq ~key ~inject =
+  let w = rq.rq_work in
   match
-    Runtime.Model_runner.run_model_r ~cache:t.cache ?inject ~functional:(functional t)
-      ~arch:rq.rq_arch (budgeted t rq.rq_backend) rq.rq_model
+    Runtime.Model_runner.run_workload_r ~cache:t.cache ?inject ~functional:(functional t)
+      { w with Runtime.Workload.backend = budgeted t w.Runtime.Workload.backend }
   with
   | Ok r -> `Served (r, false)
   | Error (Error.Unsupported _ as e) -> `Reject (Error.to_string e)
@@ -262,19 +253,22 @@ let fused_run t rq ~key ~inject =
   | exception e -> `Fault e
 
 (* The path a breaker guards: (backend, arch) — one dead fused path must
-   not open the breaker of another architecture's. *)
-let breaker_key rq =
-  rq.rq_backend.Backends.Policy.be_name ^ "|" ^ rq.rq_arch.Gpu.Arch.name
+   not open the breaker of another architecture's. In fleet mode the key
+   also names the device, so one dying device trips its own breaker while
+   the rest of the fleet keeps its fused path. *)
+let breaker_key rq ~device =
+  Runtime.Workload.path_key rq.rq_work
+  ^ match device with Some i -> "|dev" ^ string_of_int i | None -> ""
 
 (* One serving attempt. The fused path runs under its circuit breaker:
    short-circuited attempts degrade straight to the baseline without
    touching the fused path, and every admitted attempt reports back so the
    breaker can trip, probe and close. The budget-blown fallback bypasses
    the breaker — it is a compile-cost decision, not a path-health one. *)
-let serve_once t rq ~key ~inject =
+let serve_once t rq ~key ~device ~inject =
   if is_blown t key && not (fused_ready t rq) then baseline_run t rq ~inject
   else
-    let bkey = breaker_key rq in
+    let bkey = breaker_key rq ~device in
     match Breaker.acquire t.breakers ~key:bkey with
     | `Short_circuit -> baseline_run t rq ~inject
     | (`Proceed | `Probe) as d ->
@@ -285,41 +279,79 @@ let serve_once t rq ~key ~inject =
         | `Fault _ -> Breaker.failure t.breakers ~key:bkey ~probe);
         o
 
+(* Fleet routing: pick a device for this attempt (plan locality first,
+   then least load; a [Pin] placement is honored until its device dies). *)
+let place_attempt t rq ~key =
+  match t.fleet with
+  | None -> `Ok None
+  | Some fl -> (
+      match rq.rq_work.Runtime.Workload.placement with
+      | Runtime.Workload.Pin i when i >= 0 && i < Fleet.devices fl ->
+          if Fleet.is_dead fl i then `All_dead else `Ok (Some i)
+      | Runtime.Workload.Pin _ -> `All_dead
+      | Runtime.Workload.Auto -> (
+          match Fleet.place fl ~key with None -> `All_dead | Some i -> `Ok (Some i)))
+
 let serve_with_retries t rq ~key ~deadline =
   let rec go attempt =
-    (* Each attempt is its own injection stream: a retry (or a reroute off
-       a dead device) runs on fresh "hardware", deterministically derived
-       from the request's stream id. *)
-    let inject =
-      Option.map
-        (fun plan -> Fault.Inject.create plan ~stream:((rq.rq_stream lsl 8) lor attempt))
-        t.cfg.fault_plan
-    in
-    match serve_once t rq ~key ~inject with
-    | `Served (r, degraded) -> S_done (r, degraded, attempt)
-    | `Reject msg -> S_rejected msg
-    | `Fault e ->
-        if attempt >= t.cfg.max_retries then S_failed (Printexc.to_string e, `Transient)
-        else
-          (* A dead device is rerouted immediately — backing off would wait
-             on hardware that cannot recover. *)
-          let sleep =
-            match Runtime.Model_runner.classify_exn e with
-            | Runtime.Model_runner.Reroute -> 0.0
-            | _ ->
-                Float.min t.cfg.backoff_cap_s (t.cfg.backoff_s *. (2.0 ** float_of_int attempt))
-          in
-          (* Deadline-aware: never sleep past the request's absolute
-             deadline — it would time out in our hands. *)
-          let expired =
-            match deadline with Some dl -> t.cfg.clock () +. sleep >= dl | None -> false
-          in
-          if expired then S_expired
-          else begin
-            Stats.record t.stats Stats.Retried;
-            if sleep > 0.0 then Unix.sleepf sleep;
-            go (attempt + 1)
-          end
+    match place_attempt t rq ~key with
+    | `All_dead -> S_failed ("all devices dead", `Permanent)
+    | `Ok device ->
+        (* Each attempt runs on its own injection stream: in fleet mode
+           the chosen device's persistent injector (so a device death
+           latches for the storm's remainder), otherwise a fresh stream
+           deterministically derived from the request's stream id. *)
+        let inject =
+          match (t.fleet, device) with
+          | Some fl, Some i when Fleet.injector fl i <> None -> Fleet.injector fl i
+          | _ ->
+              Option.map
+                (fun plan -> Fault.Inject.create plan ~stream:((rq.rq_stream lsl 8) lor attempt))
+                t.cfg.fault_plan
+        in
+        let o =
+          match (t.fleet, device) with
+          | Some fl, Some i ->
+              Fleet.acquire fl i;
+              Fun.protect
+                ~finally:(fun () -> Fleet.release fl i)
+                (fun () -> serve_once t rq ~key ~device ~inject)
+          | _ -> serve_once t rq ~key ~device ~inject
+        in
+        (match o with
+        | `Served (r, degraded) -> S_done (r, degraded, attempt)
+        | `Reject msg -> S_rejected msg
+        | `Fault e ->
+            let action = Runtime.Model_runner.classify_exn e in
+            (* A fatal fault is the simulated device dying: take it out of
+               the fleet so no later request is placed there. *)
+            (match (action, t.fleet, device) with
+            | Runtime.Model_runner.Reroute, Some fl, Some i ->
+                Fleet.mark_dead fl i;
+                Fleet.note_reroute fl
+            | _ -> ());
+            if attempt >= t.cfg.max_retries then S_failed (Printexc.to_string e, `Transient)
+            else
+              (* A dead device is rerouted immediately — backing off would
+                 wait on hardware that cannot recover. *)
+              let sleep =
+                match action with
+                | Runtime.Model_runner.Reroute -> 0.0
+                | _ ->
+                    Float.min t.cfg.backoff_cap_s
+                      (t.cfg.backoff_s *. (2.0 ** float_of_int attempt))
+              in
+              (* Deadline-aware: never sleep past the request's absolute
+                 deadline — it would time out in our hands. *)
+              let expired =
+                match deadline with Some dl -> t.cfg.clock () +. sleep >= dl | None -> false
+              in
+              if expired then S_expired
+              else begin
+                Stats.record t.stats Stats.Retried;
+                if sleep > 0.0 then Unix.sleepf sleep;
+                go (attempt + 1)
+              end)
   in
   go 0
 
@@ -332,9 +364,9 @@ let handle t (p : request Queue.popped) =
   Obs.Trace.with_span
     ~attrs:
       [
-        ("model", rq.rq_model.Ir.Models.model_name);
-        ("backend", rq.rq_backend.Backends.Policy.be_name);
-        ("arch", rq.rq_arch.Gpu.Arch.name);
+        ("model", rq.rq_work.Runtime.Workload.model.Ir.Models.model_name);
+        ("backend", rq.rq_work.Runtime.Workload.backend.Backends.Policy.be_name);
+        ("arch", rq.rq_work.Runtime.Workload.arch.Gpu.Arch.name);
       ]
     "serve.request"
   @@ fun () ->
@@ -402,6 +434,9 @@ let start ?cache ?config () =
       coalesce = Coalesce.create ();
       stats = Stats.create ();
       breakers = Breaker.create ~clock:cfg.clock cfg.breaker;
+      fleet =
+        (if cfg.devices > 1 then Some (Fleet.create ?fault_plan:cfg.fault_plan ~devices:cfg.devices ())
+         else None);
       stream = Atomic.make 0;
       blown_lock = Mutex.create ();
       blown = Hashtbl.create 16;
@@ -417,15 +452,13 @@ let start ?cache ?config () =
         Domain.spawn (fun () -> Core.Parallel.as_worker (fun () -> worker_main t)));
   t
 
-let submit t ?(priority = 0) ?deadline_s ~arch backend model =
+let submit_w t ?(priority = 0) ?deadline_s work =
   let tk = new_ticket () in
   Stats.record t.stats Stats.Submitted;
   let now = t.cfg.clock () in
   let rq =
     {
-      rq_arch = arch;
-      rq_backend = backend;
-      rq_model = model;
+      rq_work = work;
       rq_submit_at = now;
       rq_ticket = tk;
       rq_stream = Atomic.fetch_and_add t.stream 1;
@@ -440,15 +473,34 @@ let submit t ?(priority = 0) ?deadline_s ~arch backend model =
   else finish t rq (Rejected "queue full");
   tk
 
+(* Legacy positional submit: a workload sized to the server's fleet. *)
+let submit t ?priority ?deadline_s ~arch backend model =
+  submit_w t ?priority ?deadline_s
+    (Runtime.Workload.make ~devices:t.cfg.devices ~arch backend model)
+
 let stats t = Stats.snapshot t.stats
 let latencies t = Stats.latencies t.stats
 let queue_depth t = Queue.length t.queue
+
+let breaker_key_w work ~device =
+  Runtime.Workload.path_key work
+  ^ match device with Some i -> "|dev" ^ string_of_int i | None -> ""
+
+let breaker_state_w t ?device work =
+  Breaker.state t.breakers ~key:(breaker_key_w work ~device)
+
+let breaker_trips_w t ?device work =
+  Breaker.trips t.breakers ~key:(breaker_key_w work ~device)
 
 let breaker_state t ~arch (backend : Backends.Policy.t) =
   Breaker.state t.breakers ~key:(backend.Backends.Policy.be_name ^ "|" ^ arch.Gpu.Arch.name)
 
 let breaker_trips t ~arch (backend : Backends.Policy.t) =
   Breaker.trips t.breakers ~key:(backend.Backends.Policy.be_name ^ "|" ^ arch.Gpu.Arch.name)
+
+let fleet_devices t = Option.map Fleet.devices t.fleet
+let fleet_alive t = Option.map Fleet.alive_count t.fleet
+let fleet_json t = Option.map Fleet.to_json t.fleet
 
 let shutdown ?(drain = true) t =
   Queue.close t.queue;

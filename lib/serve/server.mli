@@ -71,6 +71,15 @@ type config = {
           functional interpreter; verified warm hits then skip it and take
           the analytic fast path (see {!Runtime.Model_runner.run_model_r}'s
           [`Auto]). With [false] every request runs analytically. *)
+  devices : int;
+      (** simulated devices behind the server. With [devices > 1] the
+          server becomes a device-fleet router: each request is placed on
+          a device by plan locality then least load ({!Fleet}), workloads
+          submitted through {!submit} are sized to the fleet (so the
+          sharding scheduler in {!Runtime.Model_runner} prices them), each
+          device runs its own persistent fault-injection stream, and a
+          device that takes a {!Fault.Plan.Device_death} is marked dead
+          and routed around for the rest of the server's life. *)
 }
 
 val default_config : unit -> config
@@ -79,7 +88,7 @@ val default_config : unit -> config
     [max_retries = 2], [backoff_s = 1e-3], [backoff_cap_s = 0.05],
     [compile_budget_s = None], [clock = Unix.gettimeofday],
     [fault_plan = None], [breaker = Breaker.default_config],
-    [verify_cold = true]. *)
+    [verify_cold = true], [devices = 1]. *)
 
 type response = {
   r_result : Runtime.Model_runner.result;
@@ -104,6 +113,14 @@ val start : ?cache:Runtime.Plan_cache.t -> ?config:config -> unit -> t
     unbounded one; pass a shared cache to pool plans across servers (or
     pre-warm it). *)
 
+val submit_w : t -> ?priority:int -> ?deadline_s:float -> Runtime.Workload.t -> ticket
+(** The canonical entry point: never blocks — either admits the request
+    or resolves the ticket [Rejected] immediately. [deadline_s] is
+    relative to now. The workload carries its own device count and
+    placement hint; a {!Runtime.Workload.Pin} placement is honored until
+    that device dies, after which the request fails rather than silently
+    moving. *)
+
 val submit :
   t ->
   ?priority:int ->
@@ -112,8 +129,8 @@ val submit :
   Backends.Policy.t ->
   Ir.Models.model ->
   ticket
-(** Never blocks: either admits the request or resolves the ticket
-    [Rejected] immediately. [deadline_s] is relative to now. *)
+(** Legacy positional spelling: {!submit_w} on a workload sized to the
+    server's fleet ([Workload.make ~devices:cfg.devices]). *)
 
 val await : ticket -> outcome
 (** Block until the request resolves. Idempotent. *)
@@ -126,12 +143,29 @@ val latencies : t -> float list
 
 val queue_depth : t -> int
 
+val breaker_state_w : t -> ?device:int -> Runtime.Workload.t -> Breaker.state
+(** Current breaker state of the workload's (backend, arch) fused path
+    ([Closed] if never exercised). In fleet mode each device guards its
+    own breaker; pass [device] to inspect one device's path. *)
+
+val breaker_trips_w : t -> ?device:int -> Runtime.Workload.t -> int
+(** How many times that path's breaker has opened. *)
+
 val breaker_state : t -> arch:Gpu.Arch.t -> Backends.Policy.t -> Breaker.state
-(** Current breaker state of the (backend, arch) fused path ([Closed] if
-    never exercised). *)
+(** Legacy spelling of {!breaker_state_w} without a device. *)
 
 val breaker_trips : t -> arch:Gpu.Arch.t -> Backends.Policy.t -> int
-(** How many times that path's breaker has opened. *)
+(** Legacy spelling of {!breaker_trips_w} without a device. *)
+
+val fleet_devices : t -> int option
+(** Fleet size; [None] on a single-device server. *)
+
+val fleet_alive : t -> int option
+(** Devices still alive; [None] on a single-device server. *)
+
+val fleet_json : t -> Obs.Json.t option
+(** Deterministic fleet snapshot (device count, dead devices, per-device
+    served counts, reroutes); [None] on a single-device server. *)
 
 val shutdown : ?drain:bool -> t -> unit
 (** Stop admitting and join the workers. [drain] (default [true]) serves

@@ -1,6 +1,12 @@
 module J = Obs.Json
 
-type key = { sk_backend : string; sk_arch : string; sk_name : string; sk_graph : string }
+type key = {
+  sk_backend : string;
+  sk_arch : string;
+  sk_name : string;
+  sk_graph : string;
+  sk_devices : int;
+}
 
 type issue = { i_file : string; i_reason : string }
 
@@ -31,7 +37,8 @@ let m_restamps = lazy (Obs.Metrics.counter "store.restamps")
 let filename_of_key k =
   let id =
     Digest.string
-      (String.concat "\x00" [ k.sk_backend; k.sk_arch; k.sk_name; k.sk_graph ])
+      (String.concat "\x00"
+         [ k.sk_backend; k.sk_arch; k.sk_name; k.sk_graph; string_of_int k.sk_devices ])
   in
   Digest.to_hex id ^ ".plan"
 
@@ -55,6 +62,7 @@ let entry_to_string ~code key ~verified plan =
          ("arch", J.Str key.sk_arch);
          ("name", J.Str key.sk_name);
          ("graph", J.Str key.sk_graph);
+         ("devices", J.Num (float_of_int key.sk_devices));
          ("verified", J.Bool verified);
          ("payload_md5", J.Str payload_md5);
          ("payload", payload);
@@ -92,6 +100,13 @@ let parse_entry ~code text =
                   let verified =
                     match J.member "verified" j with Some (J.Bool b) -> b | _ -> false
                   in
+                  (* Entries from before multi-device support have no
+                     [devices] header: they are one-device plans. *)
+                  let devices =
+                    match J.member "devices" j with
+                    | Some (J.Num x) when Float.is_integer x && x >= 1.0 -> int_of_float x
+                    | _ -> 1
+                  in
                   match (str "payload_md5", J.member "payload" j) with
                   | Some md5, Some payload ->
                       if Digest.to_hex (Digest.string (J.to_string payload)) <> md5 then
@@ -102,7 +117,7 @@ let parse_entry ~code text =
                         | Ok plan ->
                             Entry
                               ( { sk_backend = backend; sk_arch = arch; sk_name = name;
-                                  sk_graph = graph },
+                                  sk_graph = graph; sk_devices = devices },
                                 verified, plan ))
                   | _ -> Corrupt "missing payload or checksum")
               | _ -> Corrupt "malformed stamp"))

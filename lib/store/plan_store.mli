@@ -24,6 +24,10 @@ type key = {
   sk_arch : string;
   sk_name : string;
   sk_graph : string;  (** hex MD5 of the canonical DSL text *)
+  sk_devices : int;
+      (** device count the plan was compiled/costed for; entries written
+          before multi-device support carried no [devices] header and
+          decode as 1 *)
 }
 
 type issue = { i_file : string; i_reason : string }

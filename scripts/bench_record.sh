@@ -1,16 +1,27 @@
 #!/bin/sh
-# Record one execution-engine trajectory point: run the micro benchmark
-# (kernel sims/sec old-vs-new, plan-exec rates, serve p50/p99, compile
-# latency) at full size and write its JSON document to BENCH_<nnn>.json
-# at the repo root, so every PR appends a comparable data point.
+# Record one benchmark trajectory point: run a JSON-emitting experiment
+# (default micro: kernel sims/sec old-vs-new, plan-exec rates, serve
+# p50/p99, compile latency) at full size and write its JSON document to
+# BENCH_<nnn>.json at the repo root, so every PR appends a comparable
+# data point.
 #
-#   scripts/bench_record.sh              # next free BENCH_<nnn>.json
-#   scripts/bench_record.sh out.json     # explicit path (must not exist)
+#   scripts/bench_record.sh                    # micro -> next BENCH_<nnn>.json
+#   scripts/bench_record.sh shard              # another experiment
+#   scripts/bench_record.sh out.json           # explicit path (must not exist)
+#   scripts/bench_record.sh shard out.json     # both
 set -eu
 
 cd "$(dirname "$0")/.."
 
+exp=micro
 out=${1:-}
+case $out in
+*.json | '') ;;
+*)
+    exp=$out
+    out=${2:-}
+    ;;
+esac
 if [ -z "$out" ]; then
     # Next number = 1 + the highest existing BENCH_<n>.json, whatever its
     # padding: BENCH_9, BENCH_009 and BENCH_0100 all parse numerically, so
@@ -40,10 +51,10 @@ fi
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-# The micro experiment validates its own report (Obs.Report.validate) and
-# exits nonzero on a bad document or a warm run that re-entered the
-# functional interpreter; the JSON is the single line starting with '{'.
-dune exec bench/main.exe -- --only micro > "$tmp"
+# Each recordable experiment gates itself (micro validates its report via
+# Obs.Report.validate, shard enforces its speedup/goodput floors) and
+# exits nonzero on failure; the JSON is the single line starting with '{'.
+dune exec bench/main.exe -- --only "$exp" > "$tmp"
 
 # noclobber closes the race against a concurrent recorder that picked the
 # same number: exactly one of the two writes wins, the other fails loudly.

@@ -76,6 +76,35 @@ if [ "$(extract_counts "$chaos1")" != "$(extract_counts "$chaos2")" ]; then
 fi
 rm -f "$chaos1" "$chaos2"
 
+# Sharding gate: the multi-device bench enforces its own floors in-process
+# (>= 1.5x simulated latency at a 4-device node on the compute-bound
+# large-batch case, fleet soak conserved with goodput >= 0.9 after at
+# least one injected device death) and exits nonzero on any of them.
+dune exec bench/main.exe -- --quick --only shard > /dev/null
+
+# Fleet determinism gate: same-seed chaos storms against a 4-device fleet
+# must agree byte-for-byte on terminal outcomes, injected faults AND the
+# fleet snapshot (which devices died, per-device served counts, reroutes).
+# workers=1 keeps placement order a pure function of the seed.
+fleet1=$(mktemp) && fleet2=$(mktemp)
+for f in "$fleet1" "$fleet2"; do
+    dune exec bin/spacefusion_cli.exe -- chaos -n 200 --rate 0.01 --seed 11 \
+        --devices 4 --workers 1 --check > "$f" || {
+        echo "ci: fleet chaos soak failed its gates" >&2; cat "$f" >&2; exit 1; }
+done
+extract_fleet() {
+    grep -o '"outcomes":{[^}]*}' "$1"
+    grep -o '"faults":{[^}]*}' "$1"
+    grep -o '"fleet":{[^}]*}' "$1"
+}
+if [ "$(extract_fleet "$fleet1")" != "$(extract_fleet "$fleet2")" ]; then
+    echo "ci: fleet chaos soak not deterministic across same-seed runs" >&2
+    echo "--- run 1 ---" >&2; extract_fleet "$fleet1" >&2
+    echo "--- run 2 ---" >&2; extract_fleet "$fleet2" >&2
+    exit 1
+fi
+rm -f "$fleet1" "$fleet2"
+
 # Plan-store gate: `warm` populates the on-disk store and proves in-process
 # that a simulated restart compiles nothing; then a genuinely separate serve
 # process backed by the same store must report zero cache misses and zero
@@ -143,4 +172,4 @@ if [ "$picks1" != "$picks4" ]; then
     exit 1
 fi
 
-echo "ci: OK (build, tests, serve smoke + 3x soak, deterministic chaos gate, warm-store cold-start + corruption gates, serial/parallel tuner picks identical)"
+echo "ci: OK (build, tests, serve smoke + 3x soak, deterministic chaos + fleet gates, shard floors, warm-store cold-start + corruption gates, serial/parallel tuner picks identical)"
