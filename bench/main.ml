@@ -829,6 +829,159 @@ let chaos_bench () =
     (String.concat ",\n" (List.map row_json rows))
 
 (* ------------------------------------------------------------------ *)
+(* Batch: shape classes + continuous batching on mixed-shape traffic   *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving economics shape classes exist for: mixed-shape traffic
+   whose leading (batch) dim varies request to request. Baseline storm —
+   the serve bench's request count under [Exact] bucketing, where every
+   fresh dim is a cold SpaceFusion compile. Batched storm — 10x that
+   request count under [Pow2], where one guard-protected plan per class
+   serves every in-class dim and concurrent requests stack rows into
+   sliced batches. Gates (exit nonzero): conservation and zero failures
+   in both storms, batched throughput >= 5x the exact baseline's,
+   warm-path share >= 0.5, and zero guard-miss compiles and zero
+   functional executions after the deterministic class warm-up. *)
+let batch_bench () =
+  let arch = Gpu.Arch.ampere in
+  let backend = B.spacefusion in
+  let one name g =
+    { Ir.Models.model_name = name; subprograms = [ { Ir.Models.sp_name = "g"; graph = g; count = 1 } ] }
+  in
+  (* Row-parametric sliceable families; rows are drawn from (16, 32] so
+     the whole storm lives in one shape class per family. *)
+  let families =
+    [
+      ("ln", fun r -> one "ln" (Ir.Models.layernorm_graph ~m:r ~n:64));
+      ("rms", fun r -> one "rms" (Ir.Models.rmsnorm_graph ~m:r ~n:64));
+      ("softmax", fun r -> one "softmax" (Ir.Models.softmax_graph ~m:r ~n:64));
+      ("mlp", fun r -> one "mlp" (Ir.Models.mlp ~layers:2 ~m:r ~n:32 ~k:32));
+    ]
+  in
+  let counter name =
+    match Obs.Metrics.find name with Some (Obs.Metrics.Counter c) -> c | _ -> 0
+  in
+  let n_base = if !quick then 120 else 300 in
+  let storm ~label ~shapes ~cache ~n =
+    let cfg =
+      {
+        (Serve.Server.default_config ()) with
+        Serve.Server.workers = 4;
+        queue_capacity = n;
+        shapes;
+      }
+    in
+    let s = Serve.Server.start ~cache ~config:cfg () in
+    let rng = Random.State.make [| 42 |] in
+    let t0 = Unix.gettimeofday () in
+    let tickets =
+      List.init n (fun _ ->
+          let rows = 17 + Random.State.int rng 16 in
+          let f = snd (List.nth families (Random.State.int rng (List.length families))) in
+          Serve.Server.submit s ~arch backend (f rows))
+    in
+    List.iter
+      (fun tk ->
+        match Serve.Server.await tk with
+        | Serve.Server.Done _ -> ()
+        | _ ->
+            Printf.eprintf "batch: %s storm request not served\n" label;
+            exit 1)
+      tickets;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Serve.Server.shutdown s;
+    let st = Serve.Server.stats s in
+    if not (Serve.Stats.conserved st) || st.Serve.Stats.s_failed > 0 then begin
+      Printf.eprintf "batch: accounting violated in %s storm: %s\n" label
+        (Format.asprintf "%a" Serve.Stats.pp_snapshot st);
+      exit 1
+    end;
+    (st, elapsed)
+  in
+  (* Baseline: the mixed-shape storm under [Exact] — every distinct dim
+     compiles its own plans, cold, inside the measured window. *)
+  let exact_cache = Runtime.Plan_cache.create () in
+  let st_exact, t_exact = storm ~label:"exact" ~shapes:Runtime.Shape_class.Exact ~cache:exact_cache ~n:n_base in
+  let rps_exact = float_of_int st_exact.Serve.Stats.s_done /. t_exact in
+  (* Pow2 warm-up, outside the measured window: each family once at the
+     class representative (32: singleton batches execute there) and once
+     at the next boundary (64: stacked batches execute there), so the
+     storm never guard-misses. *)
+  let cache = Runtime.Plan_cache.create () in
+  let warm =
+    Serve.Server.start ~cache
+      ~config:
+        { (Serve.Server.default_config ()) with Serve.Server.workers = 2; shapes = Runtime.Shape_class.Pow2 }
+      ()
+  in
+  List.iter
+    (fun (_, f) ->
+      List.iter
+        (fun rows ->
+          match Serve.Server.await (Serve.Server.submit warm ~arch backend (f rows)) with
+          | Serve.Server.Done _ -> ()
+          | _ ->
+              Printf.eprintf "batch: warm-up request not served\n";
+              exit 1)
+        [ 32; 64 ])
+    families;
+  Serve.Server.shutdown warm;
+  (* Batched storm: 10x the baseline request count through the warm
+     class plans. *)
+  let n_batch = 10 * n_base in
+  let miss0 = Runtime.Plan_cache.misses cache in
+  let guard0 = counter "shape_class.guard_misses" in
+  let funct0 = counter "run.functional_execs" in
+  let st_p2, t_p2 = storm ~label:"pow2" ~shapes:Runtime.Shape_class.Pow2 ~cache ~n:n_batch in
+  let rps_p2 = float_of_int st_p2.Serve.Stats.s_done /. t_p2 in
+  let guard_misses = counter "shape_class.guard_misses" - guard0 in
+  let functional = counter "run.functional_execs" - funct0 in
+  let miss_requests = Runtime.Plan_cache.misses cache - miss0 in
+  let warm_share =
+    float_of_int (st_p2.Serve.Stats.s_done - miss_requests)
+    /. float_of_int st_p2.Serve.Stats.s_done
+  in
+  let speedup = rps_p2 /. rps_exact in
+  let num n = Obs.Json.Num n in
+  let int n = num (float_of_int n) in
+  let json =
+    Obs.Json.Obj
+      [
+        ("experiment", Obs.Json.Str "batch");
+        ("quick", Obs.Json.Bool !quick);
+        ("exact_requests", int n_base);
+        ("batched_requests", int n_batch);
+        ("exact_rps", num rps_exact);
+        ("batched_rps", num rps_p2);
+        ("speedup", num speedup);
+        ("warm_share", num warm_share);
+        ("guard_misses_after_warm", int guard_misses);
+        ("functional_execs_after_warm", int functional);
+        ("batched_members", int st_p2.Serve.Stats.s_batched);
+        ("coalesced", int st_p2.Serve.Stats.s_coalesced);
+        ("batches_closed", int (counter "batch.closed"));
+        ("boundary_closes", int (counter "batch.boundary_closes"));
+      ]
+  in
+  print_endline (Obs.Json.to_string json);
+  if speedup < 5.0 then begin
+    Printf.eprintf "batch: %.1fx over the exact baseline, below the 5x floor\n" speedup;
+    exit 1
+  end;
+  if warm_share < 0.5 then begin
+    Printf.eprintf "batch: warm-path share %.3f below 0.5\n" warm_share;
+    exit 1
+  end;
+  if guard_misses <> 0 then begin
+    Printf.eprintf "batch: %d guard-miss compile(s) after class warm-up\n" guard_misses;
+    exit 1
+  end;
+  if functional <> 0 then begin
+    Printf.eprintf "batch: %d functional execution(s) on the warmed class plans\n" functional;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Differential verification gate                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1431,6 +1584,7 @@ let experiments =
     ("obs", "Observability: tracing overhead + profile export (JSON)", obs);
     ("serve", "Serving runtime: throughput & tail latency vs workers (JSON)", serve_bench);
     ("chaos", "Chaos: goodput & tail latency under injected faults (JSON)", chaos_bench);
+    ("batch", "Continuous batching: mixed-shape storm at 10x vs exact baseline (JSON)", batch_bench);
     ("shard", "Multi-device sharding: node scaling + fleet-death soak (JSON)", shard_bench);
     ("verify", "Differential verification: fuzz + seeded-defect corpus gate (JSON)", verify);
     ("micro", "Execution engine: kernel sims/sec old-vs-new, serve p50/p99, compile latency (JSON)", micro);

@@ -86,3 +86,22 @@ let devices_arg =
 
 let pretty_arg =
   Arg.(value & flag & info [ "pretty" ] ~doc:"human-readable summary instead of JSON")
+
+let bucket_conv =
+  let parse s =
+    match Runtime.Shape_class.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown bucketing policy %S (exact | pow2)" s))
+  in
+  Arg.conv
+    (parse, fun fmt p -> Format.pp_print_string fmt (Runtime.Shape_class.policy_to_string p))
+
+let bucket_arg =
+  Arg.(
+    value
+    & opt bucket_conv Runtime.Shape_class.Exact
+    & info [ "bucket" ] ~docv:"POLICY"
+        ~doc:
+          "shape-bucketing policy: $(b,exact) (one plan per concrete shape, identical-request \
+           dedup) or $(b,pow2) (power-of-two shape classes with guard predicates and continuous \
+           row batching)")

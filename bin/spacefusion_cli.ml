@@ -340,7 +340,7 @@ let serve_cmd =
      counters). Exits 1 when the accounting conservation law is violated
      or any request failed — scripts/ci.sh uses a short run of this as the
      serving smoke gate. *)
-  let run arch rps duration workers deadline_ms capacity seed devices store_dir telemetry_dir pretty =
+  let run arch rps duration workers deadline_ms capacity seed devices bucket store_dir telemetry_dir pretty =
     let backends = serve_backends () in
     let models = mini_zoo () in
     let pstore = Option.map Store.Plan_store.open_ store_dir in
@@ -351,6 +351,7 @@ let serve_cmd =
         Serve.Server.workers;
         queue_capacity = capacity;
         devices;
+        shapes = bucket;
       }
     in
     let s = Serve.Server.start ~cache ~config () in
@@ -393,6 +394,7 @@ let serve_cmd =
                 ("queue_capacity", Obs.Json.Num (float_of_int capacity));
                 ("seed", Obs.Json.Num (float_of_int seed));
                 ("devices", Obs.Json.Num (float_of_int devices));
+                ("bucket", Obs.Json.Str (Runtime.Shape_class.policy_to_string bucket));
               ] );
           ("requests", Serve.Stats.snapshot_to_json st);
           ( "fleet",
@@ -471,7 +473,8 @@ let serve_cmd =
           report; exits 1 on accounting violations or failed requests")
     Term.(
       const run $ arch_arg $ rps $ duration $ workers $ Cli_common.deadline_ms_arg $ capacity
-      $ seed $ Cli_common.devices_arg $ store_arg $ telemetry_arg $ Cli_common.pretty_arg)
+      $ seed $ Cli_common.devices_arg $ Cli_common.bucket_arg $ store_arg $ telemetry_arg
+      $ Cli_common.pretty_arg)
 
 (* chaos ------------------------------------------------------------------ *)
 
@@ -484,7 +487,7 @@ let chaos_cmd =
      shape (one worker, no deadlines, queue as large as the request count)
      removes every clock dependence from the terminal accounting, which is
      what lets scripts/ci.sh diff two same-seed runs byte-for-byte. *)
-  let run arch requests rate seed workers retries floor require_recovery check devices telemetry_dir pretty =
+  let run arch requests rate seed workers retries floor require_recovery check devices bucket telemetry_dir pretty =
     let models = mini_zoo () in
     let backend = Backends.Baselines.spacefusion in
     Obs.Metrics.reset ();
@@ -504,6 +507,7 @@ let chaos_cmd =
         fault_plan = Some plan;
         breaker = { Serve.Breaker.threshold = 1; cooldown_s = 0.0 };
         devices;
+        shapes = bucket;
       }
     in
     let cache = Runtime.Plan_cache.create () in
@@ -542,6 +546,7 @@ let chaos_cmd =
                 ("workers", num workers);
                 ("max_retries", num retries);
                 ("devices", num devices);
+                ("bucket", Obs.Json.Str (Runtime.Shape_class.policy_to_string bucket));
               ] );
           (* The deterministic heart of the report: scripts/ci.sh diffs
              these two objects (and, in fleet mode, the fleet snapshot)
@@ -664,7 +669,8 @@ let chaos_cmd =
           goodput below the floor")
     Term.(
       const run $ arch_arg $ requests $ rate $ seed $ workers $ retries $ floor $ require_recovery
-      $ check $ Cli_common.devices_arg $ telemetry_arg $ Cli_common.pretty_arg)
+      $ check $ Cli_common.devices_arg $ Cli_common.bucket_arg $ telemetry_arg
+      $ Cli_common.pretty_arg)
 
 (* warm ------------------------------------------------------------------- *)
 

@@ -150,6 +150,20 @@ let build { g_rows; g_cols; g_entries } =
 
 let graph_of_spec spec = build (trace_of_spec spec)
 
+(* The leading dim as a symbol: a trace's structure never depends on
+   [g_rows] once column reductions are excluded (every live value keeps
+   the leading dim, so binary-partner compatibility is rows-invariant),
+   which makes [build (with_rows t r)] the same graph at another batch
+   size — exactly what shape-class canonicalization produces by replay.
+   Shape-class property tests lean on this to compare one trace across
+   every size in a bucket. *)
+let with_rows t rows =
+  if rows < 1 then invalid_arg "Gen.with_rows: rows must be positive";
+  { t with g_rows = rows }
+
+let batch_sliceable t =
+  List.for_all (fun e -> match e.e_kind with KColReduce _ -> false | _ -> true) t.g_entries
+
 let shrink ?(max_steps = 200) ~still_fails t0 =
   let candidates t =
     let n = List.length t.g_entries in

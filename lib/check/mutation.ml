@@ -158,6 +158,31 @@ let swap_reduce =
       | K.ColReduce r -> Some (K.ColReduce { r with op = swap r.op })
       | _ -> None)
 
+let wrong_shape_class =
+  {
+    m_name = "wrong_shape_class";
+    m_describe = "plan executes at the previous shape class's extent (guard violation)";
+    m_mutate =
+      (* The bug shape-class guards exist to prevent: a plan compiled for
+         the (lo, hi] bucket served to a shape in the next one. Halving
+         the first spatial extent > 1 is that plan — it covers at most the
+         previous class's representative, so part of the iteration space
+         is never computed. *)
+      map_first_kernel (fun (k : K.t) ->
+          let changed = ref false in
+          let grid =
+            List.map
+              (fun (g : K.grid_dim) ->
+                if (not !changed) && g.extent > 1 then begin
+                  changed := true;
+                  { g with K.extent = (g.extent + 1) / 2 }
+                end
+                else g)
+              k.grid
+          in
+          if !changed then Some { k with K.grid } else None);
+  }
+
 let corpus =
   [
     off_by_one_grid;
@@ -168,4 +193,5 @@ let corpus =
     flip_trans;
     swap_binop;
     swap_reduce;
+    wrong_shape_class;
   ]

@@ -38,5 +38,11 @@ val swap_binop : t
 val swap_reduce : t
 (** Replaces the first reduction op with a near-miss (Rsum→Rmax...). *)
 
+val wrong_shape_class : t
+(** Halves the first grid dimension with extent > 1: the plan a smaller
+    shape class would have compiled, served past its guard — part of the
+    iteration space is never computed. The defect shape-class guard
+    predicates exist to prevent. *)
+
 val corpus : t list
 (** All of the above, in a stable order. *)

@@ -17,6 +17,17 @@ let m_latency = lazy (Obs.Metrics.histogram "model.latency_seconds")
 let m_compile = lazy (Obs.Metrics.histogram "model.compile_seconds")
 let m_warm_fast = lazy (Obs.Metrics.counter "run.warm_fast_path")
 
+(* Full (interpreter-backed) executions: a warmed server serving in-class
+   shapes from verified plans must leave this flat — the soak and the
+   batch bench gate on its delta. *)
+let m_functional = lazy (Obs.Metrics.counter "run.functional_execs")
+let m_class_hits = lazy (Obs.Metrics.counter "shape_class.hits")
+
+(* A classed lookup that still compiled: its bucket had no plan yet. The
+   fallback is compile-and-insert under the classed key — never an error —
+   so after one warm pass per class this counter must stay flat. *)
+let m_guard_miss = lazy (Obs.Metrics.counter "shape_class.guard_misses")
+
 (* Plans are cached across calls when [cache] is supplied: the paper's
    program-preprocessing compiles each distinct (repetitive) subprogram
    once, and e.g. Bert and Albert share every block. *)
@@ -45,12 +56,25 @@ let run_workload_r ?cache ?inject ?arena ?(functional = `Never) (w : Workload.t)
         (fun (sp : Ir.Models.subprogram) ->
           Obs.Trace.with_span ~attrs:[ ("name", sp.sp_name) ] "subprogram" @@ fun () ->
           let name = model.model_name ^ "." ^ sp.sp_name in
+          (* Shape classing: a sliceable subprogram compiles, verifies and
+             executes at its class representative (the canonical graph),
+             under a classed cache key — one plan per bucket, every
+             in-class shape a warm hit. Non-sliceable (or [Exact]-policy)
+             subprograms keep their concrete graph and unclassed key. *)
+          let cls, run_graph =
+            match Shape_class.plan_graph ~policy:w.Workload.shapes sp.graph with
+            | Some (c, cg) -> (Some c, cg)
+            | None -> (None, sp.graph)
+          in
           let t0 = Unix.gettimeofday () in
           let plan, hit, verified =
             match cache with
-            | None -> (backend.compile arch ~name sp.graph, false, false)
-            | Some c -> Plan_cache.compile_hit_verified c ~devices backend arch ~name sp.graph
+            | None -> (backend.compile arch ~name run_graph, false, false)
+            | Some c ->
+                Plan_cache.compile_hit_verified c ~devices ?cls backend arch ~name run_graph
           in
+          if Option.is_some cls then
+            Obs.Metrics.incr (Lazy.force (if hit then m_class_hits else m_guard_miss));
           (* A hit's wall-clock is a table lookup, not compilation: report
              it as zero so cached latencies do not inflate compile time. *)
           if hit then incr hits
@@ -75,6 +99,7 @@ let run_workload_r ?cache ?inject ?arena ?(functional = `Never) (w : Workload.t)
                 end
                 else Gpu.Exec.Full
           in
+          if mode = Gpu.Exec.Full then Obs.Metrics.incr (Lazy.force m_functional);
           let device = Gpu.Device.create () in
           (match inject with Some inj -> Gpu.Device.attach_faults device inj | None -> ());
           let r = Runner.run_plan ~mode ~arch ~dispatch_us:backend.dispatch_us device plan in
@@ -82,7 +107,7 @@ let run_workload_r ?cache ?inject ?arena ?(functional = `Never) (w : Workload.t)
              hit can skip re-execution. *)
           (if mode = Gpu.Exec.Full && functional = `Auto then
              match cache with
-             | Some c -> Plan_cache.mark_verified c ~devices backend arch ~name sp.graph
+             | Some c -> Plan_cache.mark_verified c ~devices ?cls backend arch ~name run_graph
              | None -> ());
           (* Nothing reads the device after the run here: recycle its
              buffers into the ambient arena (if any) for the next plan. *)

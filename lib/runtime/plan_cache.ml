@@ -4,6 +4,7 @@ type key = {
   k_name : string;
   k_graph : Digest.t;  (* of the canonical DSL text, not the text itself *)
   k_devices : int;  (* device count the plan is placed/costed for *)
+  k_class : string;  (* shape-class id ("-" = exact/unclassed) *)
 }
 
 type entry = {
@@ -45,6 +46,7 @@ let store_key key =
     sk_name = key.k_name;
     sk_graph = Digest.to_hex key.k_graph;
     sk_devices = key.k_devices;
+    sk_class = key.k_class;
   }
 
 let key_of_store (sk : Store.Plan_store.key) =
@@ -52,7 +54,7 @@ let key_of_store (sk : Store.Plan_store.key) =
   | digest ->
       Some
         { k_backend = sk.sk_backend; k_arch = sk.sk_arch; k_name = sk.sk_name;
-          k_graph = digest; k_devices = sk.sk_devices }
+          k_graph = digest; k_devices = sk.sk_devices; k_class = sk.sk_class }
   | exception Invalid_argument _ -> None
 
 let evict_over_capacity t =
@@ -127,7 +129,7 @@ let write_behind t key plan =
       if (not verified) && locked t (fun () -> Hashtbl.mem t.stamps key) then
         Store.Plan_store.mark_verified s (store_key key)
 
-let key_of ?(devices = 1) (backend : Backends.Policy.t) arch ~name graph =
+let key_of ?(devices = 1) ?cls (backend : Backends.Policy.t) arch ~name graph =
   if devices < 1 then invalid_arg "Plan_cache: devices < 1";
   {
     k_backend = backend.be_name;
@@ -135,16 +137,20 @@ let key_of ?(devices = 1) (backend : Backends.Policy.t) arch ~name graph =
     k_name = name;
     k_graph = Digest.string (Ir.Parse.to_dsl graph);
     k_devices = devices;
+    (* A classed key digests the *canonical* graph (the class
+       representative); the class id keeps it disjoint from the exact key
+       of a request that happens to arrive at the representative shape. *)
+    k_class = (match cls with None -> "-" | Some c -> Shape_class.id c);
   }
 
-let mem t ?devices backend arch ~name graph =
-  let key = key_of ?devices backend arch ~name graph in
+let mem t ?devices ?cls backend arch ~name graph =
+  let key = key_of ?devices ?cls backend arch ~name graph in
   locked t (fun () -> Hashtbl.mem t.table key)
 
-let compile_hit_verified t ?devices (backend : Backends.Policy.t) arch ~name graph =
+let compile_hit_verified t ?devices ?cls (backend : Backends.Policy.t) arch ~name graph =
   (* Hash the canonical DSL outside the lock: it is the expensive part of
      the key, and it needs no cache state. *)
-  let key = key_of ?devices backend arch ~name graph in
+  let key = key_of ?devices ?cls backend arch ~name graph in
   (* Single-flight: the first domain to miss a key claims it in [pending]
      and compiles outside the lock; domains racing on the same key wait on
      [filled] and are served the winner's plan as a hit — the expensive
@@ -222,15 +228,15 @@ let compile_hit_verified t ?devices (backend : Backends.Policy.t) arch ~name gra
           write_behind t key plan;
           r)
 
-let compile_hit t ?devices backend arch ~name graph =
-  let plan, hit, _verified = compile_hit_verified t ?devices backend arch ~name graph in
+let compile_hit t ?devices ?cls backend arch ~name graph =
+  let plan, hit, _verified = compile_hit_verified t ?devices ?cls backend arch ~name graph in
   (plan, hit)
 
-let compile t ?devices backend arch ~name graph =
-  fst (compile_hit t ?devices backend arch ~name graph)
+let compile t ?devices ?cls backend arch ~name graph =
+  fst (compile_hit t ?devices ?cls backend arch ~name graph)
 
-let mark_verified t ?devices backend arch ~name graph =
-  let key = key_of ?devices backend arch ~name graph in
+let mark_verified t ?devices ?cls backend arch ~name graph =
+  let key = key_of ?devices ?cls backend arch ~name graph in
   locked t (fun () ->
       (* Stamp the content, then the resident record if there is one. A
          key that is absent (evicted, or still pending its re-insert) is

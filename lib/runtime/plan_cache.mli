@@ -27,7 +27,14 @@ val create : ?capacity:int -> ?store:Store.Plan_store.t -> unit -> t
     the store. *)
 
 val compile :
-  t -> ?devices:int -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> Gpu.Plan.t
+  t ->
+  ?devices:int ->
+  ?cls:Shape_class.t ->
+  Backends.Policy.t ->
+  Gpu.Arch.t ->
+  name:string ->
+  Ir.Graph.t ->
+  Gpu.Plan.t
 (** Like the policy's [compile], memoized. A lookup that compiles counts as
     one miss; a lookup served from the table counts as one hit and marks the
     entry most-recently-used. Events are mirrored into {!Obs.Metrics}
@@ -38,11 +45,18 @@ val compile :
     [devices] (default 1) is part of the key on every entry point here: a
     plan placed for a 4-device node and the same graph's single-device
     plan are distinct cache entries (and distinct store files), so a
-    sharding decision never leaks across device counts. *)
+    sharding decision never leaks across device counts.
+
+    [cls] adds a shape class to the key (default unclassed, spelled ["-"]).
+    A classed entry is compiled from the class's {e canonical} graph (the
+    representative shape) and serves every in-class shape; pass the
+    canonical graph, not the request's concrete one. Classed and exact
+    keys never collide even at the representative shape. *)
 
 val compile_hit :
   t ->
   ?devices:int ->
+  ?cls:Shape_class.t ->
   Backends.Policy.t ->
   Gpu.Arch.t ->
   name:string ->
@@ -56,6 +70,7 @@ val compile_hit :
 val compile_hit_verified :
   t ->
   ?devices:int ->
+  ?cls:Shape_class.t ->
   Backends.Policy.t ->
   Gpu.Arch.t ->
   name:string ->
@@ -71,14 +86,29 @@ val compile_hit_verified :
     walk. *)
 
 val mark_verified :
-  t -> ?devices:int -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> unit
+  t ->
+  ?devices:int ->
+  ?cls:Shape_class.t ->
+  Backends.Policy.t ->
+  Gpu.Arch.t ->
+  name:string ->
+  Ir.Graph.t ->
+  unit
 (** Stamp this key's plan {e content} as functionally verified: the
     resident entry (if any) is stamped now, and — because the key digests
     the graph — the stamp survives eviction and in-flight recompiles,
     re-applying itself on the next insert of the same key instead of
     being silently dropped. Persisted when the cache has a store. *)
 
-val mem : t -> ?devices:int -> Backends.Policy.t -> Gpu.Arch.t -> name:string -> Ir.Graph.t -> bool
+val mem :
+  t ->
+  ?devices:int ->
+  ?cls:Shape_class.t ->
+  Backends.Policy.t ->
+  Gpu.Arch.t ->
+  name:string ->
+  Ir.Graph.t ->
+  bool
 (** Whether a plan for this key is resident right now. Pure probe: no LRU
     touch, no hit/miss accounting, no compile. The serve runtime uses it
     to decide whether a request known to blow its compile budget can still

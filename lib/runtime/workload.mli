@@ -21,11 +21,15 @@ type t = {
       (** device count the plan is compiled/costed for; 1 = classic
           single-device behavior, bit-identical to the legacy API *)
   placement : placement;
+  shapes : Shape_class.policy;
+      (** shape-bucketing policy; [Exact] (the default) is bit-identical
+          to the legacy per-shape behavior *)
 }
 
 val make :
   ?devices:int ->
   ?placement:placement ->
+  ?shapes:Shape_class.policy ->
   arch:Gpu.Arch.t ->
   Backends.Policy.t ->
   Ir.Models.model ->
@@ -39,7 +43,26 @@ val digest : t -> string
     and the digest of every subprogram — two workloads with equal digests
     are interchangeable end to end. This is the serving layer's
     coalescing/blown-budget key (the same identity a warm plan cache
-    sees). *)
+    sees). Under [Pow2], sliceable subprograms contribute their
+    (shape class, canonical graph) instead of the concrete shape, so
+    every in-class shape shares one digest — the batch-admission key. *)
+
+val batch_space : t -> (int * int) option
+(** [Some (rows, cap)] when the workload is row-sliceable under its
+    bucketing policy: [rows] is its concrete leading (batch) dim and
+    [cap] the {e next} shape-class boundary (twice the class
+    representative) — concurrent in-class requests stack rows into one
+    batch until the total would cross [cap]. A multi-member batch's total
+    always lands one class up (each member's rows exceed half its class
+    representative), so the stacked run executes at [cap] — one cached
+    plan per boundary. [None] under [Exact] or for non-sliceable models:
+    such requests batch in identical-request (shared-result) mode only. *)
+
+val rebatch : t -> rows:int -> t
+(** The same workload with every subprogram's leading (batch) dimension
+    replayed at [rows] — what a batch leader executes when members
+    stacked their rows past its own dim. Raises [Invalid_argument] when
+    {!batch_space} is [None]. *)
 
 val path_key : t -> string
 (** The ["backend|arch"] fused-path identity a circuit breaker guards

@@ -13,6 +13,8 @@ type config = {
   breaker : Breaker.config;
   verify_cold : bool;
   devices : int;
+  shapes : Runtime.Shape_class.policy;
+  batch_window_s : float;
 }
 
 let default_config () =
@@ -29,6 +31,8 @@ let default_config () =
     breaker = Breaker.default_config;
     verify_cold = true;
     devices = 1;
+    shapes = Runtime.Shape_class.Exact;
+    batch_window_s = 2e-3;
   }
 
 type response = {
@@ -38,6 +42,8 @@ type response = {
   r_coalesced : bool;
   r_degraded : bool;
   r_retries : int;
+  r_batch : int;  (* members in the delivering batch; 1 = served solo *)
+  r_rows : (int * int) option;  (* (offset, len) row slice of a Sliced batch *)
 }
 
 type outcome =
@@ -78,7 +84,7 @@ type t = {
   cfg : config;
   cache : Runtime.Plan_cache.t;
   queue : request Queue.t;
-  coalesce : served Coalesce.t;
+  batcher : served Batcher.t;
   stats : Stats.t;
   breakers : Breaker.t;
   fleet : Fleet.t option;  (* Some iff cfg.devices > 1 *)
@@ -145,8 +151,10 @@ let finish t rq outcome =
     | Failed _ -> Stats.record t.stats Stats.Failed
   end
 
-let finish_served t rq ~queue_s ~coalesced = function
+let finish_served t rq ~queue_s ~coalesced ?(batch = 1) ?rows = function
   | S_done (result, degraded, retries) ->
+      (* Charged from admission: however long the request sat joining a
+         growing batch, its latency runs from its own submit. *)
       let latency = Float.max 0.0 (t.cfg.clock () -. rq.rq_submit_at) in
       finish t rq
         (Done
@@ -157,6 +165,8 @@ let finish_served t rq ~queue_s ~coalesced = function
              r_coalesced = coalesced;
              r_degraded = degraded;
              r_retries = retries;
+             r_batch = batch;
+             r_rows = rows;
            })
   | S_rejected msg -> finish t rq (Rejected msg)
   | S_failed (msg, _) -> finish t rq (Failed msg)
@@ -187,15 +197,21 @@ let is_blown t key =
   b
 
 (* Every fused plan for this request already resident? Then the fused path
-   costs a table lookup even for a key that once blew its budget. *)
+   costs a table lookup even for a key that once blew its budget. Probes
+   the same (possibly shape-classed) keys the runner will use. *)
 let fused_ready t rq =
   let w = rq.rq_work in
   List.for_all
     (fun (sp : Ir.Models.subprogram) ->
-      Runtime.Plan_cache.mem t.cache ~devices:w.Runtime.Workload.devices
+      let cls, g =
+        match Runtime.Shape_class.plan_graph ~policy:w.Runtime.Workload.shapes sp.graph with
+        | Some (c, cg) -> (Some c, cg)
+        | None -> (None, sp.graph)
+      in
+      Runtime.Plan_cache.mem t.cache ~devices:w.Runtime.Workload.devices ?cls
         w.Runtime.Workload.backend w.Runtime.Workload.arch
         ~name:(w.Runtime.Workload.model.Ir.Models.model_name ^ "." ^ sp.sp_name)
-        sp.graph)
+        g)
     w.Runtime.Workload.model.Ir.Models.subprograms
 
 (* The budget only bites on cache misses: hits never reach the policy's
@@ -371,33 +387,71 @@ let handle t (p : request Queue.popped) =
     "serve.request"
   @@ fun () ->
   let key = request_key rq in
-  (* A follower never attempted anything itself: if its leader failed
-     transiently or abandoned at the leader's (not the follower's)
-     deadline, the follower goes back into the queue exactly once with its
-     original priority and deadline, instead of being charged a failure
-     for an attempt it never made. *)
-  let follower served =
-    match served with
-    | (S_failed (_, `Transient) | S_expired) when not rq.rq_requeued ->
-        rq.rq_requeued <- true;
-        Stats.record t.stats Stats.Requeued;
-        if not (Queue.push t.queue ~priority:p.p_priority ?deadline:p.p_deadline rq) then
-          finish t rq (Rejected "queue full on requeue")
-    | S_expired -> finish t rq (Failed "coalesced leader abandoned by deadline")
-    | served -> finish_served t rq ~queue_s:p.p_queued_s ~coalesced:true served
+  (* Batch mode: a row-sliceable workload under a bucketing policy admits
+     into a growing [Sliced] batch (rows stack up to the shape-class
+     boundary); anything else keeps identical-request [Shared] dedup. *)
+  let mode =
+    match Runtime.Workload.batch_space rq.rq_work with
+    | Some (rows, cap) -> Batcher.Sliced { rows; cap }
+    | None -> Batcher.Shared
   in
-  match Coalesce.join t.coalesce ~key follower with
-  | `Follower ->
-      (* Registered onto the in-flight leader; this worker is free for the
-         next queue item, and the leader will deliver. *)
+  let am_leader = ref false in
+  (* Per-member delivery. Every member — leader included — expires against
+     its {e own} absolute deadline ([sl_expired]), never an inherited one.
+     A non-leader member never attempted anything itself: if the leader
+     failed transiently or abandoned at the {e leader's} deadline, the
+     member goes back into the queue exactly once with its original
+     priority and deadline, instead of being charged a failure for an
+     attempt it never made. *)
+  let member (s : served Batcher.slot) =
+    if s.sl_members > 1 then Stats.record t.stats Stats.Batched;
+    let rows = if s.sl_len > 0 then Some (s.sl_off, s.sl_len) else None in
+    if s.sl_expired then finish t rq Timed_out
+    else if !am_leader then
+      finish_served t rq ~queue_s:p.p_queued_s ~coalesced:false ~batch:s.sl_members ?rows
+        s.sl_result
+    else
+      match s.sl_result with
+      | (S_failed (_, `Transient) | S_expired) when not rq.rq_requeued ->
+          rq.rq_requeued <- true;
+          Stats.record t.stats Stats.Requeued;
+          if not (Queue.push t.queue ~priority:p.p_priority ?deadline:p.p_deadline rq) then
+            finish t rq (Rejected "queue full on requeue")
+      | S_expired -> finish t rq (Failed "batch leader abandoned by deadline")
+      | served ->
+          finish_served t rq ~queue_s:p.p_queued_s ~coalesced:true ~batch:s.sl_members ?rows
+            served
+  in
+  match Batcher.admit t.batcher ~key ~mode ?deadline:p.p_deadline member with
+  | `Join ->
+      (* Registered onto the growing (or in-flight [Shared]) batch; this
+         worker is free for the next queue item, and the leader will
+         deliver. *)
       Stats.record t.stats Stats.Coalesced
-  | `Leader ->
+  | `Lead b ->
+      (* Deadline-aware close: wait out the batch window (Sliced only),
+         then execute once for every admitted member. The run honors the
+         batch's deadline ({!Batcher.run_deadline}), not any single
+         joiner's. *)
+      Batcher.grow t.batcher b;
+      am_leader := true;
+      (* Members stacked rows past the leader's own dim: execute the
+         workload rebatched to the batch total (one class up — see
+         {!Runtime.Workload.batch_space}), so every member's slice lies
+         inside the run's row space. A singleton batch executes the
+         leader's workload untouched. *)
+      let rq_run =
+        match mode with
+        | Batcher.Sliced { rows; _ } when Batcher.rows b > rows ->
+            { rq with rq_work = Runtime.Workload.rebatch rq.rq_work ~rows:(Batcher.rows b) }
+        | _ -> rq
+      in
+      let key_run = if rq_run == rq then key else request_key rq_run in
       let served =
-        try serve_with_retries t rq ~key ~deadline:p.p_deadline
+        try serve_with_retries t rq_run ~key:key_run ~deadline:(Batcher.run_deadline b)
         with e -> S_failed (Printexc.to_string e, `Permanent)
       in
-      ignore (Coalesce.resolve t.coalesce ~key served);
-      finish_served t rq ~queue_s:p.p_queued_s ~coalesced:false served
+      ignore (Batcher.deliver t.batcher b served)
 
 let rec worker_loop t =
   match Queue.pop t.queue with
@@ -431,7 +485,7 @@ let start ?cache ?config () =
       cache = (match cache with Some c -> c | None -> Runtime.Plan_cache.create ());
       queue =
         Queue.create ~clock:cfg.clock ~priorities:cfg.priorities ~capacity:cfg.queue_capacity ();
-      coalesce = Coalesce.create ();
+      batcher = Batcher.create ~window_s:cfg.batch_window_s ~clock:cfg.clock ();
       stats = Stats.create ();
       breakers = Breaker.create ~clock:cfg.clock cfg.breaker;
       fleet =
@@ -473,10 +527,11 @@ let submit_w t ?(priority = 0) ?deadline_s work =
   else finish t rq (Rejected "queue full");
   tk
 
-(* Legacy positional submit: a workload sized to the server's fleet. *)
+(* Legacy positional submit: a workload sized to the server's fleet and
+   bucketed by its shape policy. *)
 let submit t ?priority ?deadline_s ~arch backend model =
   submit_w t ?priority ?deadline_s
-    (Runtime.Workload.make ~devices:t.cfg.devices ~arch backend model)
+    (Runtime.Workload.make ~devices:t.cfg.devices ~shapes:t.cfg.shapes ~arch backend model)
 
 let stats t = Stats.snapshot t.stats
 let latencies t = Stats.latencies t.stats

@@ -15,8 +15,8 @@
     - [Timed_out] when its deadline passed while it sat in the backlog
       (decided by the worker that dequeues it);
     - [Done] with the shared result when it was served — possibly
-      coalesced onto an identical in-flight request ({!Coalesce}), and
-      possibly degraded;
+      batched with other in-flight requests ({!Batcher}), and possibly
+      degraded;
     - [Failed] when transient errors survived every retry.
 
     Degradation: a fused compile that exceeds the configured budget is
@@ -45,10 +45,22 @@
     under a deterministic {!Fault.Inject} injector on stream
     [(request stream << 8) | attempt].
 
-    A coalesced follower whose leader failed transiently (or abandoned at
-    the {e leader's} deadline) is requeued exactly once with its original
-    priority and deadline rather than inheriting a failure for an attempt
-    it never made; a second leader failure fails it for real.
+    Continuous batching (see DESIGN.md, "Shape classes & continuous
+    batching"): concurrent requests with the same shape-class-aware
+    workload digest join {e one} batch. Identical (or non-sliceable)
+    requests share the leader's run outright; row-sliceable requests
+    under a [Pow2] shape policy stack their rows into a single
+    class-representative execution that closes on the [batch_window_s]
+    timer, a member's imminent deadline, or the shape-class row boundary,
+    and each member is handed its own row slice. Every member — leader
+    included — times out against {e its own} absolute deadline at
+    delivery; batch membership never substitutes the leader's deadline.
+
+    A batch-joined follower whose leader failed transiently (or abandoned
+    at the {e leader's} deadline) is requeued exactly once with its
+    original priority and deadline rather than inheriting a failure for
+    an attempt it never made; a second leader failure fails it for
+    real.
 
     Worker domains run under {!Core.Parallel.as_worker}: the pool of
     requests is the parallelism axis, so a request's compile never spawns
@@ -80,6 +92,14 @@ type config = {
           device runs its own persistent fault-injection stream, and a
           device that takes a {!Fault.Plan.Device_death} is marked dead
           and routed around for the rest of the server's life. *)
+  shapes : Runtime.Shape_class.policy;
+      (** shape-bucketing policy for workloads built by {!submit}. [Exact]
+          (the default) keeps legacy per-shape plans and identical-request
+          dedup; [Pow2] compiles one plan per power-of-two batch bucket
+          and row-batches concurrent in-class requests. *)
+  batch_window_s : float;
+      (** how long a [Sliced] batch leader waits for joiners before
+          executing (deadline-aware; default 2 ms) *)
 }
 
 val default_config : unit -> config
@@ -88,15 +108,20 @@ val default_config : unit -> config
     [max_retries = 2], [backoff_s = 1e-3], [backoff_cap_s = 0.05],
     [compile_budget_s = None], [clock = Unix.gettimeofday],
     [fault_plan = None], [breaker = Breaker.default_config],
-    [verify_cold = true], [devices = 1]. *)
+    [verify_cold = true], [devices = 1], [shapes = Exact],
+    [batch_window_s = 2e-3]. *)
 
 type response = {
   r_result : Runtime.Model_runner.result;
   r_latency_s : float;  (** submit to resolution, on the server clock *)
   r_queue_s : float;  (** of which: backlog wait *)
-  r_coalesced : bool;  (** served by an identical in-flight request *)
+  r_coalesced : bool;  (** joined a batch led by another request's run *)
   r_degraded : bool;  (** served from the unfused baseline *)
   r_retries : int;  (** transient-failure retries the serving run needed *)
+  r_batch : int;  (** members in the delivering batch; 1 = served solo *)
+  r_rows : (int * int) option;
+      (** [(offset, len)] — this request's row slice of the batched
+          execution ([None] for shared/identical delivery) *)
 }
 
 type outcome =

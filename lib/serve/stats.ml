@@ -6,6 +6,7 @@ type event =
   | Done
   | Failed
   | Coalesced
+  | Batched
   | Degraded
   | Retried
   | Requeued
@@ -18,6 +19,7 @@ type snapshot = {
   s_done : int;
   s_failed : int;
   s_coalesced : int;
+  s_batched : int;
   s_degraded : int;
   s_retries : int;
   s_requeued : int;
@@ -31,6 +33,7 @@ type t = {
   done_ : int Atomic.t;
   failed : int Atomic.t;
   coalesced : int Atomic.t;
+  batched : int Atomic.t;
   degraded : int Atomic.t;
   retries : int Atomic.t;
   requeued : int Atomic.t;
@@ -46,6 +49,7 @@ let m_timed_out = lazy (Obs.Metrics.counter "serve.timed_out")
 let m_done = lazy (Obs.Metrics.counter "serve.done")
 let m_failed = lazy (Obs.Metrics.counter "serve.failed")
 let m_coalesced = lazy (Obs.Metrics.counter "serve.coalesced")
+let m_batched = lazy (Obs.Metrics.counter "serve.batched")
 let m_degraded = lazy (Obs.Metrics.counter "serve.degraded")
 let m_retries = lazy (Obs.Metrics.counter "serve.retries")
 let m_requeued = lazy (Obs.Metrics.counter "serve.requeued")
@@ -61,7 +65,7 @@ let create () =
     (fun m -> ignore (Lazy.force m))
     [
       m_submitted; m_admitted; m_rejected; m_timed_out; m_done; m_failed; m_coalesced;
-      m_degraded; m_retries; m_requeued;
+      m_batched; m_degraded; m_retries; m_requeued;
     ];
   {
     submitted = Atomic.make 0;
@@ -71,6 +75,7 @@ let create () =
     done_ = Atomic.make 0;
     failed = Atomic.make 0;
     coalesced = Atomic.make 0;
+    batched = Atomic.make 0;
     degraded = Atomic.make 0;
     retries = Atomic.make 0;
     requeued = Atomic.make 0;
@@ -86,6 +91,7 @@ let cell t = function
   | Done -> (t.done_, m_done)
   | Failed -> (t.failed, m_failed)
   | Coalesced -> (t.coalesced, m_coalesced)
+  | Batched -> (t.batched, m_batched)
   | Degraded -> (t.degraded, m_degraded)
   | Retried -> (t.retries, m_retries)
   | Requeued -> (t.requeued, m_requeued)
@@ -113,6 +119,7 @@ let snapshot t =
     s_done = Atomic.get t.done_;
     s_failed = Atomic.get t.failed;
     s_coalesced = Atomic.get t.coalesced;
+    s_batched = Atomic.get t.batched;
     s_degraded = Atomic.get t.degraded;
     s_retries = Atomic.get t.retries;
     s_requeued = Atomic.get t.requeued;
@@ -147,6 +154,7 @@ let snapshot_to_json s =
       ("done", num s.s_done);
       ("failed", num s.s_failed);
       ("coalesced", num s.s_coalesced);
+      ("batched", num s.s_batched);
       ("degraded", num s.s_degraded);
       ("retries", num s.s_retries);
       ("requeued", num s.s_requeued);
@@ -162,6 +170,7 @@ let snapshot_columns s =
     ("serve.done", float_of_int s.s_done);
     ("serve.failed", float_of_int s.s_failed);
     ("serve.coalesced", float_of_int s.s_coalesced);
+    ("serve.batched", float_of_int s.s_batched);
     ("serve.degraded", float_of_int s.s_degraded);
     ("serve.retries", float_of_int s.s_retries);
     ("serve.requeued", float_of_int s.s_requeued);
@@ -170,7 +179,7 @@ let snapshot_columns s =
 let pp_snapshot fmt s =
   Format.fprintf fmt
     "submitted %d  admitted %d  done %d  rejected %d  timed_out %d  failed %d  coalesced %d  \
-     degraded %d  retries %d  requeued %d%s"
+     batched %d  degraded %d  retries %d  requeued %d%s"
     s.s_submitted s.s_admitted s.s_done s.s_rejected s.s_timed_out s.s_failed s.s_coalesced
-    s.s_degraded s.s_retries s.s_requeued
+    s.s_batched s.s_degraded s.s_retries s.s_requeued
     (if conserved s then "" else "  (NOT CONSERVED)")

@@ -14,16 +14,17 @@
     - terminal: [Done] | [Rejected] (queue full, shutdown, or unsupported
       backend/arch) | [Timed_out] (deadline passed in the backlog) |
       [Failed] (retries exhausted).
-    - annotations (orthogonal to the terminal event): [Coalesced] (served
-      by a leader's in-flight run), [Degraded] (served from the unfused
-      baseline), [Retried] (one per retry attempt), [Requeued] (a
-      coalesced follower re-entered the queue after its leader failed
-      transiently — the follower is charged no retry for an attempt it
-      never made).
+    - annotations (orthogonal to the terminal event): [Coalesced] (joined
+      a batch led by another request's run), [Batched] (delivered from a
+      batch of 2+ members — counted once per member, leader included),
+      [Degraded] (served from the unfused baseline), [Retried] (one per
+      retry attempt), [Requeued] (a batch-joined follower re-entered the
+      queue after its leader failed transiently — the follower is charged
+      no retry for an attempt it never made).
 
     Global metric names: [serve.submitted], [serve.admitted],
     [serve.rejected], [serve.timed_out], [serve.done], [serve.failed],
-    [serve.coalesced], [serve.degraded], [serve.retries],
+    [serve.coalesced], [serve.batched], [serve.degraded], [serve.retries],
     [serve.requeued] (counters);
     [serve.queue_depth] (gauge); [serve.latency_seconds],
     [serve.queue_wait_seconds] (histograms). The registry is process-wide
@@ -40,6 +41,7 @@ type event =
   | Done
   | Failed
   | Coalesced
+  | Batched
   | Degraded
   | Retried
   | Requeued
@@ -52,6 +54,7 @@ type snapshot = {
   s_done : int;
   s_failed : int;
   s_coalesced : int;
+  s_batched : int;
   s_degraded : int;
   s_retries : int;
   s_requeued : int;

@@ -6,6 +6,7 @@ type key = {
   sk_name : string;
   sk_graph : string;
   sk_devices : int;
+  sk_class : string;  (* shape-class id, "-" = exact/unclassed *)
 }
 
 type issue = { i_file : string; i_reason : string }
@@ -26,7 +27,11 @@ type t = {
 
 let magic = "spacefusion.plan"
 let format_version = 1
-let current_code_version = "store-v1"
+(* store-v2: keys (and filenames) carry the shape class. v1 entries are
+   rejected as stale — their unclassed plans are indistinguishable from a
+   class representative's, and silently serving one past its guard is
+   exactly the bug the class id exists to prevent. *)
+let current_code_version = "store-v2"
 
 let m_loaded = lazy (Obs.Metrics.counter "store.loaded")
 let m_quarantined = lazy (Obs.Metrics.counter "store.quarantined")
@@ -38,7 +43,8 @@ let filename_of_key k =
   let id =
     Digest.string
       (String.concat "\x00"
-         [ k.sk_backend; k.sk_arch; k.sk_name; k.sk_graph; string_of_int k.sk_devices ])
+         [ k.sk_backend; k.sk_arch; k.sk_name; k.sk_graph; string_of_int k.sk_devices;
+           k.sk_class ])
   in
   Digest.to_hex id ^ ".plan"
 
@@ -63,6 +69,7 @@ let entry_to_string ~code key ~verified plan =
          ("name", J.Str key.sk_name);
          ("graph", J.Str key.sk_graph);
          ("devices", J.Num (float_of_int key.sk_devices));
+         ("class", J.Str key.sk_class);
          ("verified", J.Bool verified);
          ("payload_md5", J.Str payload_md5);
          ("payload", payload);
@@ -107,6 +114,7 @@ let parse_entry ~code text =
                     | Some (J.Num x) when Float.is_integer x && x >= 1.0 -> int_of_float x
                     | _ -> 1
                   in
+                  let cls = match str "class" with Some c -> c | None -> "-" in
                   match (str "payload_md5", J.member "payload" j) with
                   | Some md5, Some payload ->
                       if Digest.to_hex (Digest.string (J.to_string payload)) <> md5 then
@@ -117,7 +125,7 @@ let parse_entry ~code text =
                         | Ok plan ->
                             Entry
                               ( { sk_backend = backend; sk_arch = arch; sk_name = name;
-                                  sk_graph = graph; sk_devices = devices },
+                                  sk_graph = graph; sk_devices = devices; sk_class = cls },
                                 verified, plan ))
                   | _ -> Corrupt "missing payload or checksum")
               | _ -> Corrupt "malformed stamp"))

@@ -28,6 +28,7 @@ type key = {
       (** device count the plan was compiled/costed for; entries written
           before multi-device support carried no [devices] header and
           decode as 1 *)
+  sk_class : string;  (** shape-class id; ["-"] = exact/unclassed *)
 }
 
 type issue = { i_file : string; i_reason : string }

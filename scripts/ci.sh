@@ -76,6 +76,31 @@ if [ "$(extract_counts "$chaos1")" != "$(extract_counts "$chaos2")" ]; then
 fi
 rm -f "$chaos1" "$chaos2"
 
+# Batching determinism gate: two same-seed chaos storms under pow2 shape
+# bucketing (workers=1, so batch formation is a pure function of the seed)
+# must agree byte-for-byte on terminal outcomes and injected faults — the
+# continuous-batching admitter must not make replay schedule-dependent.
+batch1=$(mktemp) && batch2=$(mktemp)
+for f in "$batch1" "$batch2"; do
+    dune exec bin/spacefusion_cli.exe -- chaos -n 300 --rate 0.01 --seed 11 \
+        --workers 1 --bucket pow2 --check > "$f" || {
+        echo "ci: pow2 chaos storm failed its gates" >&2; cat "$f" >&2; exit 1; }
+done
+if [ "$(extract_counts "$batch1")" != "$(extract_counts "$batch2")" ]; then
+    echo "ci: pow2 chaos storm not deterministic across same-seed runs" >&2
+    echo "--- run 1 ---" >&2; extract_counts "$batch1" >&2
+    echo "--- run 2 ---" >&2; extract_counts "$batch2" >&2
+    exit 1
+fi
+rm -f "$batch1" "$batch2"
+
+# Batching goodput gate: the batch bench storms 10x the serve bench's
+# request count through pow2 shape classes and enforces its own floors
+# in-process (>= 5x the exact-bucketing baseline's throughput, warm-path
+# share >= 0.5, zero guard-miss compiles and zero functional executions
+# after the class warm-up) and exits nonzero on any of them.
+dune exec bench/main.exe -- --quick --only batch > /dev/null
+
 # Sharding gate: the multi-device bench enforces its own floors in-process
 # (>= 1.5x simulated latency at a 4-device node on the compute-bound
 # large-batch case, fleet soak conserved with goodput >= 0.9 after at
@@ -172,4 +197,4 @@ if [ "$picks1" != "$picks4" ]; then
     exit 1
 fi
 
-echo "ci: OK (build, tests, serve smoke + 3x soak, deterministic chaos + fleet gates, shard floors, warm-store cold-start + corruption gates, serial/parallel tuner picks identical)"
+echo "ci: OK (build, tests, serve smoke + 3x soak, deterministic chaos + fleet + pow2-batching gates, batch goodput floors, shard floors, warm-store cold-start + corruption gates, serial/parallel tuner picks identical)"

@@ -1,0 +1,296 @@
+(* Property-test gate for shape-class plan compilation and continuous
+   batching (ISSUE 9):
+
+   1. Slice equivalence — batching N row-sliceable requests into one
+      stacked execution is bit-identical, row slice by row slice, to
+      running each request individually through the same compile+execute
+      pipeline. This is the oracle that licenses the server handing one
+      batched run's result to every member.
+   2. Guard totality — every positive dim maps to exactly one shape
+      class, satisfies its own guard, and no other class on the ladder
+      admits it.
+   3. Conservation — submitted = done + rejected + timed_out + failed
+      holds on a [Pow2] server under batched accounting, against both the
+      server's counters and an independent per-ticket tally.
+
+   Plus a deterministic (frozen-clock) server test that three in-class
+   requests actually stack into one sliced batch partitioning the class
+   row space. *)
+
+module SC = Runtime.Shape_class
+module Gen = Check.Gen
+
+let arch = Gpu.Arch.ampere
+
+(* Drop column reductions from a trace: the resulting trace is still a
+   valid build (closure under sublists) and is row-sliceable, so every
+   QCheck case counts instead of being discarded. *)
+let sliceable_trace spec =
+  let t = Gen.trace_of_spec spec in
+  {
+    t with
+    Gen.g_entries =
+      List.filter
+        (fun (e : Gen.entry) ->
+          match e.Gen.e_kind with Gen.KColReduce _ -> false | _ -> true)
+        t.Gen.g_entries;
+  }
+
+(* Compile at the graph's concrete shape and execute functionally; the
+   same pipeline Runtime.Verify drives, returning the output tensors. *)
+let exec ~name graph env =
+  let backend = Backends.Baselines.spacefusion in
+  let plan = backend.Backends.Policy.compile arch ~name graph in
+  let device = Gpu.Device.create () in
+  Gpu.Plan.declare_all plan device;
+  List.iter (fun (n, t) -> Gpu.Device.bind device n t) env;
+  List.iter
+    (fun k -> ignore (Gpu.Exec.run ~mode:Gpu.Exec.Full ~arch device k))
+    plan.Gpu.Plan.p_kernels;
+  List.mapi
+    (fun i _ -> Gpu.Device.tensor device (Printf.sprintf "%s:out%d" name i))
+    (Ir.Graph.outputs graph)
+
+let slice_rows t ~off ~len =
+  let shp = Tensor.shape t in
+  let shp' = Array.copy shp in
+  shp'.(0) <- len;
+  Tensor.init shp' (fun idx ->
+      let idx' = Array.copy idx in
+      idx'.(0) <- idx.(0) + off;
+      Tensor.get t idx')
+
+(* Bitwise equality of member rows [off, off+len) of [batched] against
+   the whole of [solo]: Int64 payload compare, so -0.0 vs 0.0 or NaN
+   payload drift would fail where [=] or allclose would not. *)
+let rows_bit_identical ~off ~len batched solo =
+  let sb = Tensor.shape batched in
+  let row = Tensor.numel batched / sb.(0) in
+  let bb = Tensor.buffer batched and bs = Tensor.buffer solo in
+  Tensor.numel solo = len * row
+  &&
+  try
+    for j = 0 to (len * row) - 1 do
+      if
+        Int64.bits_of_float bb.{(off * row) + j}
+        <> Int64.bits_of_float bs.{j}
+      then raise Exit
+    done;
+    true
+  with Exit -> false
+
+(* ------------------------------------------------------------------ *)
+(* 1. Slice equivalence                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_slice_equivalence =
+  QCheck.Test.make ~count:120
+    ~name:"batched run == individual runs, bit-identical per row slice"
+    QCheck.(
+      quad (int_range 2 8) (int_range 0 99_999) (int_range 1 8) (int_range 1 8))
+    (fun (nodes, seed, r1, r2) ->
+      let t = sliceable_trace { Gen.sp_nodes = nodes; sp_seed = seed } in
+      let members = [ r1; r2 ] in
+      let total = r1 + r2 in
+      let gB = Gen.build (Gen.with_rows t total) in
+      (* Cross-check the generator's notion of sliceable against the
+         runtime's carrier analysis: the batched graph must be sliceable
+         along exactly its stacked leading dim. *)
+      if SC.slice_dim gB <> Some total then
+        QCheck.Test.fail_reportf "slice_dim rejected a sliceable trace: %s"
+          (Gen.to_string t);
+      let env = Ir.Interp.random_env ~seed:7 gB in
+      let outs_b = exec ~name:"batch" gB env in
+      let x0 = List.assoc "x0" env in
+      List.for_all
+        (fun (off, len) ->
+          let gi = Gen.build (Gen.with_rows t len) in
+          let env_i =
+            List.map
+              (fun (n, tens) ->
+                if n = "x0" then (n, slice_rows x0 ~off ~len) else (n, tens))
+              env
+          in
+          let outs_i = exec ~name:"batch" gi env_i in
+          List.for_all2
+            (fun b s -> rows_bit_identical ~off ~len b s)
+            outs_b outs_i)
+        (let off = ref 0 in
+         List.map
+           (fun r ->
+             let o = !off in
+             off := o + r;
+             (o, r))
+           members))
+
+(* ------------------------------------------------------------------ *)
+(* 2. Guard totality                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_guard_total =
+  QCheck.Test.make ~count:500 ~name:"every dim has exactly one admitting class"
+    QCheck.(int_range 1 1_000_000)
+    (fun d ->
+      let c = SC.classify d in
+      let rep = SC.representative c in
+      let admitting =
+        List.filter (fun c' -> SC.guard c' d) (SC.ladder ~max_hi:rep)
+      in
+      SC.guard c d && rep >= d && admitting = [ c ])
+
+(* ------------------------------------------------------------------ *)
+(* 3. Conservation under batched accounting                            *)
+(* ------------------------------------------------------------------ *)
+
+let classify_outcome = function
+  | Serve.Server.Done r -> `Done r
+  | Serve.Server.Rejected _ -> `Rejected
+  | Serve.Server.Timed_out -> `Timed_out
+  | Serve.Server.Failed m -> `Failed m
+
+let model_at trace rows =
+  {
+    Ir.Models.model_name = "gen-batch";
+    subprograms =
+      [ { Ir.Models.sp_name = "g"; graph = Gen.build (Gen.with_rows trace rows); count = 1 } ];
+  }
+
+let prop_conservation =
+  QCheck.Test.make ~count:4 ~name:"submitted = done + rejected + timed_out + failed"
+    QCheck.(int_range 0 99_999)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let trace = sliceable_trace { Gen.sp_nodes = 4; sp_seed = seed } in
+      let cfg =
+        {
+          (Serve.Server.default_config ()) with
+          Serve.Server.workers = 3;
+          queue_capacity = 16;
+          priorities = 2;
+          shapes = SC.Pow2;
+          batch_window_s = 1e-3;
+        }
+      in
+      let s = Serve.Server.start ~config:cfg () in
+      let n = 80 in
+      let tickets =
+        List.init n (fun _ ->
+            (* Mixed in-class rows (all land in (4, 8]) so concurrent
+               requests share a digest and stack; ~10% arrive already
+               expired, and the tight queue exercises rejection. *)
+            let rows = 5 + Random.State.int rng 4 in
+            let priority = Random.State.int rng 2 in
+            let deadline_s =
+              if Random.State.int rng 10 = 0 then Some (-1.0) else None
+            in
+            let w =
+              Runtime.Workload.make ~shapes:SC.Pow2 ~arch
+                Backends.Baselines.pytorch (model_at trace rows)
+            in
+            Serve.Server.submit_w s ~priority ?deadline_s w)
+      in
+      let done_ = ref 0
+      and rejected = ref 0
+      and timed_out = ref 0
+      and failed = ref 0 in
+      List.iter
+        (fun tk ->
+          match classify_outcome (Serve.Server.await tk) with
+          | `Done r ->
+              incr done_;
+              (* Batched accounting: a sliced member's latency still
+                 covers its own queue wait, and its slice is in range. *)
+              if not Serve.Server.(r.r_latency_s >= r.r_queue_s) then
+                QCheck.Test.fail_reportf "latency below queue wait";
+              (match r.Serve.Server.r_rows with
+              | Some (off, len) when off < 0 || len < 1 ->
+                  QCheck.Test.fail_reportf "bad slice (%d, %d)" off len
+              | _ -> ())
+          | `Rejected -> incr rejected
+          | `Timed_out -> incr timed_out
+          | `Failed m -> QCheck.Test.fail_reportf "request failed: %s" m)
+        tickets;
+      Serve.Server.shutdown s;
+      let st = Serve.Server.stats s in
+      Serve.Stats.conserved st
+      && st.Serve.Stats.s_submitted = n
+      && st.Serve.Stats.s_done = !done_
+      && st.Serve.Stats.s_rejected = !rejected
+      && st.Serve.Stats.s_timed_out = !timed_out
+      && st.Serve.Stats.s_failed = !failed
+      && st.Serve.Stats.s_admitted = st.Serve.Stats.s_done + st.Serve.Stats.s_timed_out)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic batch formation                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Frozen clock: the batch window never elapses, so the leader's grow
+   loop only returns when the row total hits the shape-class boundary —
+   all three members are then guaranteed to share one sliced batch,
+   independent of scheduler timing. *)
+let test_batch_partitions_rows () =
+  let trace = sliceable_trace { Gen.sp_nodes = 5; sp_seed = 11 } in
+  let cfg =
+    {
+      (Serve.Server.default_config ()) with
+      Serve.Server.workers = 3;
+      shapes = SC.Pow2;
+      batch_window_s = 60.0;
+      clock = (fun () -> 0.0);
+    }
+  in
+  let s = Serve.Server.start ~config:cfg () in
+  (* Rows 5, 6, 5: all in class (4, 8], stacking to exactly the next
+     boundary 16 = cap, which seals the batch. *)
+  let rows = [ 5; 6; 5 ] in
+  let tickets =
+    List.map
+      (fun r ->
+        ( r,
+          Serve.Server.submit_w s
+            (Runtime.Workload.make ~shapes:SC.Pow2 ~arch Backends.Baselines.pytorch
+               (model_at trace r)) ))
+      rows
+  in
+  let slices =
+    List.map
+      (fun (r, tk) ->
+        match classify_outcome (Serve.Server.await tk) with
+        | `Done resp ->
+            Alcotest.(check int) "all three members delivered together" 3
+              resp.Serve.Server.r_batch;
+            (match resp.Serve.Server.r_rows with
+            | Some (off, len) ->
+                Alcotest.(check int) "slice length is the member's own rows" r len;
+                (off, len)
+            | None -> Alcotest.fail "sliced member delivered without a row slice")
+        | _ -> Alcotest.fail "batched request not served")
+      tickets
+  in
+  Serve.Server.shutdown s;
+  (* The member slices partition [0, 16) without gap or overlap. *)
+  let sorted = List.sort compare slices in
+  let last =
+    List.fold_left
+      (fun expect (off, len) ->
+        Alcotest.(check int) "slices are contiguous" expect off;
+        off + len)
+      0 sorted
+  in
+  Alcotest.(check int) "slices cover the stacked row space" 16 last;
+  let st = Serve.Server.stats s in
+  Alcotest.(check int) "two members joined the leader" 2 st.Serve.Stats.s_coalesced;
+  Alcotest.(check int) "every member counted as batched" 3 st.Serve.Stats.s_batched
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_slice_equivalence; prop_guard_total; prop_conservation ] );
+      ( "server",
+        [
+          Alcotest.test_case "three in-class requests partition one batch" `Quick
+            test_batch_partitions_rows;
+        ] );
+    ]

@@ -129,57 +129,114 @@ let prop_queue_model =
         ops)
 
 (* ------------------------------------------------------------------ *)
-(* Coalesce                                                            *)
+(* Batcher                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let test_coalesce_single_flight () =
-  let c = Serve.Coalesce.create () in
-  let got = ref [] in
-  Alcotest.(check bool) "first join leads" true (Serve.Coalesce.join c ~key:"k" (fun _ -> ()) = `Leader);
-  Alcotest.(check int) "key in flight" 1 (Serve.Coalesce.in_flight c);
-  Alcotest.(check bool) "second join follows" true
-    (Serve.Coalesce.join c ~key:"k" (fun r -> got := ("f1", r) :: !got) = `Follower);
-  Alcotest.(check bool) "third join follows" true
-    (Serve.Coalesce.join c ~key:"k" (fun r -> got := ("f2", r) :: !got) = `Follower);
-  Alcotest.(check bool) "distinct key leads independently" true
-    (Serve.Coalesce.join c ~key:"other" (fun _ -> ()) = `Leader);
-  Alcotest.(check int) "two followers notified" 2 (Serve.Coalesce.resolve c ~key:"k" 42);
-  Alcotest.(check (list (pair string int))) "registration order preserved"
-    [ ("f1", 42); ("f2", 42) ] (List.rev !got);
-  Alcotest.(check int) "resolved key released" 1 (Serve.Coalesce.in_flight c);
-  Alcotest.(check bool) "released key can lead again" true
-    (Serve.Coalesce.join c ~key:"k" (fun _ -> ()) = `Leader);
-  Alcotest.check_raises "resolving an unowned key is a bug"
-    (Invalid_argument "Serve.Coalesce.resolve: key is not in flight") (fun () ->
-      ignore (Serve.Coalesce.resolve c ~key:"never" 0))
+module B = Serve.Batcher
 
-let test_coalesce_concurrent () =
+let test_batcher_single_flight () =
+  (* Shared mode is the identical-request single-flight the coalescer
+     provided: one leader executes, joiners register callbacks and share
+     the leader's result in registration order. *)
+  let c = B.create () in
+  let got = ref [] in
+  let lead key cb = match B.admit c ~key ~mode:B.Shared cb with `Lead b -> Some b | `Join -> None in
+  let b = match lead "k" (fun s -> got := ("leader", s.B.sl_result) :: !got) with
+    | Some b -> b
+    | None -> Alcotest.fail "first admit must lead"
+  in
+  Alcotest.(check int) "key in flight" 1 (B.in_flight c);
+  Alcotest.(check bool) "second admit joins" true
+    (lead "k" (fun s -> got := ("f1", s.B.sl_result) :: !got) = None);
+  Alcotest.(check bool) "third admit joins" true
+    (lead "k" (fun s -> got := ("f2", s.B.sl_result) :: !got) = None);
+  Alcotest.(check bool) "distinct key leads independently" true
+    (lead "other" (fun _ -> ()) <> None);
+  Alcotest.(check int) "three members before delivery" 3 (B.members b);
+  Alcotest.(check int) "two followers notified" 2 (B.deliver c b 42);
+  Alcotest.(check (list (pair string int))) "admission order preserved, leader first"
+    [ ("leader", 42); ("f1", 42); ("f2", 42) ] (List.rev !got);
+  Alcotest.(check int) "delivered key released" 1 (B.in_flight c);
+  Alcotest.(check bool) "released key can lead again" true (lead "k" (fun _ -> ()) <> None)
+
+let test_batcher_concurrent () =
   (* 8 domains race onto one key: exactly one leads; the leader holds the
      result until every loser has registered, so all 7 are demonstrably
-     coalesced onto an in-flight execution. *)
+     batched onto an in-flight execution. *)
   let n = 8 in
-  let c = Serve.Coalesce.create () in
+  let c = B.create () in
   let followers = Atomic.make 0 in
   let leaders = Atomic.make 0 in
   let results = Array.make n (-1) in
   let worker i () =
-    match Serve.Coalesce.join c ~key:"k" (fun r -> results.(i) <- r) with
-    | `Follower -> Atomic.incr followers
-    | `Leader ->
+    match B.admit c ~key:"k" ~mode:B.Shared (fun s -> results.(i) <- s.B.sl_result) with
+    | `Join -> Atomic.incr followers
+    | `Lead b ->
         Atomic.incr leaders;
         while Atomic.get followers < n - 1 do
           Domain.cpu_relax ()
         done;
-        results.(i) <- 42;
-        Alcotest.(check int) "leader delivered to all losers" (n - 1)
-          (Serve.Coalesce.resolve c ~key:"k" 42)
+        Alcotest.(check int) "leader delivered to all losers" (n - 1) (B.deliver c b 42)
   in
   let domains = List.init n (fun i -> Domain.spawn (worker i)) in
   List.iter Domain.join domains;
   Alcotest.(check int) "exactly one leader" 1 (Atomic.get leaders);
-  Alcotest.(check int) "everyone else coalesced" (n - 1) (Atomic.get followers);
+  Alcotest.(check int) "everyone else batched" (n - 1) (Atomic.get followers);
   Array.iteri (fun i r -> Alcotest.(check int) (Printf.sprintf "slot %d served" i) 42 r) results;
-  Alcotest.(check int) "nothing left in flight" 0 (Serve.Coalesce.in_flight c)
+  Alcotest.(check int) "nothing left in flight" 0 (B.in_flight c)
+
+let test_batcher_sliced_rows_and_boundary () =
+  (* Row accounting: members stack their rows up to the class boundary;
+     the boundary seals the batch (a later admit leads afresh) and every
+     member gets its own disjoint row slice. *)
+  let clock = ref 0.0 in
+  let c = B.create ~window_s:10.0 ~clock:(fun () -> !clock) () in
+  let slots = ref [] in
+  let admit tag rows =
+    B.admit c ~key:"k" ~mode:(B.Sliced { rows; cap = 8 }) (fun s -> slots := (tag, s) :: !slots)
+  in
+  let b = match admit "a" 3 with `Lead b -> b | `Join -> Alcotest.fail "a leads" in
+  Alcotest.(check bool) "b joins" true (admit "b" 2 = `Join);
+  Alcotest.(check bool) "c joins and fills the bucket" true (admit "c" 3 = `Join);
+  Alcotest.(check int) "rows stacked" 8 (B.rows b);
+  (* The bucket is full: the next in-class request cannot join this batch
+     even though it has not delivered yet — it leads its own. *)
+  let b2 = match admit "d" 1 with `Lead b2 -> b2 | `Join -> Alcotest.fail "boundary seals" in
+  B.grow c b;  (* sealed at the boundary: returns without waiting out the window *)
+  ignore (B.deliver c b 7);
+  let find tag = List.assoc tag (List.rev !slots) in
+  List.iter
+    (fun (tag, off, len) ->
+      let s = find tag in
+      Alcotest.(check (pair int int)) (tag ^ " slice") (off, len) (s.B.sl_off, s.B.sl_len);
+      Alcotest.(check int) (tag ^ " members") 3 s.B.sl_members;
+      Alcotest.(check int) (tag ^ " rows") 8 s.B.sl_rows;
+      Alcotest.(check bool) (tag ^ " not expired") false s.B.sl_expired)
+    [ ("a", 0, 3); ("b", 3, 2); ("c", 5, 3) ];
+  ignore (B.deliver c b2 9);
+  Alcotest.(check int) "follow-on batch delivered its own result" 9 ((find "d").B.sl_result)
+
+let test_batcher_member_deadlines () =
+  (* Satellite bugfix: each member of a closed batch keeps its own
+     absolute deadline and expires independently at delivery — joining
+     never substitutes the leader's deadline. *)
+  let clock = ref 0.0 in
+  let c = B.create ~window_s:0.0 ~clock:(fun () -> !clock) () in
+  let slots = ref [] in
+  let admit tag deadline =
+    B.admit c ~key:"k" ~mode:(B.Sliced { rows = 1; cap = 8 }) ?deadline (fun s ->
+        slots := (tag, s) :: !slots)
+  in
+  let b = match admit "leader" (Some 10.0) with `Lead b -> b | `Join -> Alcotest.fail "leads" in
+  Alcotest.(check bool) "tight joins" true (admit "tight" (Some 0.5) = `Join);
+  Alcotest.(check bool) "slack joins" true (admit "slack" None = `Join);
+  Alcotest.(check (option (float 1e-9))) "run honors the slackest member" None (B.run_deadline b);
+  clock := 1.0;  (* the run takes long enough to blow only the tight deadline *)
+  ignore (B.deliver c b 1);
+  let find tag = List.assoc tag (List.rev !slots) in
+  Alcotest.(check bool) "leader within budget" false (find "leader").B.sl_expired;
+  Alcotest.(check bool) "tight member expired on its own deadline" true (find "tight").B.sl_expired;
+  Alcotest.(check bool) "deadline-free member served" false (find "slack").B.sl_expired
 
 (* ------------------------------------------------------------------ *)
 (* Server                                                              *)
@@ -513,10 +570,13 @@ let () =
           Alcotest.test_case "capacity bound" `Quick test_queue_capacity;
           Alcotest.test_case "deadline expiry" `Quick test_queue_deadline_expiry;
         ] );
-      ( "coalesce",
+      ( "batcher",
         [
-          Alcotest.test_case "single flight" `Quick test_coalesce_single_flight;
-          Alcotest.test_case "8-way concurrent join" `Quick test_coalesce_concurrent;
+          Alcotest.test_case "shared single flight" `Quick test_batcher_single_flight;
+          Alcotest.test_case "8-way concurrent join" `Quick test_batcher_concurrent;
+          Alcotest.test_case "sliced rows + class boundary" `Quick
+            test_batcher_sliced_rows_and_boundary;
+          Alcotest.test_case "per-member deadlines" `Quick test_batcher_member_deadlines;
         ] );
       ( "server",
         [

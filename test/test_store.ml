@@ -32,6 +32,7 @@ let key_of name g =
     sk_name = name;
     sk_graph = Digest.to_hex (Digest.string (Ir.Parse.to_dsl g));
     sk_devices = 1;
+    sk_class = "-";
   }
 
 (* Structural plan equality via the codec's canonical JSON: two plans that
