@@ -1525,6 +1525,285 @@ let shard_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Overload: shedding, blast-radius isolation, memory budgets (JSON)   *)
+(* ------------------------------------------------------------------ *)
+
+(* The robustness story under load the server cannot absorb, in four
+   deterministic phases (frozen clock, one submitting thread, seeded
+   poison draws — two same-seed runs must agree byte-for-byte on the
+   storm's outcome and fault objects, which scripts/ci.sh diffs):
+
+   A. Overload storm — wave 1 warms the per-key service-time EWMAs, then
+      a paused-queue wave at ~5x the deadline's capacity: infeasible
+      requests shed at admission, everything admitted is served, the
+      1% poisoned requests fail alone. Gates: conservation, shed > 0,
+      goodput (done over non-shed submissions) >= 0.8, zero innocent
+      failures, and admitted = done + failed (a shed request never
+      occupied the queue).
+   B. Bisection probe — three in-class requests (rows 5+6+5 = the cap-16
+      class boundary) stack into one batch whose seed is chosen so
+      exactly one member draws poison: the batch bisects, the poisoned
+      member is isolated and fails, both clean members are served
+      bit-for-bit from passing sub-runs.
+   C. Memory budget — a byte budget far below the working set trips the
+      typed resource_exhausted fault on every fused attempt; the server
+      answers by halving the batch cap and serving from the unfused
+      relief path. Gates: all served (degraded), budget trips > 0, cap
+      shifted.
+   D. Quarantine — every request on one key poisoned: three offenses
+      fail, then the key is quarantined and further requests resolve
+      without executing. *)
+let overload () =
+  let arch = Gpu.Arch.ampere in
+  let backend = B.spacefusion in
+  Obs.Metrics.reset ();
+  let counter name =
+    match Obs.Metrics.find name with Some (Obs.Metrics.Counter c) -> c | _ -> 0
+  in
+  let frozen () = 0.0 in
+  let one name g =
+    { Ir.Models.model_name = name; subprograms = [ { Ir.Models.sp_name = "g"; graph = g; count = 1 } ] }
+  in
+  let models =
+    [
+      one "ln" (Ir.Models.layernorm_graph ~m:128 ~n:128);
+      one "rms" (Ir.Models.rmsnorm_graph ~m:128 ~n:128);
+      one "softmax" (Ir.Models.softmax_graph ~m:128 ~n:128);
+      one "mlp" (Ir.Models.mlp ~layers:2 ~m:32 ~n:128 ~k:128);
+      one "sm-gemm" (Ir.Models.softmax_gemm ~m:32 ~l:128 ~n:64);
+      one "bn" (Ir.Models.batchnorm_graph ~m:128 ~n:128);
+    ]
+  in
+  let nth_model i = List.nth models (i mod List.length models) in
+  let seed = 11 and poison = 0.01 in
+  (* -- Phase A: seeded overload storm ------------------------------- *)
+  let n2 = if !quick then 150 else 300 in
+  let plan =
+    Fault.Plan.make
+      ~rates:{ Fault.Plan.zero_rates with Fault.Plan.poison_request = poison }
+      ~seed ()
+  in
+  let cfg =
+    {
+      (Serve.Server.default_config ()) with
+      Serve.Server.workers = 1;
+      queue_capacity = n2 + 16;
+      clock = frozen;
+      fault_plan = Some plan;
+      shed_deadlines = true;
+      quarantine_threshold = 3;
+      backoff_s = 1e-6;
+      backoff_cap_s = 1e-5;
+    }
+  in
+  let s = Serve.Server.start ~cache:(Runtime.Plan_cache.create ()) ~config:cfg () in
+  let wave1 = List.map (fun m -> Serve.Server.submit s ~arch backend m) models in
+  List.iter
+    (fun tk ->
+      match Serve.Server.await tk with
+      | Serve.Server.Done _ -> ()
+      | _ ->
+          Printf.eprintf "overload: warm wave request not served\n";
+          exit 1)
+    wave1;
+  (* The storm's deadline is sized from the warmed estimates themselves:
+     admit roughly n2/5 worth of backlog, so the wave is 5x what the
+     deadline can absorb regardless of model mix. *)
+  let sh = Serve.Server.shed s in
+  let keys =
+    List.map
+      (fun m ->
+        Runtime.Workload.digest
+          (Runtime.Workload.make ~devices:1 ~shapes:cfg.Serve.Server.shapes ~arch backend m))
+      models
+  in
+  let ests = List.filter_map (fun k -> Serve.Shed.estimate sh ~key:k) keys in
+  if List.length ests <> List.length models then begin
+    Printf.eprintf "overload: warm wave left %d/%d keys without estimates\n"
+      (List.length models - List.length ests)
+      (List.length models);
+    exit 1
+  end;
+  let mean_svc = List.fold_left ( +. ) 0.0 ests /. float_of_int (List.length ests) in
+  let deadline_s = mean_svc *. float_of_int (n2 / 5) in
+  (* Paused queue: the backlog is static during submission, so each shed
+     decision is a pure function of submit order. *)
+  Serve.Server.pause s;
+  let wave2 =
+    List.init n2 (fun i -> Serve.Server.submit s ~deadline_s ~arch backend (nth_model i))
+  in
+  Serve.Server.resume s;
+  let shed_n = ref 0 and done2 = ref 0 and failed2 = ref 0 in
+  List.iter
+    (fun tk ->
+      match Serve.Server.await tk with
+      | Serve.Server.Done _ -> incr done2
+      | Serve.Server.Shed _ -> incr shed_n
+      | Serve.Server.Failed _ -> incr failed2
+      | Serve.Server.Quarantined -> ()
+      | Serve.Server.Rejected _ | Serve.Server.Timed_out ->
+          Printf.eprintf "overload: storm request rejected/timed out under frozen clock\n";
+          exit 1)
+    wave2;
+  Serve.Server.shutdown s;
+  let st = Serve.Server.stats s in
+  let poisons_a = counter "fault.poison_requests" in
+  let faults_obj =
+    Printf.sprintf "{\"poison_requests\":%d,\"resource_exhausted\":%d}" poisons_a
+      (counter "fault.resource_exhausted")
+  in
+  let outcomes_obj = Obs.Json.to_string (Serve.Stats.snapshot_to_json st) in
+  let denom = st.Serve.Stats.s_submitted - st.Serve.Stats.s_shed - st.Serve.Stats.s_quarantined in
+  let goodput = if denom <= 0 then 1.0 else float_of_int st.Serve.Stats.s_done /. float_of_int denom in
+  let innocent = st.Serve.Stats.s_failed - poisons_a in
+  if not (Serve.Stats.conserved st) then begin
+    Printf.eprintf "overload: accounting violated\n";
+    exit 1
+  end;
+  if st.Serve.Stats.s_shed = 0 then begin
+    Printf.eprintf "overload: storm shed nothing — not an overload\n";
+    exit 1
+  end;
+  if goodput < 0.8 then begin
+    Printf.eprintf "overload: goodput %.3f below 0.8\n" goodput;
+    exit 1
+  end;
+  if innocent <> 0 then begin
+    Printf.eprintf "overload: %d non-poisoned request(s) failed\n" innocent;
+    exit 1
+  end;
+  if st.Serve.Stats.s_admitted <> st.Serve.Stats.s_done + st.Serve.Stats.s_failed then begin
+    Printf.eprintf "overload: shed/quarantined requests leaked into the queue\n";
+    exit 1
+  end;
+  (* -- Phase B: bisection probe ------------------------------------- *)
+  (* Scan for a seed whose poison draws hit exactly one of the three
+     request streams, so the probe's verdict is known a priori. *)
+  let probe_rate = 0.4 in
+  let probe_seed =
+    let draws s =
+      let p =
+        Fault.Plan.make
+          ~rates:{ Fault.Plan.zero_rates with Fault.Plan.poison_request = probe_rate }
+          ~seed:s ()
+      in
+      List.filter (fun i -> Fault.Plan.poisoned p ~request:i) [ 0; 1; 2 ]
+    in
+    let rec find s = if List.length (draws s) = 1 then s else find (s + 1) in
+    find 1
+  in
+  let plan_b =
+    Fault.Plan.make
+      ~rates:{ Fault.Plan.zero_rates with Fault.Plan.poison_request = probe_rate }
+      ~seed:probe_seed ()
+  in
+  let cfg_b =
+    {
+      (Serve.Server.default_config ()) with
+      Serve.Server.workers = 2;
+      queue_capacity = 8;
+      clock = frozen;
+      fault_plan = Some plan_b;
+      shapes = Runtime.Shape_class.Pow2;
+    }
+  in
+  let isolated0 = counter "batch.isolated" and bisections0 = counter "batch.bisections" in
+  let sb = Serve.Server.start ~cache:(Runtime.Plan_cache.create ()) ~config:cfg_b () in
+  let fam r = one "probe-ln" (Ir.Models.layernorm_graph ~m:r ~n:64) in
+  (* 5 + 6 + 5 = 16 = the (4,8] class's batch cap: the third member seals
+     the batch at the boundary, which is what lets the leader's grow
+     return under a frozen clock. *)
+  let probe_tickets = List.map (fun r -> Serve.Server.submit sb ~arch backend (fam r)) [ 5; 6; 5 ] in
+  let probe_done = ref 0 and probe_failed = ref 0 in
+  List.iter
+    (fun tk ->
+      match Serve.Server.await tk with
+      | Serve.Server.Done _ -> incr probe_done
+      | Serve.Server.Failed _ -> incr probe_failed
+      | _ ->
+          Printf.eprintf "overload: probe request neither served nor failed\n";
+          exit 1)
+    probe_tickets;
+  Serve.Server.shutdown sb;
+  let isolated = counter "batch.isolated" - isolated0 in
+  if !probe_done <> 2 || !probe_failed <> 1 || isolated <> 1
+     || counter "batch.bisections" - bisections0 < 1
+  then begin
+    Printf.eprintf
+      "overload: bisection probe expected 2 served / 1 isolated, got %d served %d failed %d \
+       isolated\n"
+      !probe_done !probe_failed isolated;
+    exit 1
+  end;
+  (* -- Phase C: memory budget --------------------------------------- *)
+  let trips0 = counter "arena.budget_trips" in
+  let cfg_c =
+    {
+      (Serve.Server.default_config ()) with
+      Serve.Server.workers = 1;
+      queue_capacity = 16;
+      clock = frozen;
+      arena_budget_bytes = Some 1024;
+    }
+  in
+  let sc = Serve.Server.start ~cache:(Runtime.Plan_cache.create ()) ~config:cfg_c () in
+  let n3 = 8 in
+  let budget_tickets = List.init n3 (fun i -> Serve.Server.submit sc ~arch backend (nth_model i)) in
+  List.iter
+    (fun tk ->
+      match Serve.Server.await tk with
+      | Serve.Server.Done _ -> ()
+      | _ ->
+          Printf.eprintf "overload: budgeted request not served from the relief path\n";
+          exit 1)
+    budget_tickets;
+  let cap_shift = Serve.Server.batch_cap_shift sc in
+  Serve.Server.shutdown sc;
+  let budget_trips = counter "arena.budget_trips" - trips0 in
+  if budget_trips < 1 || cap_shift < 1 then begin
+    Printf.eprintf "overload: %dB budget tripped %d time(s), cap shift %d — budget never bit\n"
+      1024 budget_trips cap_shift;
+    exit 1
+  end;
+  (* -- Phase D: quarantine ------------------------------------------ *)
+  let plan_d =
+    Fault.Plan.make
+      ~rates:{ Fault.Plan.zero_rates with Fault.Plan.poison_request = 1.0 }
+      ~seed ()
+  in
+  let cfg_d =
+    {
+      (Serve.Server.default_config ()) with
+      Serve.Server.workers = 1;
+      queue_capacity = 8;
+      clock = frozen;
+      fault_plan = Some plan_d;
+      quarantine_threshold = 3;
+    }
+  in
+  let sd = Serve.Server.start ~cache:(Runtime.Plan_cache.create ()) ~config:cfg_d () in
+  let q_failed = ref 0 and q_quarantined = ref 0 in
+  for _ = 1 to 5 do
+    match Serve.Server.await (Serve.Server.submit sd ~arch backend (List.hd models)) with
+    | Serve.Server.Failed _ -> incr q_failed
+    | Serve.Server.Quarantined -> incr q_quarantined
+    | _ ->
+        Printf.eprintf "overload: all-poison request neither failed nor quarantined\n";
+        exit 1
+  done;
+  Serve.Server.shutdown sd;
+  if !q_failed <> 3 || !q_quarantined <> 2 then begin
+    Printf.eprintf "overload: quarantine expected 3 offenses then 2 quarantined, got %d/%d\n"
+      !q_failed !q_quarantined;
+    exit 1
+  end;
+  Printf.printf
+    "{\"experiment\":\"overload\",\"quick\":%b,\"seed\":%d,\"poison_rate\":%g,\"wave1\":%d,\"wave2\":%d,\"deadline_s\":%.9f,\"outcomes\":%s,\"faults\":%s,\"goodput_under_overload\":%.4f,\"innocent_failures\":%d,\"probe\":{\"seed\":%d,\"served\":%d,\"failed\":%d,\"isolated\":%d},\"budget\":{\"bytes\":1024,\"trips\":%d,\"cap_shift\":%d},\"quarantine\":{\"offenses\":%d,\"quarantined\":%d}}\n"
+    !quick seed poison (List.length models) n2 deadline_s outcomes_obj faults_obj goodput
+    innocent probe_seed !probe_done !probe_failed isolated budget_trips cap_shift !q_failed
+    !q_quarantined
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler itself                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1586,6 +1865,7 @@ let experiments =
     ("chaos", "Chaos: goodput & tail latency under injected faults (JSON)", chaos_bench);
     ("batch", "Continuous batching: mixed-shape storm at 10x vs exact baseline (JSON)", batch_bench);
     ("shard", "Multi-device sharding: node scaling + fleet-death soak (JSON)", shard_bench);
+    ("overload", "Overload control: shedding, batch bisection, memory budgets, quarantine (JSON)", overload);
     ("verify", "Differential verification: fuzz + seeded-defect corpus gate (JSON)", verify);
     ("micro", "Execution engine: kernel sims/sec old-vs-new, serve p50/p99, compile latency (JSON)", micro);
     ("bechamel", "Compiler micro-benchmarks", bechamel_compile);

@@ -487,7 +487,8 @@ let chaos_cmd =
      shape (one worker, no deadlines, queue as large as the request count)
      removes every clock dependence from the terminal accounting, which is
      what lets scripts/ci.sh diff two same-seed runs byte-for-byte. *)
-  let run arch requests rate seed workers retries floor require_recovery check devices bucket telemetry_dir pretty =
+  let run arch requests rate poison resource arena_budget_mb seed workers retries floor
+      require_recovery check devices bucket telemetry_dir pretty =
     let models = mini_zoo () in
     let backend = Backends.Baselines.spacefusion in
     Obs.Metrics.reset ();
@@ -495,7 +496,7 @@ let chaos_cmd =
       Obs.Trace.set_enabled true;
       Obs.Trace.reset ()
     end;
-    let plan = Fault.Plan.make ~rates:(Fault.Plan.storm ~rate ()) ~seed () in
+    let plan = Fault.Plan.make ~rates:(Fault.Plan.storm ~poison ~resource ~rate ()) ~seed () in
     let config =
       {
         (Serve.Server.default_config ()) with
@@ -508,6 +509,7 @@ let chaos_cmd =
         breaker = { Serve.Breaker.threshold = 1; cooldown_s = 0.0 };
         devices;
         shapes = bucket;
+        arena_budget_bytes = Option.map (fun mb -> mb * 1024 * 1024) arena_budget_mb;
       }
     in
     let cache = Runtime.Plan_cache.create () in
@@ -526,9 +528,13 @@ let chaos_cmd =
     let counter name =
       match Obs.Metrics.find name with Some (Obs.Metrics.Counter n) -> n | _ -> 0
     in
+    (* Shed and quarantined requests resolved without executing by design:
+       goodput measures what the server did with the load it accepted. *)
     let goodput =
-      if st.Serve.Stats.s_submitted = 0 then 1.0
-      else float_of_int st.Serve.Stats.s_done /. float_of_int st.Serve.Stats.s_submitted
+      let denom =
+        st.Serve.Stats.s_submitted - st.Serve.Stats.s_shed - st.Serve.Stats.s_quarantined
+      in
+      if denom <= 0 then 1.0 else float_of_int st.Serve.Stats.s_done /. float_of_int denom
     in
     let opened = counter "breaker.opened" and closed = counter "breaker.closed" in
     let recovery = opened >= 1 && counter "breaker.half_opened" >= 1 && closed >= 1 in
@@ -563,6 +569,8 @@ let chaos_cmd =
                 ("device_deaths", num (counter "fault.device_deaths"));
                 ("smem_evictions", num (counter "fault.smem_evictions"));
                 ("latency_spikes", num (counter "fault.latency_spikes"));
+                ("resource_exhausted", num (counter "fault.resource_exhausted"));
+                ("poison_requests", num (counter "fault.poison_requests"));
               ] );
           ( "breaker",
             Obs.Json.Obj
@@ -626,7 +634,11 @@ let chaos_cmd =
           Printf.eprintf "chaos --check: emitted report does not parse: %s\n" msg;
           exit 1
       | Ok j -> (
-          match Obs.Report.validate ~required_spans:[ "serve.request" ] j with
+          match
+            Obs.Report.validate ~required_spans:[ "serve.request" ]
+              ~required_metrics:[ "serve.shed"; "serve.quarantined" ]
+              j
+          with
           | Ok () -> prerr_endline "chaos --check: OK"
           | Error msg ->
               Printf.eprintf "chaos --check: %s\n" msg;
@@ -640,6 +652,26 @@ let chaos_cmd =
     Arg.(
       value & opt float 0.01
       & info [ "rate" ] ~doc:"total per-launch fault probability, split across the taxonomy")
+  in
+  let poison =
+    Arg.(
+      value & opt float 0.0
+      & info [ "poison" ]
+          ~doc:
+            "per-request poison_request probability (member-attributable payload failures; \
+             exercises batch bisection and quarantine)")
+  in
+  let resource =
+    Arg.(
+      value & opt float 0.0
+      & info [ "resource" ]
+          ~doc:"additional per-launch resource_exhausted probability (memory-pressure faults)")
+  in
+  let arena_budget_mb =
+    Arg.(
+      value & opt (some int) None
+      & info [ "arena-budget-mb" ]
+          ~doc:"hard per-attempt tensor-arena byte budget, in MiB (default: unbudgeted)")
   in
   let seed = Cli_common.seed_arg ~default:11 ~doc:"fault-plan seed; fixes the whole storm" in
   let workers =
@@ -668,9 +700,9 @@ let chaos_cmd =
           breakers and degradation under load; JSON report; exits 1 on accounting violations or \
           goodput below the floor")
     Term.(
-      const run $ arch_arg $ requests $ rate $ seed $ workers $ retries $ floor $ require_recovery
-      $ check $ Cli_common.devices_arg $ Cli_common.bucket_arg $ telemetry_arg
-      $ Cli_common.pretty_arg)
+      const run $ arch_arg $ requests $ rate $ poison $ resource $ arena_budget_mb $ seed
+      $ workers $ retries $ floor $ require_recovery $ check $ Cli_common.devices_arg
+      $ Cli_common.bucket_arg $ telemetry_arg $ Cli_common.pretty_arg)
 
 (* warm ------------------------------------------------------------------- *)
 

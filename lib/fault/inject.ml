@@ -21,12 +21,20 @@ let m_device = lazy (Obs.Metrics.counter "fault.device_errors")
 let m_death = lazy (Obs.Metrics.counter "fault.device_deaths")
 let m_smem = lazy (Obs.Metrics.counter "fault.smem_evictions")
 let m_spike = lazy (Obs.Metrics.counter "fault.latency_spikes")
+let m_poison = lazy (Obs.Metrics.counter "fault.poison_requests")
+let m_resource = lazy (Obs.Metrics.counter "fault.resource_exhausted")
 
 let kind_cell = function
   | Plan.Launch_failure -> m_launch
   | Plan.Device_error -> m_device
   | Plan.Device_death -> m_death
   | Plan.Smem_eviction -> m_smem
+  | Plan.Poison_request -> m_poison
+  | Plan.Resource_exhausted -> m_resource
+
+let record kind =
+  Obs.Metrics.incr (Lazy.force m_injected);
+  Obs.Metrics.incr (Lazy.force (kind_cell kind))
 
 let raise_fault t kind ~kernel ~seq =
   t.nfaults <- t.nfaults + 1;

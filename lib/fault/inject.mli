@@ -42,3 +42,10 @@ val last_slowdown : t -> float
 
 val faults : t -> int
 (** Faults this injector has raised. *)
+
+val record : Plan.kind -> unit
+(** Count a fault raised outside any injector stream — a server-level
+    poison detection or an arena budget trip — into the same [fault.*]
+    metrics ([fault.injected] plus the kind's counter, here
+    [fault.poison_requests] / [fault.resource_exhausted]) so chaos
+    reports and determinism diffs see every kind in one place. *)

@@ -1,17 +1,26 @@
-type severity = Transient | Fatal | Degraded
+type severity = Transient | Fatal | Degraded | Poisoned
 
-type kind = Launch_failure | Device_error | Device_death | Smem_eviction
+type kind =
+  | Launch_failure
+  | Device_error
+  | Device_death
+  | Smem_eviction
+  | Poison_request
+  | Resource_exhausted
 
 let severity_of_kind = function
   | Launch_failure | Device_error -> Transient
   | Device_death -> Fatal
-  | Smem_eviction -> Degraded
+  | Smem_eviction | Resource_exhausted -> Degraded
+  | Poison_request -> Poisoned
 
 let kind_to_string = function
   | Launch_failure -> "launch_failure"
   | Device_error -> "device_error"
   | Device_death -> "device_death"
   | Smem_eviction -> "smem_eviction"
+  | Poison_request -> "poison_request"
+  | Resource_exhausted -> "resource_exhausted"
 
 type fault = { f_kind : kind; f_kernel : string; f_seq : int }
 
@@ -36,6 +45,8 @@ type rates = {
   smem_eviction : float;
   latency_spike : float;
   spike_mult : float;
+  resource_exhausted : float;
+  poison_request : float;
 }
 
 let zero_rates =
@@ -46,9 +57,14 @@ let zero_rates =
     smem_eviction = 0.0;
     latency_spike = 0.0;
     spike_mult = 1.0;
+    resource_exhausted = 0.0;
+    poison_request = 0.0;
   }
 
-let storm ?(spike_mult = 4.0) ~rate () =
+let storm ?(spike_mult = 4.0) ?(poison = 0.0) ?(resource = 0.0) ~rate () =
+  (* The legacy five-way split of [rate] is unchanged so existing seeded
+     storms replay bit-identically; the two new kinds ride as separate,
+     additive rates that default to zero. *)
   {
     launch_failure = 0.40 *. rate;
     device_error = 0.25 *. rate;
@@ -56,10 +72,13 @@ let storm ?(spike_mult = 4.0) ~rate () =
     smem_eviction = 0.10 *. rate;
     latency_spike = 0.20 *. rate;
     spike_mult;
+    resource_exhausted = resource;
+    poison_request = poison;
   }
 
 let total_rate r =
   r.launch_failure +. r.device_error +. r.device_death +. r.smem_eviction +. r.latency_spike
+  +. r.resource_exhausted
 
 type t = { p_seed : int; p_rates : rates; p_total : float }
 
@@ -67,7 +86,8 @@ let make ?(rates = zero_rates) ~seed () =
   let nonneg = [
     ("launch_failure", rates.launch_failure); ("device_error", rates.device_error);
     ("device_death", rates.device_death); ("smem_eviction", rates.smem_eviction);
-    ("latency_spike", rates.latency_spike);
+    ("latency_spike", rates.latency_spike); ("resource_exhausted", rates.resource_exhausted);
+    ("poison_request", rates.poison_request);
   ] in
   List.iter
     (fun (n, v) ->
@@ -79,6 +99,9 @@ let make ?(rates = zero_rates) ~seed () =
     invalid_arg (Printf.sprintf "Fault.Plan.make: rates sum to %g > 1" total);
   if rates.spike_mult < 1.0 then
     invalid_arg (Printf.sprintf "Fault.Plan.make: spike_mult %g < 1" rates.spike_mult);
+  if rates.poison_request > 1.0 then
+    invalid_arg
+      (Printf.sprintf "Fault.Plan.make: poison_request %g > 1" rates.poison_request);
   { p_seed = seed; p_rates = rates; p_total = total }
 
 let seed t = t.p_seed
@@ -114,15 +137,26 @@ let decide t ~stream ~seq =
     let c3 = c2 +. r.device_error in
     let c4 = c3 +. r.smem_eviction in
     let c5 = c4 +. r.latency_spike in
+    let c6 = c5 +. r.resource_exhausted in
     if u < c1 then Fail Device_death
     else if u < c2 then Fail Launch_failure
     else if u < c3 then Fail Device_error
     else if u < c4 then Fail Smem_eviction
     else if u < c5 then Slow r.spike_mult
+    else if u < c6 then Fail Resource_exhausted
     else Pass
   end
 
 let schedule t ~stream ~n = List.init n (fun seq -> decide t ~stream ~seq)
+
+(* Poison draws live in their own stream namespace, far above any launch
+   injection stream (requests use [stream lsl 8 lor attempt], fleet devices
+   [1 lsl 30 + i]), so adding a poison rate never perturbs launch draws. *)
+let poison_stream_base = 1 lsl 40
+
+let poisoned t ~request =
+  if t.p_rates.poison_request <= 0.0 then false
+  else uniform t ~stream:(poison_stream_base + request) ~seq:0 < t.p_rates.poison_request
 
 let decision_to_string = function
   | Pass -> "pass"

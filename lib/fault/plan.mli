@@ -17,12 +17,19 @@ type severity =
   | Transient  (** retry the same path; the next attempt may succeed *)
   | Fatal  (** the device is gone; reroute to a fresh device/path *)
   | Degraded  (** resource pressure; prefer the cheaper unfused path *)
+  | Poisoned
+      (** the request payload itself is bad: retrying or rerouting cannot
+          help, and in a batch only the poisoned member should fail *)
 
 type kind =
   | Launch_failure  (** the kernel never started ([Transient]) *)
   | Device_error  (** transient ECC-style execution error ([Transient]) *)
   | Device_death  (** persistent: every later launch on the stream fails ([Fatal]) *)
   | Smem_eviction  (** shared-memory pressure killed the tile ([Degraded]) *)
+  | Poison_request  (** member-attributable bad payload ([Poisoned]) *)
+  | Resource_exhausted
+      (** a memory budget was exceeded; shrink the work, don't retry it
+          at the same size ([Degraded]) *)
 
 val severity_of_kind : kind -> severity
 val kind_to_string : kind -> string
@@ -45,6 +52,10 @@ type rates = {
   smem_eviction : float;
   latency_spike : float;  (** per-launch probability of a slowdown *)
   spike_mult : float;  (** latency multiplier of a spike (>= 1) *)
+  resource_exhausted : float;  (** per-launch probability of {!Resource_exhausted} *)
+  poison_request : float;
+      (** per-{e request} probability of {!Poison_request} — drawn once per
+          request id via {!poisoned}, never per launch *)
 }
 
 val zero_rates : rates
@@ -52,14 +63,18 @@ val zero_rates : rates
     every launch without drawing, so an execution is bit-identical to one
     with no plan attached at all. *)
 
-val storm : ?spike_mult:float -> rate:float -> unit -> rates
-(** Split one total per-launch fault probability across the taxonomy in
-    fixed proportions (40% launch failure, 25% device error, 5% device
+val storm : ?spike_mult:float -> ?poison:float -> ?resource:float -> rate:float -> unit -> rates
+(** Split one total per-launch fault probability across the legacy taxonomy
+    in fixed proportions (40% launch failure, 25% device error, 5% device
     death, 10% smem eviction, 20% latency spike) — the mix the [chaos]
-    CLI and bench drive. [spike_mult] defaults to 4. *)
+    CLI and bench drive. [spike_mult] defaults to 4. [poison] and
+    [resource] (both default 0) are additive rates for the two newer
+    kinds; leaving them at 0 keeps the storm bit-identical to one built
+    before those kinds existed. *)
 
 val total_rate : rates -> float
-(** Sum of the five probabilities. *)
+(** Sum of the per-launch probabilities (poison is per-request and not
+    included). *)
 
 type t
 
@@ -83,5 +98,11 @@ val decide : t -> stream:int -> seq:int -> decision
 val schedule : t -> stream:int -> n:int -> decision list
 (** The first [n] decisions of a stream — the reproducible fault schedule
     (determinism tests compare two of these for equality). *)
+
+val poisoned : t -> request:int -> bool
+(** Whether request [request] carries a poisoned payload: a pure draw on a
+    dedicated stream namespace disjoint from every launch-injection
+    stream, so the same seed always poisons the same request ids and a
+    zero [poison_request] rate returns [false] without hashing. *)
 
 val decision_to_string : decision -> string

@@ -29,7 +29,7 @@ let pp fmt r =
               h_max)
     r.rp_metrics
 
-let validate ?(required_spans = []) json =
+let validate ?(required_spans = []) ?(required_metrics = []) json =
   let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let rec check_spans path = function
@@ -71,10 +71,15 @@ let validate ?(required_spans = []) json =
     | None -> Error "profile: no \"spans\" field"
   in
   let* () = check_spans "" spans in
-  let* () =
+  let* metric_names =
     match Json.member "metrics" json with
-    | Some (Json.Obj _) -> Ok ()
+    | Some (Json.Obj fields) -> Ok (List.map fst fields)
     | _ -> Error "profile: no \"metrics\" object"
+  in
+  let* () =
+    let missing = List.filter (fun n -> not (List.mem n metric_names)) required_metrics in
+    if missing = [] then Ok ()
+    else Error (Printf.sprintf "profile: missing metric(s): %s" (String.concat ", " missing))
   in
   let missing = List.filter (fun n -> not (Hashtbl.mem seen n)) required_spans in
   if missing = [] then Ok ()

@@ -17,9 +17,13 @@ val to_json : ?extra:(string * Json.t) list -> t -> Json.t
 
 val pp : Format.formatter -> t -> unit
 
-val validate : ?required_spans:string list -> Json.t -> (unit, string) result
+val validate :
+  ?required_spans:string list ->
+  ?required_metrics:string list ->
+  Json.t ->
+  (unit, string) result
 (** Structural check of an emitted profile document (CI's smoke gate and
     the round-trip test): a ["spans"] array of well-formed span nodes with
-    [count >= 1] and [total_s >= 0] at every depth, a ["metrics"] object,
-    and every name in [required_spans] present somewhere in the span
-    tree. *)
+    [count >= 1] and [total_s >= 0] at every depth, a ["metrics"] object
+    containing every name in [required_metrics], and every name in
+    [required_spans] present somewhere in the span tree. *)

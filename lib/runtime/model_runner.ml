@@ -163,14 +163,15 @@ let run_workload_r ?cache ?inject ?arena ?(functional = `Never) (w : Workload.t)
     | exception Core.Spacefusion.Unschedulable msg ->
         Error (Core.Spacefusion.Error.Unschedulable msg)
 
-type fault_action = Retry | Reroute | Degrade | No_fault
+type fault_action = Retry | Reroute | Degrade | Isolate | No_fault
 
 let classify_exn = function
   | Fault.Plan.Injected f -> (
       match Fault.Plan.severity_of_kind f.Fault.Plan.f_kind with
       | Fault.Plan.Transient -> Retry
       | Fault.Plan.Fatal -> Reroute
-      | Fault.Plan.Degraded -> Degrade)
+      | Fault.Plan.Degraded -> Degrade
+      | Fault.Plan.Poisoned -> Isolate)
   | _ -> No_fault
 
 (* Legacy positional entry points: thin wrappers over the workload API.

@@ -66,6 +66,9 @@ type fault_action =
   | Retry  (** transient: retry the same path *)
   | Reroute  (** the device is dead: rerun on a fresh stream/device *)
   | Degrade  (** resource pressure: prefer the cheaper unfused path *)
+  | Isolate
+      (** the request payload is poisoned: fail only that member, never
+          the batch it rode in *)
   | No_fault  (** not an injected fault *)
 
 val classify_exn : exn -> fault_action

@@ -16,6 +16,23 @@ type 'r member = {
   mb_deadline : float option;
   mb_off : int;
   mb_len : int;
+  mb_tag : int;
+}
+
+type member_view = {
+  mv_index : int;
+  mv_rows : int;
+  mv_off : int;
+  mv_deadline : float option;
+  mv_tag : int;
+}
+
+type 'r delivery = {
+  dv_result : 'r;
+  dv_batch : int;
+  dv_rows : int;
+  dv_off : int;
+  dv_len : int;
 }
 
 type state = Open | Sealed | Delivered
@@ -74,7 +91,7 @@ let joinable t b mode =
           cap = cap' && b.bt_rows + rows <= cap && members b < t.max_members)
   | Sealed, Sliced _ -> false
 
-let admit t ~key ~mode ?deadline cb =
+let admit t ~key ~mode ?deadline ?(tag = 0) cb =
   locked t (fun () ->
       let lead () =
         let b =
@@ -83,7 +100,16 @@ let admit t ~key ~mode ?deadline cb =
             bt_mode = mode;
             bt_opened = t.clock ();
             bt_state = Open;
-            bt_members = [ { mb_cb = cb; mb_deadline = deadline; mb_off = 0; mb_len = mode_rows mode } ];
+            bt_members =
+              [
+                {
+                  mb_cb = cb;
+                  mb_deadline = deadline;
+                  mb_off = 0;
+                  mb_len = mode_rows mode;
+                  mb_tag = tag;
+                };
+              ];
             bt_rows = mode_rows mode;
           }
         in
@@ -93,7 +119,13 @@ let admit t ~key ~mode ?deadline cb =
       match Hashtbl.find_opt t.table key with
       | Some b when joinable t b mode ->
           b.bt_members <-
-            { mb_cb = cb; mb_deadline = deadline; mb_off = b.bt_rows; mb_len = mode_rows mode }
+            {
+              mb_cb = cb;
+              mb_deadline = deadline;
+              mb_off = b.bt_rows;
+              mb_len = mode_rows mode;
+              mb_tag = tag;
+            }
             :: b.bt_members;
           b.bt_rows <- b.bt_rows + mode_rows mode;
           (* Shape-class boundary: the bucket is full — seal so the
@@ -184,33 +216,64 @@ let run_deadline b =
       | Some d when d > neg_infinity -> Some d
       | _ -> None
 
-let deliver t b r =
-  let ms =
-    locked t (fun () ->
-        b.bt_state <- Delivered;
-        (match Hashtbl.find_opt t.table b.bt_key with
-        | Some b' when b' == b -> Hashtbl.remove t.table b.bt_key
-        | Some _ | None -> ());
-        List.rev b.bt_members)
-  in
+let member_views t b =
+  let ms = locked t (fun () -> List.rev b.bt_members) in
+  List.mapi
+    (fun i m ->
+      { mv_index = i; mv_rows = m.mb_len; mv_off = m.mb_off; mv_deadline = m.mb_deadline; mv_tag = m.mb_tag })
+    ms
+
+(* Atomically freeze membership: the Delivered transition and the member
+   snapshot happen under one lock acquisition, because a Shared batch
+   keeps admitting joiners right up to delivery. *)
+let take_members t b =
+  locked t (fun () ->
+      b.bt_state <- Delivered;
+      (match Hashtbl.find_opt t.table b.bt_key with
+      | Some b' when b' == b -> Hashtbl.remove t.table b.bt_key
+      | Some _ | None -> ());
+      List.rev b.bt_members)
+
+let run_deliveries t ms deliveries =
   Obs.Metrics.incr (Lazy.force m_batches);
   let now = t.clock () in
-  let n = List.length ms in
-  List.iter
-    (fun m ->
+  List.iteri
+    (fun i m ->
+      let d = deliveries.(i) in
       m.mb_cb
         {
-          sl_result = r;
-          sl_members = n;
-          sl_rows = b.bt_rows;
-          sl_off = m.mb_off;
-          sl_len = m.mb_len;
+          sl_result = d.dv_result;
+          sl_members = d.dv_batch;
+          sl_rows = d.dv_rows;
+          sl_off = d.dv_off;
+          sl_len = d.dv_len;
           (* Each member keeps its own absolute deadline: joining a batch
              must never extend (or shrink) a request's budget to the
              leader's. *)
           sl_expired = (match m.mb_deadline with Some d -> now > d | None -> false);
         })
     ms;
-  n - 1
+  List.length ms - 1
+
+let deliver_each t b deliveries =
+  let ms = take_members t b in
+  let n = List.length ms in
+  if Array.length deliveries <> n then
+    invalid_arg
+      (Printf.sprintf "Batcher.deliver_each: %d deliveries for %d members"
+         (Array.length deliveries) n);
+  run_deliveries t ms deliveries
+
+let deliver t b r =
+  let ms = take_members t b in
+  let n = List.length ms in
+  let deliveries =
+    Array.of_list
+      (List.map
+         (fun m ->
+           { dv_result = r; dv_batch = n; dv_rows = b.bt_rows; dv_off = m.mb_off; dv_len = m.mb_len })
+         ms)
+  in
+  run_deliveries t ms deliveries
 
 let in_flight t = locked t (fun () -> Hashtbl.length t.table)

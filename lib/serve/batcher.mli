@@ -52,11 +52,20 @@ val create : ?window_s:float -> ?max_members:int -> ?clock:(unit -> float) -> un
     [Invalid_argument] on a negative window or [max_members < 1]. *)
 
 val admit :
-  'r t -> key:string -> mode:mode -> ?deadline:float -> ('r slot -> unit) -> [ `Lead of 'r batch | `Join ]
+  'r t ->
+  key:string ->
+  mode:mode ->
+  ?deadline:float ->
+  ?tag:int ->
+  ('r slot -> unit) ->
+  [ `Lead of 'r batch | `Join ]
 (** [`Lead b]: the caller opened the batch and must {!grow} then
-    {!deliver} it. [`Join]: the callback was registered on the open batch
-    and will run, on the leader's domain, at delivery. The leader's own
-    callback is registered too and runs first. *)
+    {!deliver} (or {!deliver_each}) it. [`Join]: the callback was
+    registered on the open batch and will run, on the leader's domain, at
+    delivery. The leader's own callback is registered too and runs first.
+    [tag] (default 0) is an opaque per-member id surfaced by
+    {!member_views} — the server passes the request's injection-stream id
+    so the bisection layer can attribute poison draws to members. *)
 
 val grow : 'r t -> 'r batch -> unit
 (** Leader only, before executing. [Shared]: returns immediately (the
@@ -69,6 +78,34 @@ val deliver : 'r t -> 'r batch -> 'r -> int
 (** Seal (if still open), unmap the key, and run every member's callback
     in admission order with its {!slot}; returns the number of non-leader
     members. Callbacks run outside the internal lock (one may re-admit). *)
+
+type member_view = {
+  mv_index : int;  (** admission index, 0 = leader *)
+  mv_rows : int;  (** this member's row contribution (0 for [Shared]) *)
+  mv_off : int;  (** row offset assigned at admission *)
+  mv_deadline : float option;
+  mv_tag : int;  (** the [tag] passed to {!admit} *)
+}
+
+val member_views : 'r t -> 'r batch -> member_view list
+(** The batch's members in admission order. Leaders call this after
+    {!grow} (membership is frozen once a [Sliced] batch seals) to plan a
+    per-member delivery — the bisection path. *)
+
+type 'r delivery = {
+  dv_result : 'r;  (** the sub-run result this member is served from *)
+  dv_batch : int;  (** members sharing that sub-run *)
+  dv_rows : int;  (** total rows of that sub-run *)
+  dv_off : int;  (** this member's first row within the sub-run *)
+  dv_len : int;  (** this member's row count *)
+}
+
+val deliver_each : 'r t -> 'r batch -> 'r delivery array -> int
+(** Like {!deliver}, but each member gets its own result and slice —
+    how a bisected batch hands different sub-run results to different
+    members. [deliveries.(i)] goes to admission index [i]; raises
+    [Invalid_argument] when the array length does not match the member
+    count. Returns the number of non-leader members. *)
 
 val run_deadline : 'r batch -> float option
 (** The absolute deadline the {e execution} should honor: the leader's

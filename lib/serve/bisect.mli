@@ -1,0 +1,49 @@
+(** Blast-radius isolation for batched runs, by deterministic bisection.
+
+    PR 9's continuous batching made the stacked run a shared-fate
+    resource: one poisoned member used to fail every request in the
+    batch. [execute] partitions that fate. The caller supplies the batch
+    members (admission order, each with its row count and an opaque tag —
+    the server passes the request's injection-stream id so poison draws
+    are member-attributable) and a [run] callback that either serves a
+    subset whole or asks for a [`Split] because the failure is
+    member- or size-attributable. Bisection retries halves recursively;
+    a singleton that still splits is {e isolated} — the failure is
+    delivered to that member alone, and every other member is served by
+    some passing sub-run.
+
+    Pure control flow over the caller's callback: no clock, no
+    randomness, no state — the same member list and the same run verdicts
+    always produce the same sub-run tree, which is what lets same-seed
+    chaos storms replay their bisections byte-identically.
+
+    Metrics: [batch.bisections] (splits performed), [batch.isolated]
+    (singletons that still failed after full isolation). *)
+
+type member = {
+  m_index : int;  (** admission index within the batch (0-based) *)
+  m_rows : int;  (** leading-dimension rows this member contributed *)
+  m_tag : int;  (** opaque caller id (the server's injection stream) *)
+}
+
+type 'r placement = {
+  p_member : member;
+  p_result : 'r;  (** the sub-run's result this member is served from *)
+  p_batch : int;  (** members in that sub-run (1 = isolated) *)
+  p_rows : int;  (** total rows of that sub-run *)
+  p_off : int;  (** row offset within the sub-run *)
+  p_len : int;  (** = [p_member.m_rows] *)
+}
+
+val execute :
+  run:(member list -> rows:int -> [ `Served of 'r | `Split of 'r ]) ->
+  members:member list ->
+  'r placement list * int
+(** Run the batch with bisection-on-failure. [run ms ~rows] executes the
+    contiguous subset [ms] restacked to [rows] total rows; [`Served r]
+    serves every member of [ms] from [r] (offsets assigned cumulatively
+    in subset order), [`Split r] requests a bisection — at a singleton,
+    [r] is delivered to that member as its own (failure) result. Returns
+    the placements (every member exactly once, in sub-run traversal
+    order) and the number of [run] invocations. Raises
+    [Invalid_argument] on an empty member list. *)

@@ -15,6 +15,7 @@ type 'a t = {
   clock : unit -> float;
   mutable len : int;
   mutable closed : bool;
+  mutable paused : bool;
 }
 
 let create ?(clock = Unix.gettimeofday) ?(priorities = 1) ~capacity () =
@@ -28,6 +29,7 @@ let create ?(clock = Unix.gettimeofday) ?(priorities = 1) ~capacity () =
     clock;
     len = 0;
     closed = false;
+    paused = false;
   }
 
 let locked t f =
@@ -73,14 +75,21 @@ let pop t =
   let taken =
     locked t (fun () ->
         let rec wait () =
-          match take_most_urgent t with
-          | Some e -> Some e
-          | None ->
-              if t.closed then None
-              else begin
-                Condition.wait t.nonempty t.lock;
-                wait ()
-              end
+          (* A paused queue holds items back from consumers even when
+             nonempty (close still wins, so shutdown never hangs). *)
+          if t.paused && not t.closed then begin
+            Condition.wait t.nonempty t.lock;
+            wait ()
+          end
+          else
+            match take_most_urgent t with
+            | Some e -> Some e
+            | None ->
+                if t.closed then None
+                else begin
+                  Condition.wait t.nonempty t.lock;
+                  wait ()
+                end
         in
         wait ())
   in
@@ -98,6 +107,13 @@ let pop t =
 let close t =
   locked t (fun () ->
       t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let pause t = locked t (fun () -> t.paused <- true)
+
+let resume t =
+  locked t (fun () ->
+      t.paused <- false;
       Condition.broadcast t.nonempty)
 
 let flush t =

@@ -47,6 +47,16 @@ val close : 'a t -> unit
 (** Stop admitting ({!push} returns [false] from now on) and wake every
     blocked consumer. Idempotent. *)
 
+val pause : 'a t -> unit
+(** Hold items back from {!pop} (consumers block as if the queue were
+    empty) while {!push} keeps admitting. Used to build a static backlog
+    whose admission decisions are a pure function of submit order —
+    the overload determinism gates depend on it. {!close} overrides a
+    pause so shutdown never hangs. Idempotent. *)
+
+val resume : 'a t -> unit
+(** Undo {!pause} and wake every blocked consumer. Idempotent. *)
+
 val flush : 'a t -> 'a popped list
 (** Remove and return the whole backlog, oldest-first within each class,
     most urgent class first. Used by non-draining shutdown to fail the

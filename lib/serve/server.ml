@@ -15,6 +15,10 @@ type config = {
   devices : int;
   shapes : Runtime.Shape_class.policy;
   batch_window_s : float;
+  shed_deadlines : bool;
+  quarantine_threshold : int;
+  cold_compile_cap : int;
+  arena_budget_bytes : int option;
 }
 
 let default_config () =
@@ -33,6 +37,10 @@ let default_config () =
     devices = 1;
     shapes = Runtime.Shape_class.Exact;
     batch_window_s = 2e-3;
+    shed_deadlines = false;
+    quarantine_threshold = 3;
+    cold_compile_cap = 0;
+    arena_budget_bytes = None;
   }
 
 type response = {
@@ -51,6 +59,8 @@ type outcome =
   | Rejected of string
   | Timed_out
   | Failed of string
+  | Shed of string
+  | Quarantined
 
 type ticket = {
   tk_lock : Mutex.t;
@@ -64,6 +74,7 @@ type request = {
   rq_ticket : ticket;
   rq_stream : int;  (* injection-stream id, unique per request in submit order *)
   mutable rq_requeued : bool;  (* a coalesced follower gets one requeue *)
+  mutable rq_charge : float;  (* backlog seconds charged at admission *)
 }
 
 (* What a coalescing leader hands to its followers: the shared serving
@@ -79,6 +90,13 @@ type served =
   | S_rejected of string
   | S_failed of string * [ `Permanent | `Transient ]
   | S_expired
+  | S_poisoned of string
+      (* member-attributable payload failure: terminal for the poisoned
+         request, but a Shared-batch follower requeues — the poison was
+         the leader's, not its own *)
+  | S_pressure of string
+      (* size-attributable resource exhaustion of a batched run: the
+         bisection layer splits instead of delivering this *)
 
 type t = {
   cfg : config;
@@ -87,13 +105,25 @@ type t = {
   batcher : served Batcher.t;
   stats : Stats.t;
   breakers : Breaker.t;
+  shed : Shed.t;
   fleet : Fleet.t option;  (* Some iff cfg.devices > 1 *)
   stream : int Atomic.t;
   blown_lock : Mutex.t;
   blown : (string, unit) Hashtbl.t;  (* request keys whose fused compile blew the budget *)
+  (* Memory-pressure response: each resource_exhausted trip halves the
+     Sliced batch-admission cap (cap lsr shift); sustained clean batched
+     runs walk it back one doubling at a time. *)
+  cap_shift : int Atomic.t;
+  clean_runs : int Atomic.t;
   join_lock : Mutex.t;
   mutable worker_domains : unit Domain.t list;
 }
+
+let m_cap_halved = lazy (Obs.Metrics.counter "serve.batch_cap_halvings")
+let m_cap_shift = lazy (Obs.Metrics.gauge "serve.batch_cap_shift")
+
+(* Clean batched runs required before the cap recovers one halving. *)
+let cap_recovery_runs = 32
 
 exception Budget_exceeded of float
 
@@ -149,6 +179,8 @@ let finish t rq outcome =
     | Rejected _ -> Stats.record t.stats Stats.Rejected
     | Timed_out -> Stats.record t.stats Stats.Timed_out
     | Failed _ -> Stats.record t.stats Stats.Failed
+    | Shed _ -> Stats.record t.stats Stats.Shed
+    | Quarantined -> Stats.record t.stats Stats.Quarantined
   end
 
 let finish_served t rq ~queue_s ~coalesced ?(batch = 1) ?rows = function
@@ -170,6 +202,7 @@ let finish_served t rq ~queue_s ~coalesced ?(batch = 1) ?rows = function
            })
   | S_rejected msg -> finish t rq (Rejected msg)
   | S_failed (msg, _) -> finish t rq (Failed msg)
+  | S_poisoned msg | S_pressure msg -> finish t rq (Failed msg)
   | S_expired -> finish t rq Timed_out
 
 (* ------------------------------------------------------------------ *)
@@ -249,11 +282,47 @@ let baseline_run t rq ~inject =
   | Error e -> `Reject (Error.to_string e)
   | exception e -> `Fault e
 
-let fused_run t rq ~key ~inject =
+(* Memory-pressure response, step 1: halve the Sliced batch-admission cap
+   so the next batches stack fewer rows under the same budget. Recovery is
+   slow on purpose (one doubling per [cap_recovery_runs] clean batched
+   runs) — flapping the cap would churn batch formation. *)
+let note_pressure t =
+  Atomic.set t.clean_runs 0;
+  let shift = Atomic.get t.cap_shift in
+  if shift < 16 && Atomic.compare_and_set t.cap_shift shift (shift + 1) then begin
+    Obs.Metrics.incr (Lazy.force m_cap_halved);
+    Obs.Metrics.set (Lazy.force m_cap_shift) (float_of_int (shift + 1))
+  end
+
+let note_clean_run t =
+  if Atomic.get t.cap_shift > 0 && Atomic.fetch_and_add t.clean_runs 1 + 1 >= cap_recovery_runs
+  then begin
+    Atomic.set t.clean_runs 0;
+    let shift = Atomic.get t.cap_shift in
+    if shift > 0 && Atomic.compare_and_set t.cap_shift shift (shift - 1) then
+      Obs.Metrics.set (Lazy.force m_cap_shift) (float_of_int (shift - 1))
+  end
+
+let effective_cap t cap = max 1 (cap lsr Atomic.get t.cap_shift)
+
+(* Per-attempt memory budget: the fused path runs inside a fresh
+   [Arena.with_budget] scope, so one request's (or one batch's) tensor
+   allocations are bounded and never charge the next attempt. The
+   baseline fallback runs unbudgeted — it is the pressure-relief path. *)
+let with_request_budget t f =
+  match t.cfg.arena_budget_bytes with
+  | None -> f ()
+  | Some bytes -> (
+      match Tensor.Arena.current () with
+      | Some a -> Tensor.Arena.with_budget a ~bytes f
+      | None -> f ())
+
+let fused_run t rq ~key ~inject ~batched =
   let w = rq.rq_work in
   match
-    Runtime.Model_runner.run_workload_r ~cache:t.cache ?inject ~functional:(functional t)
-      { w with Runtime.Workload.backend = budgeted t w.Runtime.Workload.backend }
+    with_request_budget t (fun () ->
+        Runtime.Model_runner.run_workload_r ~cache:t.cache ?inject ~functional:(functional t)
+          { w with Runtime.Workload.backend = budgeted t w.Runtime.Workload.backend })
   with
   | Ok r -> `Served (r, false)
   | Error (Error.Unsupported _ as e) -> `Reject (Error.to_string e)
@@ -261,6 +330,14 @@ let fused_run t rq ~key ~inject =
   | exception Budget_exceeded _ ->
       mark_blown t key;
       baseline_run t rq ~inject
+  | exception (Fault.Plan.Injected f as e)
+    when f.Fault.Plan.f_kind = Fault.Plan.Resource_exhausted ->
+      (* The memory budget (or an injected resource fault) bit. Halve the
+         batch cap either way; a batched run hands the exhaustion to the
+         bisection layer (smaller halves allocate less), a solo run is
+         served from the unfused relief path. *)
+      note_pressure t;
+      if batched then `Pressure e else baseline_run t rq ~inject
   | exception Fault.Plan.Injected f
     when Fault.Plan.severity_of_kind f.Fault.Plan.f_kind = Fault.Plan.Degraded ->
       (* Resource pressure on the fused path: serve this attempt from the
@@ -281,19 +358,38 @@ let breaker_key rq ~device =
    touching the fused path, and every admitted attempt reports back so the
    breaker can trip, probe and close. The budget-blown fallback bypasses
    the breaker — it is a compile-cost decision, not a path-health one. *)
-let serve_once t rq ~key ~device ~inject =
-  if is_blown t key && not (fused_ready t rq) then baseline_run t rq ~inject
-  else
+let serve_once t rq ~key ~device ~inject ~batched =
+  let cold = not (fused_ready t rq) in
+  if is_blown t key && cold then baseline_run t rq ~inject
+  else if
+    (* AIMD cold-compile gate: a request whose fused plans are not yet
+       resident needs the compiler; when every slot is taken it degrades
+       to the baseline immediately instead of queueing behind the
+       compile storm. Checked before the breaker so a deferral never
+       counts against path health. *)
+    cold && not (Shed.try_compile t.shed)
+  then baseline_run t rq ~inject
+  else begin
+    (* From here a cold attempt holds a compile slot and must release it
+       on every path. *)
+    let end_cold ~ok = if cold then Shed.end_compile t.shed ~ok in
     let bkey = breaker_key rq ~device in
     match Breaker.acquire t.breakers ~key:bkey with
-    | `Short_circuit -> baseline_run t rq ~inject
+    | `Short_circuit ->
+        end_cold ~ok:true;
+        baseline_run t rq ~inject
     | (`Proceed | `Probe) as d ->
         let probe = d = `Probe in
-        let o = fused_run t rq ~key ~inject in
+        let o = fused_run t rq ~key ~inject ~batched in
+        end_cold ~ok:(match o with `Served _ | `Reject _ -> true | `Fault _ | `Pressure _ -> false);
         (match o with
         | `Served _ | `Reject _ -> Breaker.success t.breakers ~key:bkey ~probe
-        | `Fault _ -> Breaker.failure t.breakers ~key:bkey ~probe);
+        | `Fault _ -> Breaker.failure t.breakers ~key:bkey ~probe
+        (* Size-attributable, not path-attributable: a too-big batch must
+           not open the path's breaker. *)
+        | `Pressure _ -> Breaker.success t.breakers ~key:bkey ~probe);
         o
+  end
 
 (* Fleet routing: pick a device for this attempt (plan locality first,
    then least load; a [Pin] placement is honored until its device dies). *)
@@ -308,7 +404,7 @@ let place_attempt t rq ~key =
       | Runtime.Workload.Auto -> (
           match Fleet.place fl ~key with None -> `All_dead | Some i -> `Ok (Some i)))
 
-let serve_with_retries t rq ~key ~deadline =
+let serve_with_retries t rq ~key ~deadline ~batched =
   let rec go attempt =
     match place_attempt t rq ~key with
     | `All_dead -> S_failed ("all devices dead", `Permanent)
@@ -331,12 +427,20 @@ let serve_with_retries t rq ~key ~deadline =
               Fleet.acquire fl i;
               Fun.protect
                 ~finally:(fun () -> Fleet.release fl i)
-                (fun () -> serve_once t rq ~key ~device ~inject)
-          | _ -> serve_once t rq ~key ~device ~inject
+                (fun () -> serve_once t rq ~key ~device ~inject ~batched)
+          | _ -> serve_once t rq ~key ~device ~inject ~batched
         in
         (match o with
         | `Served (r, degraded) -> S_done (r, degraded, attempt)
         | `Reject msg -> S_rejected msg
+        | `Pressure e ->
+            (* Retrying at the same size would exhaust the same budget;
+               the bisection layer splits instead. *)
+            S_pressure (Printexc.to_string e)
+        | `Fault e when Runtime.Model_runner.classify_exn e = Runtime.Model_runner.Isolate ->
+            (* A poisoned payload fails no matter where or how often it
+               runs: no retry, no reroute, no breaker blame. *)
+            S_poisoned (Printexc.to_string e)
         | `Fault e ->
             let action = Runtime.Model_runner.classify_exn e in
             (* A fatal fault is the simulated device dying: take it out of
@@ -375,6 +479,36 @@ let serve_with_retries t rq ~key ~deadline =
 (* Worker loop                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Whether the fault plan poisons the request with injection-stream id
+   [stream] — a pure, member-attributable draw (see {!Fault.Plan.poisoned}). *)
+let poisoned_stream t stream =
+  match t.cfg.fault_plan with
+  | Some plan -> Fault.Plan.poisoned plan ~request:stream
+  | None -> false
+
+(* A confirmed poisoned payload: count the fault, charge the offense
+   against the request key, and hand back the terminal served value. *)
+let confirm_poison t ~key =
+  Fault.Inject.record Fault.Plan.Poison_request;
+  ignore (Shed.offense t.shed ~key);
+  S_poisoned "injected poison_request: payload rejected"
+
+let mode_rows_of = function Batcher.Shared -> 0 | Batcher.Sliced { rows; _ } -> rows
+
+(* EWMA service-time feed for admission control: simulated execution
+   seconds (deterministic), scaled to this request's share of the run's
+   rows so batch-sized runs don't inflate per-request estimates. *)
+let observe_service t ~key ~own_rows ~run_rows = function
+  | S_done (r, _, _) ->
+      let x = r.Runtime.Model_runner.m_exec.Runtime.Exec_stats.x_time in
+      let scale =
+        if own_rows > 0 && run_rows > own_rows then
+          float_of_int own_rows /. float_of_int run_rows
+        else 1.0
+      in
+      Shed.observe t.shed ~key ~service_s:(x *. scale)
+  | _ -> ()
+
 let handle t (p : request Queue.popped) =
   let rq = p.p_payload in
   Obs.Trace.with_span
@@ -387,81 +521,186 @@ let handle t (p : request Queue.popped) =
     "serve.request"
   @@ fun () ->
   let key = request_key rq in
-  (* Batch mode: a row-sliceable workload under a bucketing policy admits
-     into a growing [Sliced] batch (rows stack up to the shape-class
-     boundary); anything else keeps identical-request [Shared] dedup. *)
-  let mode =
-    match Runtime.Workload.batch_space rq.rq_work with
-    | Some (rows, cap) -> Batcher.Sliced { rows; cap }
-    | None -> Batcher.Shared
-  in
-  let am_leader = ref false in
-  (* Per-member delivery. Every member — leader included — expires against
-     its {e own} absolute deadline ([sl_expired]), never an inherited one.
-     A non-leader member never attempted anything itself: if the leader
-     failed transiently or abandoned at the {e leader's} deadline, the
-     member goes back into the queue exactly once with its original
-     priority and deadline, instead of being charged a failure for an
-     attempt it never made. *)
-  let member (s : served Batcher.slot) =
-    if s.sl_members > 1 then Stats.record t.stats Stats.Batched;
-    let rows = if s.sl_len > 0 then Some (s.sl_off, s.sl_len) else None in
-    if s.sl_expired then finish t rq Timed_out
-    else if !am_leader then
-      finish_served t rq ~queue_s:p.p_queued_s ~coalesced:false ~batch:s.sl_members ?rows
-        s.sl_result
-    else
-      match s.sl_result with
-      | (S_failed (_, `Transient) | S_expired) when not rq.rq_requeued ->
-          rq.rq_requeued <- true;
-          Stats.record t.stats Stats.Requeued;
-          if not (Queue.push t.queue ~priority:p.p_priority ?deadline:p.p_deadline rq) then
-            finish t rq (Rejected "queue full on requeue")
-      | S_expired -> finish t rq (Failed "batch leader abandoned by deadline")
-      | served ->
-          finish_served t rq ~queue_s:p.p_queued_s ~coalesced:true ~batch:s.sl_members ?rows
-            served
-  in
-  match Batcher.admit t.batcher ~key ~mode ?deadline:p.p_deadline member with
-  | `Join ->
-      (* Registered onto the growing (or in-flight [Shared]) batch; this
-         worker is free for the next queue item, and the leader will
-         deliver. *)
-      Stats.record t.stats Stats.Coalesced
-  | `Lead b ->
-      (* Deadline-aware close: wait out the batch window (Sliced only),
-         then execute once for every admitted member. The run honors the
-         batch's deadline ({!Batcher.run_deadline}), not any single
-         joiner's. *)
-      Batcher.grow t.batcher b;
-      am_leader := true;
-      (* Members stacked rows past the leader's own dim: execute the
-         workload rebatched to the batch total (one class up — see
-         {!Runtime.Workload.batch_space}), so every member's slice lies
-         inside the run's row space. A singleton batch executes the
-         leader's workload untouched. *)
-      let rq_run =
-        match mode with
-        | Batcher.Sliced { rows; _ } when Batcher.rows b > rows ->
-            { rq with rq_work = Runtime.Workload.rebatch rq.rq_work ~rows:(Batcher.rows b) }
-        | _ -> rq
-      in
-      let key_run = if rq_run == rq then key else request_key rq_run in
-      let served =
-        try serve_with_retries t rq_run ~key:key_run ~deadline:(Batcher.run_deadline b)
-        with e -> S_failed (Printexc.to_string e, `Permanent)
-      in
-      ignore (Batcher.deliver t.batcher b served)
+  if Shed.quarantined t.shed ~key then
+    (* The key exceeded its poison offense threshold: resolve without
+       executing — repeat offenders don't get to keep riding batches. *)
+    finish t rq Quarantined
+  else begin
+    (* Batch mode: a row-sliceable workload under a bucketing policy admits
+       into a growing [Sliced] batch (rows stack up to the shape-class
+       boundary, itself halved while under memory pressure); anything else
+       keeps identical-request [Shared] dedup. *)
+    let mode =
+      match Runtime.Workload.batch_space rq.rq_work with
+      | Some (rows, cap) -> Batcher.Sliced { rows; cap = effective_cap t cap }
+      | None -> Batcher.Shared
+    in
+    let am_leader = ref false in
+    (* Per-member delivery. Every member — leader included — expires against
+       its {e own} absolute deadline ([sl_expired]), never an inherited one.
+       A non-leader member never attempted anything itself: if the leader
+       failed transiently, abandoned at the {e leader's} deadline, or was
+       poisoned (a [Shared] batch runs only the leader's payload — the
+       follower's own may be clean), the member goes back into the queue
+       exactly once with its original priority and deadline, instead of
+       being charged a failure for an attempt it never made. A [Sliced]
+       delivery of [S_poisoned] is different: bisection confirmed {e this}
+       member's own draw, so it fails terminally. *)
+    let member (s : served Batcher.slot) =
+      if s.sl_members > 1 then Stats.record t.stats Stats.Batched;
+      let rows = if s.sl_len > 0 then Some (s.sl_off, s.sl_len) else None in
+      if s.sl_expired then finish t rq Timed_out
+      else if !am_leader then
+        finish_served t rq ~queue_s:p.p_queued_s ~coalesced:false ~batch:s.sl_members ?rows
+          s.sl_result
+      else
+        let shared = match mode with Batcher.Shared -> true | Batcher.Sliced _ -> false in
+        match s.sl_result with
+        | (S_failed (_, `Transient) | S_expired) when not rq.rq_requeued ->
+            rq.rq_requeued <- true;
+            Stats.record t.stats Stats.Requeued;
+            if not (Queue.push t.queue ~priority:p.p_priority ?deadline:p.p_deadline rq) then
+              finish t rq (Rejected "queue full on requeue")
+        | S_poisoned _ when shared && not rq.rq_requeued ->
+            rq.rq_requeued <- true;
+            Stats.record t.stats Stats.Requeued;
+            if not (Queue.push t.queue ~priority:p.p_priority ?deadline:p.p_deadline rq) then
+              finish t rq (Rejected "queue full on requeue")
+        | S_expired -> finish t rq (Failed "batch leader abandoned by deadline")
+        | served ->
+            finish_served t rq ~queue_s:p.p_queued_s ~coalesced:true ~batch:s.sl_members ?rows
+              served
+    in
+    match
+      Batcher.admit t.batcher ~key ~mode ?deadline:p.p_deadline ~tag:rq.rq_stream member
+    with
+    | `Join ->
+        (* Registered onto the growing (or in-flight [Shared]) batch; this
+           worker is free for the next queue item, and the leader will
+           deliver. *)
+        Stats.record t.stats Stats.Coalesced
+    | `Lead b ->
+        (* Deadline-aware close: wait out the batch window (Sliced only),
+           then execute once for every admitted member. The run honors the
+           batch's deadline ({!Batcher.run_deadline}), not any single
+           joiner's. *)
+        Batcher.grow t.batcher b;
+        am_leader := true;
+        let views = Batcher.member_views t.batcher b in
+        let deadline = Batcher.run_deadline b in
+        let sliced_multi =
+          (match mode with Batcher.Sliced _ -> true | Batcher.Shared -> false)
+          && List.length views > 1
+        in
+        if sliced_multi then begin
+          (* Blast-radius isolation: run the stacked batch with bisection.
+             A sub-run aborts up front when any of its members draws
+             poison (member-attributable — the draw is a pure function of
+             the member's stream id) and splits when the memory budget
+             exhausts (size-attributable); halves retry independently, so
+             every clean member is served by some passing sub-run and only
+             genuinely poisoned members fail. *)
+          let members =
+            List.map
+              (fun (v : Batcher.member_view) ->
+                { Bisect.m_index = v.Batcher.mv_index; m_rows = v.Batcher.mv_rows; m_tag = v.Batcher.mv_tag })
+              views
+          in
+          let saw_pressure = ref false in
+          let run (ms : Bisect.member list) ~rows =
+            if List.exists (fun (m : Bisect.member) -> poisoned_stream t m.Bisect.m_tag) ms
+            then
+              match ms with
+              | [ _ ] -> `Split (confirm_poison t ~key)
+              | _ -> `Split (S_poisoned "poisoned batch member")
+            else begin
+              let rq_run = { rq with rq_work = Runtime.Workload.rebatch rq.rq_work ~rows } in
+              let key_run = request_key rq_run in
+              match
+                serve_with_retries t rq_run ~key:key_run ~deadline
+                  ~batched:(List.length ms > 1)
+              with
+              | S_pressure _ as sp when List.length ms > 1 ->
+                  saw_pressure := true;
+                  `Split sp
+              | served ->
+                  observe_service t ~key ~own_rows:(mode_rows_of mode) ~run_rows:rows served;
+                  `Served served
+            end
+          in
+          let placements, _nruns = Bisect.execute ~run ~members in
+          let deliveries =
+            Array.make (List.length views)
+              { Batcher.dv_result = S_expired; dv_batch = 1; dv_rows = 0; dv_off = 0; dv_len = 0 }
+          in
+          List.iter
+            (fun (pl : served Bisect.placement) ->
+              deliveries.(pl.Bisect.p_member.Bisect.m_index) <-
+                {
+                  Batcher.dv_result = pl.Bisect.p_result;
+                  dv_batch = pl.Bisect.p_batch;
+                  dv_rows = pl.Bisect.p_rows;
+                  dv_off = pl.Bisect.p_off;
+                  dv_len = pl.Bisect.p_len;
+                })
+            placements;
+          ignore (Batcher.deliver_each t.batcher b deliveries);
+          if not !saw_pressure then note_clean_run t
+        end
+        else begin
+          (* Solo or [Shared] leader. The poison pre-check runs on the
+             leader's own stream: a poisoned leader never reaches the
+             execution path (followers of a [Shared] batch requeue and
+             re-draw on their own streams). *)
+          let served =
+            if poisoned_stream t rq.rq_stream then confirm_poison t ~key
+            else begin
+              (* Members stacked rows past the leader's own dim: execute
+                 the workload rebatched to the batch total (one class up —
+                 see {!Runtime.Workload.batch_space}), so every member's
+                 slice lies inside the run's row space. A singleton batch
+                 executes the leader's workload untouched. *)
+              let rq_run =
+                match mode with
+                | Batcher.Sliced { rows; _ } when Batcher.rows b > rows ->
+                    { rq with rq_work = Runtime.Workload.rebatch rq.rq_work ~rows:(Batcher.rows b) }
+                | _ -> rq
+              in
+              let key_run = if rq_run == rq then key else request_key rq_run in
+              let served =
+                try serve_with_retries t rq_run ~key:key_run ~deadline ~batched:false
+                with e -> S_failed (Printexc.to_string e, `Permanent)
+              in
+              observe_service t ~key ~own_rows:(mode_rows_of mode)
+                ~run_rows:(Batcher.rows b) served;
+              served
+            end
+          in
+          ignore (Batcher.deliver t.batcher b served)
+        end
+  end
+
+(* The request left the backlog (served or expired, either way): release
+   its admission charge so the shed estimator stops counting its wait. A
+   requeued request re-enters with charge 0 — it was already drained. *)
+let drain_charge t (p : request Queue.popped) =
+  let rq = p.Queue.p_payload in
+  if rq.rq_charge > 0.0 then begin
+    Shed.drain t.shed rq.rq_charge;
+    rq.rq_charge <- 0.0
+  end
 
 let rec worker_loop t =
   match Queue.pop t.queue with
   | `Closed -> ()
   | `Expired p ->
       Stats.set_queue_depth t.stats (Queue.length t.queue);
+      drain_charge t p;
       finish t p.Queue.p_payload Timed_out;
       worker_loop t
   | `Item p ->
       Stats.set_queue_depth t.stats (Queue.length t.queue);
+      drain_charge t p;
       handle t p;
       worker_loop t
 
@@ -488,6 +727,11 @@ let start ?cache ?config () =
       batcher = Batcher.create ~window_s:cfg.batch_window_s ~clock:cfg.clock ();
       stats = Stats.create ();
       breakers = Breaker.create ~clock:cfg.clock cfg.breaker;
+      shed =
+        Shed.create ~workers ~quarantine_threshold:cfg.quarantine_threshold
+          ~cold_compile_cap:cfg.cold_compile_cap ();
+      cap_shift = Atomic.make 0;
+      clean_runs = Atomic.make 0;
       fleet =
         (if cfg.devices > 1 then Some (Fleet.create ?fault_plan:cfg.fault_plan ~devices:cfg.devices ())
          else None);
@@ -517,14 +761,32 @@ let submit_w t ?(priority = 0) ?deadline_s work =
       rq_ticket = tk;
       rq_stream = Atomic.fetch_and_add t.stream 1;
       rq_requeued = false;
+      rq_charge = 0.0;
     }
   in
-  let deadline = Option.map (fun d -> now +. d) deadline_s in
-  if Queue.push t.queue ~priority ?deadline rq then begin
-    Stats.record t.stats Stats.Admitted;
-    Stats.set_queue_depth t.stats (Queue.length t.queue)
-  end
-  else finish t rq (Rejected "queue full");
+  (* Overload shedding at admission: a request whose deadline cannot be
+     met given the charged backlog and this key's service-time estimate
+     resolves [Shed] immediately — it never occupies queue capacity it
+     is doomed to time out of. *)
+  let admission =
+    if t.cfg.shed_deadlines then
+      Shed.admit t.shed ~key:(Runtime.Workload.digest work) ?deadline_rel:deadline_s ()
+    else `Admit 0.0
+  in
+  (match admission with
+  | `Shed reason -> finish t rq (Shed reason)
+  | `Admit charge ->
+      rq.rq_charge <- charge;
+      let deadline = Option.map (fun d -> now +. d) deadline_s in
+      if Queue.push t.queue ~priority ?deadline rq then begin
+        Stats.record t.stats Stats.Admitted;
+        Stats.set_queue_depth t.stats (Queue.length t.queue)
+      end
+      else begin
+        if charge > 0.0 then Shed.drain t.shed charge;
+        rq.rq_charge <- 0.0;
+        finish t rq (Rejected "queue full")
+      end);
   tk
 
 (* Legacy positional submit: a workload sized to the server's fleet and
@@ -536,6 +798,15 @@ let submit t ?priority ?deadline_s ~arch backend model =
 let stats t = Stats.snapshot t.stats
 let latencies t = Stats.latencies t.stats
 let queue_depth t = Queue.length t.queue
+let shed t = t.shed
+let batch_cap_shift t = Atomic.get t.cap_shift
+
+(* Deterministic overload staging: with the queue paused, submissions
+   accumulate (and shed) against a static backlog — the shed decision for
+   each request becomes a pure function of submit order, independent of
+   worker scheduling. *)
+let pause t = Queue.pause t.queue
+let resume t = Queue.resume t.queue
 
 let breaker_key_w work ~device =
   Runtime.Workload.path_key work

@@ -62,6 +62,21 @@
     an attempt it never made; a second leader failure fails it for
     real.
 
+    Overload control & blast radius (see DESIGN.md): with
+    [shed_deadlines] the server estimates deadline feasibility at
+    admission (charged backlog seconds plus a per-shape-class
+    service-time EWMA, {!Shed}) and resolves infeasible requests [Shed]
+    immediately. A stacked [Sliced] batch whose run fails
+    member-attributably (an injected {!Fault.Plan.Poison_request}) or
+    size-attributably (a {!Fault.Plan.Resource_exhausted} arena-budget
+    trip) is {e bisected} ({!Bisect}): halves retry independently, so
+    every clean member is served and only genuinely poisoned members
+    fail. Repeat poison offenders are quarantined by request key
+    ([quarantine_threshold]) and resolve [Quarantined] without
+    executing. Memory pressure additionally halves the batch-admission
+    cap (recovering one doubling per 32 clean batched runs), and
+    [cold_compile_cap] runs an AIMD gate on concurrent cold compiles.
+
     Worker domains run under {!Core.Parallel.as_worker}: the pool of
     requests is the parallelism axis, so a request's compile never spawns
     a nested domain pool underneath a worker. *)
@@ -100,6 +115,22 @@ type config = {
   batch_window_s : float;
       (** how long a [Sliced] batch leader waits for joiners before
           executing (deadline-aware; default 2 ms) *)
+  shed_deadlines : bool;
+      (** estimate deadline feasibility at admission and resolve
+          infeasible requests [Shed] instead of queueing them (default
+          [false]) *)
+  quarantine_threshold : int;
+      (** poison offenses per request key before the key resolves
+          [Quarantined] without executing; [0] disables (default 3) *)
+  cold_compile_cap : int;
+      (** initial AIMD cap on concurrent cold (fused-compile) requests;
+          excess cold requests degrade to the baseline immediately. [0]
+          disables the gate (default). *)
+  arena_budget_bytes : int option;
+      (** hard per-attempt byte budget on the worker's tensor arena; an
+          attempt allocating past it takes a typed
+          {!Fault.Plan.Resource_exhausted} fault — batched runs split,
+          solo runs fall back to the unfused baseline (default [None]) *)
 }
 
 val default_config : unit -> config
@@ -109,7 +140,9 @@ val default_config : unit -> config
     [compile_budget_s = None], [clock = Unix.gettimeofday],
     [fault_plan = None], [breaker = Breaker.default_config],
     [verify_cold = true], [devices = 1], [shapes = Exact],
-    [batch_window_s = 2e-3]. *)
+    [batch_window_s = 2e-3], [shed_deadlines = false],
+    [quarantine_threshold = 3], [cold_compile_cap = 0],
+    [arena_budget_bytes = None]. *)
 
 type response = {
   r_result : Runtime.Model_runner.result;
@@ -129,6 +162,13 @@ type outcome =
   | Rejected of string
   | Timed_out
   | Failed of string
+  | Shed of string
+      (** shed at admission: the deadline was infeasible given the
+          backlog and this key's service-time estimate; the request never
+          executed *)
+  | Quarantined
+      (** the request key exceeded its poison offense threshold; resolved
+          without executing *)
 
 type t
 type ticket
@@ -167,6 +207,22 @@ val latencies : t -> float list
 (** Submit-to-done latency of every [Done] request so far. *)
 
 val queue_depth : t -> int
+
+val shed : t -> Shed.t
+(** The server's admission-control state: service-time estimates,
+    backlog charge, quarantine offenses, AIMD compile cap. *)
+
+val batch_cap_shift : t -> int
+(** Current memory-pressure halvings of the [Sliced] batch-admission cap
+    (effective cap = class boundary [lsr] shift). *)
+
+val pause : t -> unit
+(** Stop workers from dequeuing (admission continues). With the queue
+    paused, shed decisions are a pure function of submit order — the
+    deterministic way to stage an overload storm. *)
+
+val resume : t -> unit
+(** Undo {!pause}. *)
 
 val breaker_state_w : t -> ?device:int -> Runtime.Workload.t -> Breaker.state
 (** Current breaker state of the workload's (backend, arch) fused path

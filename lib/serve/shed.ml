@@ -1,0 +1,182 @@
+type t = {
+  lock : Mutex.t;
+  alpha : float;
+  workers : int;
+  ewma : (string, float) Hashtbl.t;
+  mutable backlog_s : float;
+  (* Quarantine: per-request-key poison offense counts. *)
+  q_threshold : int;
+  offenses : (string, int) Hashtbl.t;
+  (* AIMD cap on concurrent cold compiles. 0 = gate disabled. *)
+  cap_max : int;
+  mutable compile_cap : int;
+  mutable compiling : int;
+  mutable deferred : int;
+}
+
+let m_backlog = lazy (Obs.Metrics.gauge "shed.backlog_seconds")
+let m_cap = lazy (Obs.Metrics.gauge "shed.compile_cap")
+let m_deferred = lazy (Obs.Metrics.counter "shed.compiles_deferred")
+let m_offense = lazy (Obs.Metrics.counter "shed.offenses")
+
+let create ?(alpha = 0.3) ?(workers = 1) ?(quarantine_threshold = 0) ?(cold_compile_cap = 0)
+    () =
+  if alpha <= 0.0 || alpha > 1.0 then
+    invalid_arg (Printf.sprintf "Serve.Shed.create: alpha %g outside (0, 1]" alpha);
+  if workers < 1 then invalid_arg "Serve.Shed.create: workers must be >= 1";
+  if quarantine_threshold < 0 then
+    invalid_arg "Serve.Shed.create: negative quarantine_threshold";
+  if cold_compile_cap < 0 then invalid_arg "Serve.Shed.create: negative cold_compile_cap";
+  ignore (Lazy.force m_backlog);
+  ignore (Lazy.force m_cap);
+  ignore (Lazy.force m_deferred);
+  ignore (Lazy.force m_offense);
+  Obs.Metrics.set (Lazy.force m_cap) (float_of_int cold_compile_cap);
+  {
+    lock = Mutex.create ();
+    alpha;
+    workers;
+    ewma = Hashtbl.create 32;
+    backlog_s = 0.0;
+    q_threshold = quarantine_threshold;
+    offenses = Hashtbl.create 8;
+    cap_max = cold_compile_cap;
+    compile_cap = cold_compile_cap;
+    compiling = 0;
+    deferred = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ------------------------------------------------------------------ *)
+(* Service-time estimation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let estimate t ~key = locked t (fun () -> Hashtbl.find_opt t.ewma key)
+
+let observe t ~key ~service_s =
+  if service_s >= 0.0 && not (Float.is_nan service_s) then
+    locked t (fun () ->
+        let next =
+          match Hashtbl.find_opt t.ewma key with
+          | None -> service_s
+          | Some prev -> prev +. (t.alpha *. (service_s -. prev))
+        in
+        Hashtbl.replace t.ewma key next)
+
+let seed t ~key ~service_s =
+  if service_s >= 0.0 && not (Float.is_nan service_s) then
+    locked t (fun () ->
+        if not (Hashtbl.mem t.ewma key) then Hashtbl.replace t.ewma key service_s)
+
+(* ------------------------------------------------------------------ *)
+(* Admission feasibility                                               *)
+(* ------------------------------------------------------------------ *)
+
+let set_backlog_gauge v = Obs.Metrics.set (Lazy.force m_backlog) v
+
+let admit t ~key ?deadline_rel () =
+  let verdict =
+    locked t (fun () ->
+        let est = Hashtbl.find_opt t.ewma key in
+        match deadline_rel with
+        | None ->
+            (* No deadline: always feasible; still charge the backlog so
+               later deadline-carrying arrivals see the queue's weight. *)
+            let charge = Option.value est ~default:0.0 in
+            t.backlog_s <- t.backlog_s +. charge;
+            `Admit (charge, t.backlog_s)
+        | Some d -> (
+            match est with
+            | None ->
+                (* Never seen this key: admit optimistically (cold starts
+                   must not shed on ignorance) and charge nothing. *)
+                t.backlog_s <- t.backlog_s +. 0.0;
+                `Admit (0.0, t.backlog_s)
+            | Some svc ->
+                let wait = t.backlog_s /. float_of_int t.workers in
+                if wait +. svc > d then `Shed (wait, svc, d)
+                else begin
+                  t.backlog_s <- t.backlog_s +. svc;
+                  `Admit (svc, t.backlog_s)
+                end))
+  in
+  match verdict with
+  | `Admit (charge, backlog) ->
+      set_backlog_gauge backlog;
+      `Admit charge
+  | `Shed (wait, svc, d) ->
+      `Shed
+        (Printf.sprintf "infeasible deadline: est wait %.6gs + service %.6gs > %.6gs" wait
+           svc d)
+
+let drain t charge =
+  if charge > 0.0 then begin
+    let backlog =
+      locked t (fun () ->
+          t.backlog_s <- Float.max 0.0 (t.backlog_s -. charge);
+          t.backlog_s)
+    in
+    set_backlog_gauge backlog
+  end
+
+let backlog_seconds t = locked t (fun () -> t.backlog_s)
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let offense t ~key =
+  Obs.Metrics.incr (Lazy.force m_offense);
+  locked t (fun () ->
+      let n = 1 + Option.value (Hashtbl.find_opt t.offenses key) ~default:0 in
+      Hashtbl.replace t.offenses key n;
+      n)
+
+let offenses t ~key = locked t (fun () -> Option.value (Hashtbl.find_opt t.offenses key) ~default:0)
+
+let quarantined t ~key =
+  t.q_threshold > 0
+  && locked t (fun () ->
+         Option.value (Hashtbl.find_opt t.offenses key) ~default:0 >= t.q_threshold)
+
+(* ------------------------------------------------------------------ *)
+(* AIMD cold-compile gate                                              *)
+(* ------------------------------------------------------------------ *)
+
+let try_compile t =
+  t.cap_max = 0
+  ||
+  let ok =
+    locked t (fun () ->
+        if t.compiling < t.compile_cap then begin
+          t.compiling <- t.compiling + 1;
+          true
+        end
+        else begin
+          t.deferred <- t.deferred + 1;
+          false
+        end)
+  in
+  if not ok then Obs.Metrics.incr (Lazy.force m_deferred);
+  ok
+
+let end_compile t ~ok =
+  if t.cap_max > 0 then begin
+    let cap =
+      locked t (fun () ->
+          t.compiling <- max 0 (t.compiling - 1);
+          (* Additive increase on success, multiplicative decrease on a
+             failed compile attempt — the TCP-style probe that lets the
+             cap recover once compile storms subside. *)
+          if ok then t.compile_cap <- min t.cap_max (t.compile_cap + 1)
+          else t.compile_cap <- max 1 (t.compile_cap / 2);
+          t.compile_cap)
+    in
+    Obs.Metrics.set (Lazy.force m_cap) (float_of_int cap)
+  end
+
+let compile_cap t = locked t (fun () -> t.compile_cap)
+let compiles_deferred t = locked t (fun () -> t.deferred)

@@ -10,6 +10,8 @@ type event =
   | Degraded
   | Retried
   | Requeued
+  | Shed
+  | Quarantined
 
 type snapshot = {
   s_submitted : int;
@@ -23,6 +25,8 @@ type snapshot = {
   s_degraded : int;
   s_retries : int;
   s_requeued : int;
+  s_shed : int;
+  s_quarantined : int;
 }
 
 type t = {
@@ -37,6 +41,8 @@ type t = {
   degraded : int Atomic.t;
   retries : int Atomic.t;
   requeued : int Atomic.t;
+  shed : int Atomic.t;
+  quarantined : int Atomic.t;
   lat_lock : Mutex.t;
   mutable lat : float list;
 }
@@ -53,6 +59,8 @@ let m_batched = lazy (Obs.Metrics.counter "serve.batched")
 let m_degraded = lazy (Obs.Metrics.counter "serve.degraded")
 let m_retries = lazy (Obs.Metrics.counter "serve.retries")
 let m_requeued = lazy (Obs.Metrics.counter "serve.requeued")
+let m_shed = lazy (Obs.Metrics.counter "serve.shed")
+let m_quarantined = lazy (Obs.Metrics.counter "serve.quarantined")
 let m_queue_depth = lazy (Obs.Metrics.gauge "serve.queue_depth")
 let m_latency = lazy (Obs.Metrics.histogram "serve.latency_seconds")
 let m_queue_wait = lazy (Obs.Metrics.histogram "serve.queue_wait_seconds")
@@ -65,7 +73,7 @@ let create () =
     (fun m -> ignore (Lazy.force m))
     [
       m_submitted; m_admitted; m_rejected; m_timed_out; m_done; m_failed; m_coalesced;
-      m_batched; m_degraded; m_retries; m_requeued;
+      m_batched; m_degraded; m_retries; m_requeued; m_shed; m_quarantined;
     ];
   {
     submitted = Atomic.make 0;
@@ -79,6 +87,8 @@ let create () =
     degraded = Atomic.make 0;
     retries = Atomic.make 0;
     requeued = Atomic.make 0;
+    shed = Atomic.make 0;
+    quarantined = Atomic.make 0;
     lat_lock = Mutex.create ();
     lat = [];
   }
@@ -95,6 +105,8 @@ let cell t = function
   | Degraded -> (t.degraded, m_degraded)
   | Retried -> (t.retries, m_retries)
   | Requeued -> (t.requeued, m_requeued)
+  | Shed -> (t.shed, m_shed)
+  | Quarantined -> (t.quarantined, m_quarantined)
 
 let record t ev =
   let local, global = cell t ev in
@@ -123,9 +135,13 @@ let snapshot t =
     s_degraded = Atomic.get t.degraded;
     s_retries = Atomic.get t.retries;
     s_requeued = Atomic.get t.requeued;
+    s_shed = Atomic.get t.shed;
+    s_quarantined = Atomic.get t.quarantined;
   }
 
-let conserved s = s.s_submitted = s.s_done + s.s_rejected + s.s_timed_out + s.s_failed
+let conserved s =
+  s.s_submitted
+  = s.s_done + s.s_rejected + s.s_timed_out + s.s_failed + s.s_shed + s.s_quarantined
 
 let latencies t =
   Mutex.lock t.lat_lock;
@@ -158,6 +174,8 @@ let snapshot_to_json s =
       ("degraded", num s.s_degraded);
       ("retries", num s.s_retries);
       ("requeued", num s.s_requeued);
+      ("shed", num s.s_shed);
+      ("quarantined", num s.s_quarantined);
       ("conserved", Obs.Json.Bool (conserved s));
     ]
 
@@ -174,12 +192,14 @@ let snapshot_columns s =
     ("serve.degraded", float_of_int s.s_degraded);
     ("serve.retries", float_of_int s.s_retries);
     ("serve.requeued", float_of_int s.s_requeued);
+    ("serve.shed", float_of_int s.s_shed);
+    ("serve.quarantined", float_of_int s.s_quarantined);
   ]
 
 let pp_snapshot fmt s =
   Format.fprintf fmt
-    "submitted %d  admitted %d  done %d  rejected %d  timed_out %d  failed %d  coalesced %d  \
-     batched %d  degraded %d  retries %d  requeued %d%s"
-    s.s_submitted s.s_admitted s.s_done s.s_rejected s.s_timed_out s.s_failed s.s_coalesced
-    s.s_batched s.s_degraded s.s_retries s.s_requeued
+    "submitted %d  admitted %d  done %d  rejected %d  timed_out %d  failed %d  shed %d  \
+     quarantined %d  coalesced %d  batched %d  degraded %d  retries %d  requeued %d%s"
+    s.s_submitted s.s_admitted s.s_done s.s_rejected s.s_timed_out s.s_failed s.s_shed
+    s.s_quarantined s.s_coalesced s.s_batched s.s_degraded s.s_retries s.s_requeued
     (if conserved s then "" else "  (NOT CONSERVED)")

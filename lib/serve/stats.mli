@@ -5,7 +5,7 @@
     obeys a conservation law ({!conserved}) that the stress suite and the
     CI smoke gate assert:
 
-    {v submitted = done + rejected + timed_out + failed v}
+    {v submitted = done + rejected + timed_out + failed + shed + quarantined v}
 
     Event taxonomy (one terminal event per request, plus annotations):
     - [Submitted] — {!Serve.Server.submit} was called (counted always).
@@ -13,7 +13,10 @@
       admission-time [Rejected]).
     - terminal: [Done] | [Rejected] (queue full, shutdown, or unsupported
       backend/arch) | [Timed_out] (deadline passed in the backlog) |
-      [Failed] (retries exhausted).
+      [Failed] (retries exhausted, or a poisoned payload) | [Shed]
+      (admission control judged the deadline infeasible; resolved without
+      executing) | [Quarantined] (the request key exceeded its poison
+      offense threshold; resolved without executing).
     - annotations (orthogonal to the terminal event): [Coalesced] (joined
       a batch led by another request's run), [Batched] (delivered from a
       batch of 2+ members — counted once per member, leader included),
@@ -25,7 +28,7 @@
     Global metric names: [serve.submitted], [serve.admitted],
     [serve.rejected], [serve.timed_out], [serve.done], [serve.failed],
     [serve.coalesced], [serve.batched], [serve.degraded], [serve.retries],
-    [serve.requeued] (counters);
+    [serve.requeued], [serve.shed], [serve.quarantined] (counters);
     [serve.queue_depth] (gauge); [serve.latency_seconds],
     [serve.queue_wait_seconds] (histograms). The registry is process-wide
     and additive across servers; per-server numbers come from
@@ -45,6 +48,8 @@ type event =
   | Degraded
   | Retried
   | Requeued
+  | Shed
+  | Quarantined
 
 type snapshot = {
   s_submitted : int;
@@ -58,6 +63,8 @@ type snapshot = {
   s_degraded : int;
   s_retries : int;
   s_requeued : int;
+  s_shed : int;
+  s_quarantined : int;
 }
 
 val create : unit -> t
@@ -76,7 +83,8 @@ val set_queue_depth : t -> int -> unit
 val snapshot : t -> snapshot
 
 val conserved : snapshot -> bool
-(** [submitted = done + rejected + timed_out + failed]. *)
+(** [submitted = done + rejected + timed_out + failed + shed +
+    quarantined]. *)
 
 val latencies : t -> float list
 (** Every latency passed to {!observe_latency}, unordered. *)

@@ -29,12 +29,20 @@ module Arena = struct
     mutable n_hits : int;
     mutable n_misses : int;
     mutable n_evicted : int;
+    (* Hard budget on bytes handed out and not yet released. [None]
+       disables the check entirely; {!with_budget} scopes it so one
+       request's allowance never charges the next. *)
+    mutable budget_bytes : int option;
+    mutable live_bytes : int;
+    mutable n_allocs : int;
+    mutable n_budget_trips : int;
   }
 
   let m_held = lazy (Obs.Metrics.gauge "arena.bytes_held")
   let m_hits = lazy (Obs.Metrics.counter "arena.hits")
   let m_misses = lazy (Obs.Metrics.counter "arena.misses")
   let m_evicted = lazy (Obs.Metrics.counter "arena.evicted")
+  let m_trips = lazy (Obs.Metrics.counter "arena.budget_trips")
 
   let create ?(max_bytes = 1 lsl 28) () =
     if max_bytes < 0 then invalid_arg "Tensor.Arena.create: negative max_bytes";
@@ -43,6 +51,7 @@ module Arena = struct
     ignore (Lazy.force m_hits);
     ignore (Lazy.force m_misses);
     ignore (Lazy.force m_evicted);
+    ignore (Lazy.force m_trips);
     {
       lock = Mutex.create ();
       buckets = Hashtbl.create 32;
@@ -51,6 +60,10 @@ module Arena = struct
       n_hits = 0;
       n_misses = 0;
       n_evicted = 0;
+      budget_bytes = None;
+      live_bytes = 0;
+      n_allocs = 0;
+      n_budget_trips = 0;
     }
 
   let locked a f =
@@ -64,29 +77,47 @@ module Arena = struct
   let alloc a n =
     let reused =
       locked a (fun () ->
-          match Hashtbl.find_opt a.buckets n with
-          | Some ({ contents = b :: rest } as l) ->
-              l := rest;
-              a.held_bytes <- a.held_bytes - (8 * n);
-              a.n_hits <- a.n_hits + 1;
-              Some b
+          (match a.budget_bytes with
+          | Some budget when a.live_bytes + (8 * n) > budget ->
+              a.n_budget_trips <- a.n_budget_trips + 1;
+              `Exhausted (a.n_allocs, a.live_bytes + (8 * n), budget)
           | _ ->
-              a.n_misses <- a.n_misses + 1;
-              None)
+              a.n_allocs <- a.n_allocs + 1;
+              a.live_bytes <- a.live_bytes + (8 * n);
+              match Hashtbl.find_opt a.buckets n with
+              | Some ({ contents = b :: rest } as l) ->
+                  l := rest;
+                  a.held_bytes <- a.held_bytes - (8 * n);
+                  a.n_hits <- a.n_hits + 1;
+                  `Reused b
+              | _ ->
+                  a.n_misses <- a.n_misses + 1;
+                  `Fresh))
     in
     match reused with
-    | Some b ->
+    | `Reused b ->
         Obs.Metrics.add (Lazy.force m_held) (-.float_of_int (8 * n));
         Obs.Metrics.incr (Lazy.force m_hits);
         b
-    | None ->
+    | `Fresh ->
         Obs.Metrics.incr (Lazy.force m_misses);
         fresh_buf n
+    | `Exhausted (seq, want, budget) ->
+        Obs.Metrics.incr (Lazy.force m_trips);
+        Fault.Inject.record Fault.Plan.Resource_exhausted;
+        raise
+          (Fault.Plan.Injected
+             {
+               Fault.Plan.f_kind = Fault.Plan.Resource_exhausted;
+               f_kernel = Printf.sprintf "arena(%dB over %dB budget)" want budget;
+               f_seq = seq;
+             })
 
   let release a (b : buf) =
     let n = Bigarray.Array1.dim b in
     let kept =
       locked a (fun () ->
+          a.live_bytes <- max 0 (a.live_bytes - (8 * n));
           if a.held_bytes + (8 * n) > a.max_bytes then begin
             a.n_evicted <- a.n_evicted + 1;
             false
@@ -106,6 +137,25 @@ module Arena = struct
   let hits a = locked a (fun () -> a.n_hits)
   let misses a = locked a (fun () -> a.n_misses)
   let evicted a = locked a (fun () -> a.n_evicted)
+  let live_bytes a = locked a (fun () -> a.live_bytes)
+  let budget_trips a = locked a (fun () -> a.n_budget_trips)
+
+  let with_budget a ~bytes f =
+    if bytes < 0 then invalid_arg "Tensor.Arena.with_budget: negative budget";
+    let saved =
+      locked a (fun () ->
+          let s = (a.budget_bytes, a.live_bytes) in
+          a.budget_bytes <- Some bytes;
+          a.live_bytes <- 0;
+          s)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        locked a (fun () ->
+            let budget, live = saved in
+            a.budget_bytes <- budget;
+            a.live_bytes <- live))
+      f
 
   (* Ambient arena: per-domain, so allocation inside [with_arena] needs no
      plumbing through every operator. *)

@@ -43,10 +43,26 @@ module Arena : sig
 
   val current : unit -> t option
 
+  val with_budget : t -> bytes:int -> (unit -> 'a) -> 'a
+  (** Run a thunk under a hard byte budget on {e live} allocations
+      (handed out minus released, counted from zero at scope entry). An
+      allocation that would exceed the budget raises
+      {!Fault.Plan.Injected} with kind [Resource_exhausted] (counted in
+      [arena.budget_trips] and [fault.resource_exhausted]) instead of
+      allocating. Restores the previous budget and live count on exit,
+      so per-request scopes nest and never charge each other. *)
+
   val bytes_held : t -> int
   val hits : t -> int
   val misses : t -> int
   val evicted : t -> int
+
+  val live_bytes : t -> int
+  (** Bytes handed out and not yet released within the current budget
+      scope (0 when no {!with_budget} scope was ever entered). *)
+
+  val budget_trips : t -> int
+  (** Allocations refused because they would have exceeded a budget. *)
 end
 
 val release : Arena.t -> t -> unit

@@ -107,6 +107,44 @@ dune exec bench/main.exe -- --quick --only batch > /dev/null
 # least one injected device death) and exits nonzero on any of them.
 dune exec bench/main.exe -- --quick --only shard > /dev/null
 
+# Overload gate: the overload bench stages a seeded 5x-capacity poison
+# storm under a frozen clock and enforces its own floors in-process
+# (shed > 0, goodput >= 0.8 over non-shed submissions, zero non-poisoned
+# failures, bisection isolates exactly the poisoned member, the memory
+# budget trips and halves the batch cap, quarantine kicks in after the
+# offense threshold). Two runs must agree byte-for-byte on the storm's
+# outcome (including shed/quarantined counts) and fault objects — the
+# overload response must replay exactly.
+ov1=$(mktemp) && ov2=$(mktemp)
+for f in "$ov1" "$ov2"; do
+    dune exec bench/main.exe -- --quick --only overload > "$f" || {
+        echo "ci: overload bench failed its gates" >&2; cat "$f" >&2; exit 1; }
+done
+if [ "$(extract_counts "$ov1")" != "$(extract_counts "$ov2")" ]; then
+    echo "ci: overload storm not deterministic across same-seed runs" >&2
+    echo "--- run 1 ---" >&2; extract_counts "$ov1" >&2
+    echo "--- run 2 ---" >&2; extract_counts "$ov2" >&2
+    exit 1
+fi
+rm -f "$ov1" "$ov2"
+
+# Poison determinism gate: a same-seed chaos storm with per-request
+# poison faults must replay byte-identically — poison draws are keyed to
+# the request stream, so the poisoned set is a pure function of the seed.
+pz1=$(mktemp) && pz2=$(mktemp)
+for f in "$pz1" "$pz2"; do
+    dune exec bin/spacefusion_cli.exe -- chaos -n 300 --rate 0.01 --poison 0.01 \
+        --seed 11 --workers 1 --goodput-floor 0.8 --check > "$f" || {
+        echo "ci: poison chaos storm failed its gates" >&2; cat "$f" >&2; exit 1; }
+done
+if [ "$(extract_counts "$pz1")" != "$(extract_counts "$pz2")" ]; then
+    echo "ci: poison chaos storm not deterministic across same-seed runs" >&2
+    echo "--- run 1 ---" >&2; extract_counts "$pz1" >&2
+    echo "--- run 2 ---" >&2; extract_counts "$pz2" >&2
+    exit 1
+fi
+rm -f "$pz1" "$pz2"
+
 # Fleet determinism gate: same-seed chaos storms against a 4-device fleet
 # must agree byte-for-byte on terminal outcomes, injected faults AND the
 # fleet snapshot (which devices died, per-device served counts, reroutes).
@@ -197,4 +235,4 @@ if [ "$picks1" != "$picks4" ]; then
     exit 1
 fi
 
-echo "ci: OK (build, tests, serve smoke + 3x soak, deterministic chaos + fleet + pow2-batching gates, batch goodput floors, shard floors, warm-store cold-start + corruption gates, serial/parallel tuner picks identical)"
+echo "ci: OK (build, tests, serve smoke + 3x soak, deterministic chaos + fleet + pow2-batching + poison gates, batch goodput floors, shard floors, overload gates, warm-store cold-start + corruption gates, serial/parallel tuner picks identical)"

@@ -147,6 +147,8 @@ let classify_outcome = function
   | Serve.Server.Rejected _ -> `Rejected
   | Serve.Server.Timed_out -> `Timed_out
   | Serve.Server.Failed m -> `Failed m
+  | Serve.Server.Shed _ -> `Shed
+  | Serve.Server.Quarantined -> `Quarantined
 
 let model_at trace rows =
   {
@@ -208,7 +210,9 @@ let prop_conservation =
               | _ -> ())
           | `Rejected -> incr rejected
           | `Timed_out -> incr timed_out
-          | `Failed m -> QCheck.Test.fail_reportf "request failed: %s" m)
+          | `Failed m -> QCheck.Test.fail_reportf "request failed: %s" m
+          | `Shed | `Quarantined ->
+              QCheck.Test.fail_reportf "shed/quarantined without overload control")
         tickets;
       Serve.Server.shutdown s;
       let st = Serve.Server.stats s in
@@ -219,6 +223,67 @@ let prop_conservation =
       && st.Serve.Stats.s_timed_out = !timed_out
       && st.Serve.Stats.s_failed = !failed
       && st.Serve.Stats.s_admitted = st.Serve.Stats.s_done + st.Serve.Stats.s_timed_out)
+
+(* ------------------------------------------------------------------ *)
+(* Blast-radius bisection (ISSUE 10)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Synthetic harness for [Serve.Bisect.execute]: members carry their own
+   index as tag, a bitmask marks some tags poisoned, and the run callback
+   behaves like the server's — any subset containing a poisoned member
+   splits, a clean subset serves. The property is the blast-radius
+   contract: every non-poisoned member is served exactly once from a
+   clean sub-run at its cumulative row offset, every poisoned member is
+   isolated alone, a fully clean batch runs exactly once, and the whole
+   bisection tree is deterministic. *)
+let prop_bisect_blast_radius =
+  QCheck.Test.make ~count:300 ~name:"bisection isolates exactly the poisoned members"
+    QCheck.(pair (list_of_size (Gen.int_range 1 12) (int_range 1 8)) (int_bound 4095))
+    (fun (row_list, pmask) ->
+      let open Serve.Bisect in
+      let n = List.length row_list in
+      let poisoned i = (pmask lsr i) land 1 = 1 in
+      let members = List.mapi (fun i r -> { m_index = i; m_rows = r; m_tag = i }) row_list in
+      let run ms ~rows =
+        let ids = List.map (fun m -> m.m_index) ms in
+        if List.exists (fun m -> poisoned m.m_tag) ms then `Split (false, ids, rows)
+        else `Served (true, ids, rows)
+      in
+      let placements, runs = execute ~run ~members in
+      let placements', runs' = execute ~run ~members in
+      let exactly_once =
+        List.sort compare (List.map (fun p -> p.p_member.m_index) placements)
+        = List.init n Fun.id
+      in
+      let member_ok p =
+        let m = p.p_member in
+        let ok, ids, rows = p.p_result in
+        p.p_len = m.m_rows
+        &&
+        if poisoned m.m_tag then (not ok) && p.p_batch = 1 && ids = [ m.m_index ]
+        else
+          ok
+          && (not (List.exists poisoned ids))
+          && p.p_batch = List.length ids
+          && p.p_rows = rows
+          && rows = List.fold_left (fun a i -> a + List.nth row_list i) 0 ids
+          &&
+          (* served at the cumulative offset of its predecessors in
+             sub-run order — the slice the server would deliver *)
+          let rec expect acc = function
+            | [] -> -1
+            | i :: _ when i = m.m_index -> acc
+            | i :: tl -> expect (acc + List.nth row_list i) tl
+          in
+          p.p_off = expect 0 ids
+      in
+      let clean_fast_path =
+        List.exists poisoned (List.init n Fun.id)
+        || (runs = 1 && List.for_all (fun p -> p.p_batch = n) placements)
+      in
+      exactly_once
+      && List.for_all member_ok placements
+      && clean_fast_path && placements = placements' && runs = runs')
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic batch formation                                       *)
@@ -287,7 +352,12 @@ let () =
     [
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_slice_equivalence; prop_guard_total; prop_conservation ] );
+          [
+            prop_slice_equivalence;
+            prop_guard_total;
+            prop_conservation;
+            prop_bisect_blast_radius;
+          ] );
       ( "server",
         [
           Alcotest.test_case "three in-class requests partition one batch" `Quick

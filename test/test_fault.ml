@@ -53,7 +53,65 @@ let test_plan_storm_split () =
   Alcotest.(check (float 1e-12)) "split sums to rate" 0.1 (Plan.total_rate r);
   Alcotest.(check bool) "every component positive" true
     (r.Plan.launch_failure > 0. && r.device_error > 0. && r.device_death > 0.
-    && r.smem_eviction > 0. && r.latency_spike > 0.)
+    && r.smem_eviction > 0. && r.latency_spike > 0.);
+  Alcotest.(check (float 1e-12)) "new kinds default to zero" 0.0
+    (r.Plan.poison_request +. r.Plan.resource_exhausted)
+
+let test_plan_storm_new_kinds () =
+  (* poison/resource are additive: the legacy 40/25/5/10/20 split of [rate]
+     must be bit-identical to a storm built before those kinds existed,
+     resource joins the per-launch total, poison does not (per-request). *)
+  let legacy = Plan.storm ~rate:0.1 () in
+  let r = Plan.storm ~poison:0.01 ~resource:0.005 ~rate:0.1 () in
+  Alcotest.(check bool) "legacy split unchanged" true
+    (r.Plan.launch_failure = legacy.Plan.launch_failure
+    && r.device_error = legacy.Plan.device_error
+    && r.device_death = legacy.Plan.device_death
+    && r.smem_eviction = legacy.Plan.smem_eviction
+    && r.latency_spike = legacy.Plan.latency_spike);
+  Alcotest.(check (float 1e-12)) "poison rate carried" 0.01 r.Plan.poison_request;
+  Alcotest.(check (float 1e-12)) "resource rate carried" 0.005 r.Plan.resource_exhausted;
+  Alcotest.(check (float 1e-12)) "resource is per-launch, poison is not" 0.105
+    (Plan.total_rate r)
+
+let test_plan_resource_preserves_legacy_schedule () =
+  (* The resource_exhausted threshold is appended after the legacy bands,
+     so turning it on may convert Pass slots to resource faults but must
+     never change what an existing fault decision was. *)
+  let mk resource = Plan.make ~rates:(Plan.storm ~resource ~rate:0.2 ()) ~seed:5 () in
+  let p0 = mk 0.0 and p1 = mk 0.1 in
+  let saw_resource = ref false in
+  for seq = 0 to 511 do
+    let d0 = Plan.decide p0 ~stream:0 ~seq and d1 = Plan.decide p1 ~stream:0 ~seq in
+    (match d0 with
+    | Plan.Pass ->
+        if d1 = Plan.Fail Plan.Resource_exhausted then saw_resource := true
+        else Alcotest.(check bool) "pass stays pass or becomes resource" true (d1 = Plan.Pass)
+    | d -> Alcotest.(check bool) "legacy decision preserved" true (d1 = d));
+    if Plan.decide p0 ~stream:0 ~seq = Plan.Fail Plan.Resource_exhausted then
+      Alcotest.fail "zero resource rate drew a resource fault"
+  done;
+  Alcotest.(check bool) "resource faults appear at 10%" true !saw_resource
+
+let test_plan_poisoned () =
+  let p = Plan.make ~rates:(Plan.storm ~poison:0.3 ~rate:0.0 ()) ~seed:11 () in
+  let draws = List.init 256 (fun i -> Plan.poisoned p ~request:i) in
+  Alcotest.(check bool) "deterministic per request" true
+    (draws = List.init 256 (fun i -> Plan.poisoned p ~request:i));
+  let hits = List.length (List.filter Fun.id draws) in
+  Alcotest.(check bool)
+    (Printf.sprintf "poison fraction plausible (%d/256)" hits)
+    true
+    (hits > 256 * 3 / 20 && hits < 256 * 9 / 20);
+  (* Poison draws live in their own stream namespace: they must not perturb
+     the launch-injection schedule. *)
+  let clean = Plan.make ~rates:(Plan.storm ~rate:0.2 ()) ~seed:11 () in
+  let stormy = Plan.make ~rates:(Plan.storm ~poison:0.3 ~rate:0.2 ()) ~seed:11 () in
+  Alcotest.(check bool) "launch schedule independent of poison rate" true
+    (Plan.schedule clean ~stream:2 ~n:256 = Plan.schedule stormy ~stream:2 ~n:256);
+  let zero = Plan.make ~seed:11 () in
+  Alcotest.(check bool) "zero poison rate never poisons" true
+    (not (List.exists (fun i -> Plan.poisoned zero ~request:i) (List.init 256 Fun.id)))
 
 let test_plan_validation () =
   let bad rates = try ignore (Plan.make ~rates ~seed:0 ()); false with Invalid_argument _ -> true in
@@ -193,6 +251,9 @@ let test_classify_exn () =
   Alcotest.(check bool) "error -> Retry" true (classify_exn (f Plan.Device_error) = Retry);
   Alcotest.(check bool) "death -> Reroute" true (classify_exn (f Plan.Device_death) = Reroute);
   Alcotest.(check bool) "smem -> Degrade" true (classify_exn (f Plan.Smem_eviction) = Degrade);
+  Alcotest.(check bool) "poison -> Isolate" true (classify_exn (f Plan.Poison_request) = Isolate);
+  Alcotest.(check bool) "resource -> Degrade" true
+    (classify_exn (f Plan.Resource_exhausted) = Degrade);
   Alcotest.(check bool) "other -> No_fault" true (classify_exn (Failure "x") = No_fault)
 
 (* ------------------------------------------------------------------ *)
@@ -307,6 +368,10 @@ let () =
           Alcotest.test_case "same seed, same schedule" `Quick test_plan_deterministic;
           Alcotest.test_case "zero rates pass everything" `Quick test_plan_zero_rates;
           Alcotest.test_case "storm splits the rate" `Quick test_plan_storm_split;
+          Alcotest.test_case "storm poison/resource additive" `Quick test_plan_storm_new_kinds;
+          Alcotest.test_case "resource keeps legacy schedule" `Quick
+            test_plan_resource_preserves_legacy_schedule;
+          Alcotest.test_case "poison draw pure and disjoint" `Quick test_plan_poisoned;
           Alcotest.test_case "rate validation" `Quick test_plan_validation;
           Alcotest.test_case "fault fraction plausible" `Quick test_plan_rate_distribution;
           q prop_plan_deterministic;

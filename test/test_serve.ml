@@ -239,6 +239,99 @@ let test_batcher_member_deadlines () =
   Alcotest.(check bool) "deadline-free member served" false (find "slack").B.sl_expired
 
 (* ------------------------------------------------------------------ *)
+(* Shed: admission feasibility, quarantine, AIMD compile gate          *)
+(* ------------------------------------------------------------------ *)
+
+module Shed = Serve.Shed
+
+let test_shed_ewma () =
+  let sh = Shed.create ~alpha:0.5 () in
+  Alcotest.(check (option (float 1e-12))) "unknown key" None (Shed.estimate sh ~key:"k");
+  Shed.observe sh ~key:"k" ~service_s:1.0;
+  Alcotest.(check (option (float 1e-12))) "first observation initialises" (Some 1.0)
+    (Shed.estimate sh ~key:"k");
+  Shed.observe sh ~key:"k" ~service_s:2.0;
+  Alcotest.(check (option (float 1e-12))) "ewma folds at alpha" (Some 1.5)
+    (Shed.estimate sh ~key:"k");
+  Shed.observe sh ~key:"k" ~service_s:(-1.0);
+  Shed.observe sh ~key:"k" ~service_s:Float.nan;
+  Alcotest.(check (option (float 1e-12))) "bad samples ignored" (Some 1.5)
+    (Shed.estimate sh ~key:"k");
+  Shed.seed sh ~key:"k" ~service_s:9.0;
+  Alcotest.(check (option (float 1e-12))) "seed never overwrites live data" (Some 1.5)
+    (Shed.estimate sh ~key:"k");
+  Shed.seed sh ~key:"warm" ~service_s:0.25;
+  Alcotest.(check (option (float 1e-12))) "seed initialises a fresh key" (Some 0.25)
+    (Shed.estimate sh ~key:"warm")
+
+let test_shed_admission () =
+  let sh = Shed.create ~workers:2 () in
+  (* Never-seen key: admits even under an impossible deadline (cold starts
+     must not shed on ignorance) and charges nothing. *)
+  (match Shed.admit sh ~key:"cold" ~deadline_rel:0.0 () with
+  | `Admit c -> Alcotest.(check (float 1e-12)) "cold start is free" 0.0 c
+  | `Shed m -> Alcotest.failf "cold start shed: %s" m);
+  Shed.observe sh ~key:"k" ~service_s:1.0;
+  let c1 =
+    match Shed.admit sh ~key:"k" ~deadline_rel:1.5 () with
+    | `Admit c -> c
+    | `Shed m -> Alcotest.failf "feasible request shed: %s" m
+  in
+  Alcotest.(check (float 1e-12)) "charged its estimate" 1.0 c1;
+  Alcotest.(check (float 1e-12)) "backlog carries the charge" 1.0 (Shed.backlog_seconds sh);
+  (* wait 1.0/2 + svc 1.0 = 1.5 > 1.2: infeasible, and nothing charged. *)
+  (match Shed.admit sh ~key:"k" ~deadline_rel:1.2 () with
+  | `Shed _ -> ()
+  | `Admit _ -> Alcotest.fail "infeasible deadline admitted");
+  Alcotest.(check (float 1e-12)) "shed charges nothing" 1.0 (Shed.backlog_seconds sh);
+  (* No deadline: always admits, but still weighs on the backlog. *)
+  (match Shed.admit sh ~key:"k" () with
+  | `Admit c -> Alcotest.(check (float 1e-12)) "deadline-free charge" 1.0 c
+  | `Shed m -> Alcotest.failf "deadline-free request shed: %s" m);
+  Shed.drain sh c1;
+  Shed.drain sh 1.0;
+  Alcotest.(check (float 1e-12)) "drained back to zero" 0.0 (Shed.backlog_seconds sh);
+  Shed.drain sh 5.0;
+  Alcotest.(check (float 1e-12)) "drain clamps at zero" 0.0 (Shed.backlog_seconds sh)
+
+let test_shed_quarantine () =
+  let sh = Shed.create ~quarantine_threshold:2 () in
+  Alcotest.(check bool) "clean key not quarantined" false (Shed.quarantined sh ~key:"k");
+  Alcotest.(check int) "first offense" 1 (Shed.offense sh ~key:"k");
+  Alcotest.(check bool) "below threshold" false (Shed.quarantined sh ~key:"k");
+  Alcotest.(check int) "second offense" 2 (Shed.offense sh ~key:"k");
+  Alcotest.(check bool) "at threshold" true (Shed.quarantined sh ~key:"k");
+  Alcotest.(check bool) "keys independent" false (Shed.quarantined sh ~key:"other");
+  let off = Shed.create () in
+  ignore (Shed.offense off ~key:"k");
+  Alcotest.(check bool) "threshold 0 disables quarantine" false (Shed.quarantined off ~key:"k")
+
+let test_shed_aimd () =
+  let sh = Shed.create ~cold_compile_cap:4 () in
+  Alcotest.(check int) "initial cap" 4 (Shed.compile_cap sh);
+  for _ = 1 to 4 do
+    Alcotest.(check bool) "slot under cap" true (Shed.try_compile sh)
+  done;
+  Alcotest.(check bool) "cap reached defers" false (Shed.try_compile sh);
+  Alcotest.(check int) "deferral counted" 1 (Shed.compiles_deferred sh);
+  Shed.end_compile sh ~ok:false;
+  Alcotest.(check int) "failure halves the cap" 2 (Shed.compile_cap sh);
+  Alcotest.(check bool) "halved cap still saturated" false (Shed.try_compile sh);
+  Shed.end_compile sh ~ok:false;
+  Alcotest.(check int) "multiplicative decrease floors at 1" 1 (Shed.compile_cap sh);
+  Shed.end_compile sh ~ok:true;
+  Shed.end_compile sh ~ok:true;
+  Alcotest.(check int) "additive recovery" 3 (Shed.compile_cap sh);
+  Alcotest.(check bool) "recovered cap grants slots" true (Shed.try_compile sh);
+  Shed.end_compile sh ~ok:true;
+  Shed.end_compile sh ~ok:true;
+  Alcotest.(check int) "cap never exceeds its creation value" 4 (Shed.compile_cap sh);
+  let open_gate = Shed.create () in
+  Alcotest.(check bool) "cap 0 disables the gate" true (Shed.try_compile open_gate);
+  Shed.end_compile open_gate ~ok:false;
+  Alcotest.(check int) "disabled gate never shrinks" 0 (Shed.compile_cap open_gate)
+
+(* ------------------------------------------------------------------ *)
 (* Server                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -258,6 +351,8 @@ let expect_done = function
   | Rejected m -> Alcotest.failf "rejected: %s" m
   | Timed_out -> Alcotest.fail "timed out"
   | Failed m -> Alcotest.failf "failed: %s" m
+  | Shed m -> Alcotest.failf "shed: %s" m
+  | Quarantined -> Alcotest.fail "quarantined"
 
 let test_server_serves () =
   let calls = Atomic.make 0 in
@@ -551,6 +646,83 @@ let test_server_shutdown_no_drain () =
   Alcotest.(check int) "two rejected" 2 st.Serve.Stats.s_rejected;
   Alcotest.(check bool) "conserved" true (Serve.Stats.conserved st)
 
+let test_server_sheds_infeasible () =
+  (* Frozen clock: deadlines never expire in the queue, so any Shed here
+     is an admission decision, not a timeout in disguise. *)
+  let b = stub (Atomic.make 0) in
+  let cfg =
+    {
+      (config ~workers:1 ()) with
+      Serve.Server.clock = (fun () -> 0.0);
+      shed_deadlines = true;
+    }
+  in
+  let s = Serve.Server.start ~config:cfg () in
+  let work = Runtime.Workload.make ~shapes:cfg.Serve.Server.shapes ~arch b (ln 32) in
+  ignore (expect_done (Serve.Server.await (Serve.Server.submit_w s work)));
+  let key = Runtime.Workload.digest work in
+  let est =
+    match Serve.Shed.estimate (Serve.Server.shed s) ~key with
+    | Some e -> e
+    | None -> Alcotest.fail "completed run did not feed the estimator"
+  in
+  Alcotest.(check bool) "simulated service estimate positive" true (est > 0.0);
+  (* Same key with a deadline below its own service estimate: infeasible at
+     the door, resolved without queueing or executing. *)
+  (match Serve.Server.await (Serve.Server.submit_w s ~deadline_s:(est /. 2.0) work) with
+  | Serve.Server.Shed _ -> ()
+  | _ -> Alcotest.fail "infeasible request was not shed");
+  (* A never-seen key admits under the same impossible deadline. *)
+  let cold = Runtime.Workload.make ~shapes:cfg.Serve.Server.shapes ~arch b (ln 48) in
+  ignore (expect_done (Serve.Server.await (Serve.Server.submit_w s ~deadline_s:(est /. 2.0) cold)));
+  Serve.Server.shutdown s;
+  let st = Serve.Server.stats s in
+  Alcotest.(check int) "submitted" 3 st.Serve.Stats.s_submitted;
+  Alcotest.(check int) "shed never admitted" 2 st.Serve.Stats.s_admitted;
+  Alcotest.(check int) "done" 2 st.Serve.Stats.s_done;
+  Alcotest.(check int) "shed" 1 st.Serve.Stats.s_shed;
+  Alcotest.(check bool) "conserved with shed" true (Serve.Stats.conserved st);
+  Alcotest.(check (float 1e-9)) "shed backlog fully drained" 0.0
+    (Serve.Shed.backlog_seconds (Serve.Server.shed s))
+
+let test_server_quarantines_repeat_offender () =
+  (* Poison every request (rate 1.0): the first [threshold] submissions on
+     the key fail as poisoned; after that the key is quarantined and
+     resolves without executing. *)
+  let b = stub (Atomic.make 0) in
+  let cfg =
+    {
+      (config ~workers:1 ()) with
+      Serve.Server.fault_plan =
+        Some
+          (Fault.Plan.make
+             ~rates:{ Fault.Plan.zero_rates with poison_request = 1.0 }
+             ~seed:1 ());
+      quarantine_threshold = 2;
+    }
+  in
+  let s = Serve.Server.start ~config:cfg () in
+  let work = Runtime.Workload.make ~shapes:cfg.Serve.Server.shapes ~arch b (ln 32) in
+  let outcome () = Serve.Server.await (Serve.Server.submit_w s work) in
+  for i = 1 to 2 do
+    match outcome () with
+    | Serve.Server.Failed _ -> ()
+    | _ -> Alcotest.failf "poisoned request %d did not fail" i
+  done;
+  (match outcome () with
+  | Serve.Server.Quarantined -> ()
+  | _ -> Alcotest.fail "third offense was not quarantined");
+  (match outcome () with
+  | Serve.Server.Quarantined -> ()
+  | _ -> Alcotest.fail "quarantine did not stick");
+  Serve.Server.shutdown s;
+  Alcotest.(check int) "offense count stopped at the threshold" 2
+    (Serve.Shed.offenses (Serve.Server.shed s) ~key:(Runtime.Workload.digest work));
+  let st = Serve.Server.stats s in
+  Alcotest.(check int) "failed" 2 st.Serve.Stats.s_failed;
+  Alcotest.(check int) "quarantined" 2 st.Serve.Stats.s_quarantined;
+  Alcotest.(check bool) "conserved with quarantine" true (Serve.Stats.conserved st)
+
 let test_percentile () =
   let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
   Alcotest.(check (float 1e-9)) "p50" 50.0 (Serve.Stats.percentile xs 50.0);
@@ -578,6 +750,13 @@ let () =
             test_batcher_sliced_rows_and_boundary;
           Alcotest.test_case "per-member deadlines" `Quick test_batcher_member_deadlines;
         ] );
+      ( "shed",
+        [
+          Alcotest.test_case "ewma estimation" `Quick test_shed_ewma;
+          Alcotest.test_case "admission feasibility + backlog" `Quick test_shed_admission;
+          Alcotest.test_case "quarantine threshold" `Quick test_shed_quarantine;
+          Alcotest.test_case "AIMD compile gate" `Quick test_shed_aimd;
+        ] );
       ( "server",
         [
           Alcotest.test_case "serves distinct requests" `Quick test_server_serves;
@@ -595,6 +774,9 @@ let () =
           Alcotest.test_case "deadline-aware backoff" `Quick test_server_deadline_aware_backoff;
           Alcotest.test_case "follower requeued once" `Quick test_server_follower_requeued_once;
           Alcotest.test_case "non-draining shutdown" `Quick test_server_shutdown_no_drain;
+          Alcotest.test_case "sheds infeasible deadlines" `Quick test_server_sheds_infeasible;
+          Alcotest.test_case "quarantines repeat offenders" `Quick
+            test_server_quarantines_repeat_offender;
         ] );
       ("stats", [ Alcotest.test_case "percentile" `Quick test_percentile ]);
       ("properties", props);

@@ -52,6 +52,8 @@ let classify = function
   | Serve.Server.Rejected _ -> `Rejected
   | Serve.Server.Timed_out -> `Timed_out
   | Serve.Server.Failed msg -> `Failed msg
+  | Serve.Server.Shed _ -> `Shed
+  | Serve.Server.Quarantined -> `Quarantined
 
 let test_soak () =
   Obs.Metrics.reset ();
@@ -72,7 +74,8 @@ let test_soak () =
       match classify (Serve.Server.await tk) with
       | `Done _ -> ()
       | `Failed msg -> Alcotest.failf "[seed=%d] warm-up failed: %s" seed msg
-      | `Rejected | `Timed_out -> Alcotest.failf "[seed=%d] warm-up not served" seed)
+      | `Rejected | `Timed_out | `Shed | `Quarantined ->
+          Alcotest.failf "[seed=%d] warm-up not served" seed)
     warm;
   (* Random storm: 1200 mixed requests. ~3%% carry an already-expired
      deadline (guaranteed Timed_out when admitted); submission outpaces
@@ -96,7 +99,8 @@ let test_soak () =
           check "latency covers queue wait" Serve.Server.(r.r_latency_s >= r.r_queue_s)
       | `Rejected -> incr rejected
       | `Timed_out -> incr timed_out
-      | `Failed msg -> incr failed; Printf.eprintf "[seed=%d] failure: %s\n%!" seed msg)
+      | `Failed msg -> incr failed; Printf.eprintf "[seed=%d] failure: %s\n%!" seed msg
+      | `Shed | `Quarantined -> Alcotest.failf "[seed=%d] shed without overload control" seed)
     tickets;
   Serve.Server.shutdown s;
   let st = Serve.Server.stats s in
@@ -194,7 +198,8 @@ let test_mixed_shape_soak () =
     match classify (Serve.Server.await (submit srv m)) with
     | `Done r -> r
     | `Failed msg -> Alcotest.failf "[seed=%d] %s failed: %s" seed what msg
-    | `Rejected | `Timed_out -> Alcotest.failf "[seed=%d] %s not served" seed what
+    | `Rejected | `Timed_out | `Shed | `Quarantined ->
+        Alcotest.failf "[seed=%d] %s not served" seed what
   in
   (* Deterministic warm-up: each family once at the class representative
      (and the non-sliceable model at its only shape), sequentially, so
@@ -234,7 +239,8 @@ let test_mixed_shape_soak () =
       | `Timed_out -> incr timed_out
       | `Failed msg ->
           incr failed;
-          Printf.eprintf "[seed=%d] mixed-shape failure: %s\n%!" seed msg)
+          Printf.eprintf "[seed=%d] mixed-shape failure: %s\n%!" seed msg
+      | `Shed | `Quarantined -> Alcotest.failf "[seed=%d] shed without overload control" seed)
     tickets;
   Serve.Server.shutdown s;
   let st = Serve.Server.stats s in
